@@ -1,0 +1,19 @@
+"""Benchmark harness configuration.
+
+Every benchmark regenerates one of the paper's tables/figures (at "quick"
+scale) under pytest-benchmark timing, then asserts the paper's qualitative
+result — who wins, by roughly what factor, where crossovers fall.
+Simulations are deterministic, so a single round suffices.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def regen(benchmark):
+    """Run an experiment once under the benchmark timer; return its result."""
+
+    def _regen(run_fn, scale="quick"):
+        return benchmark.pedantic(lambda: run_fn(scale), rounds=1, iterations=1)
+
+    return _regen

@@ -1,0 +1,51 @@
+"""Bench: the four design-choice ablations (§3.4, §3.5, §5)."""
+
+from repro.experiments.ablation_decomp import run as run_decomp
+from repro.experiments.ablation_eager import run as run_eager
+from repro.experiments.ablation_event_impl import run as run_event
+from repro.experiments.ablation_finish import run as run_finish
+from repro.experiments.ablation_rflush import run as run_rflush
+
+
+def test_bench_ablation_event_impl(regen):
+    result = regen(run_event)
+    f = result.findings
+    # The paper's send/recv choice is at least as good on both measures.
+    assert f["sendrecv"]["gups"] >= f["atomics"]["gups"] * 0.95
+    assert f["sendrecv"]["pingpong_us"] <= f["atomics"]["pingpong_us"] * 1.1
+    # ...and the atomics variant is functional, not broken.
+    assert f["atomics"]["gups"] > 0
+
+
+def test_bench_ablation_finish(regen):
+    result = regen(run_finish)
+    for per_round in result.findings.values():
+        # Termination detection pays for its reduction rounds.
+        assert per_round[False] > per_round[True]
+
+
+def test_bench_ablation_rflush(regen):
+    result = regen(run_rflush)
+    f = result.findings
+    speedups = [r / s for s, r in zip(f["stock"], f["rflush"])]
+    assert all(s > 1.1 for s in speedups)
+    # The win grows with process count (the flush walk is linear in P).
+    assert speedups[-1] > speedups[0]
+
+
+def test_bench_ablation_eager(regen):
+    result = regen(run_eager)
+    f = result.findings
+    # Small messages: eager (threshold above the size) beats rendezvous.
+    assert f[str((256, 1024))] < f[str((256, 0))]
+    # Large messages: rendezvous avoids the copy.
+    assert f[str((65536, 0))] < f[str((65536, 65536))]
+
+
+def test_bench_ablation_decomp(regen):
+    result = regen(run_decomp)
+    f = result.findings
+    # Both decompositions are functional; times within a small factor.
+    for p, t1 in f["1d"].items():
+        t2 = f["2d"][p]
+        assert 0.3 < t1 / t2 < 3.0

@@ -1,0 +1,24 @@
+"""Bench: Figure 1 — dual-runtime memory duplication."""
+
+import pytest
+
+from repro.experiments.fig01_memory import PAPER, run
+
+
+def test_bench_fig01(regen):
+    result = regen(run)
+    f = result.findings
+    for p in (16, 64):
+        # Duplicate = sum of the two runtimes' footprints.
+        assert f[f"duplicate_{p}"] == pytest.approx(
+            f[f"gasnet_{p}"] + f[f"mpi_{p}"], rel=1e-6
+        )
+        # MPI's footprint dominates GASNet's (paper: ~107 vs ~26 MB).
+        assert f[f"mpi_{p}"] > 2 * f[f"gasnet_{p}"]
+        # Within 15% of the paper's measured values.
+        paper_gasnet, paper_mpi, paper_dup = PAPER[p]
+        assert f[f"gasnet_{p}"] == pytest.approx(paper_gasnet, rel=0.15)
+        assert f[f"mpi_{p}"] == pytest.approx(paper_mpi, rel=0.15)
+        assert f[f"duplicate_{p}"] == pytest.approx(paper_dup, rel=0.15)
+    # Footprints grow with process count.
+    assert f["duplicate_64"] > f["duplicate_16"]

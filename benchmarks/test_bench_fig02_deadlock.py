@@ -1,0 +1,11 @@
+"""Bench: Figure 2 — the interoperability deadlock scenario."""
+
+from repro.experiments.fig02_deadlock import run
+
+
+def test_bench_fig02(regen):
+    result = regen(run)
+    f = result.findings
+    assert f["CAF-GASNet (AM-based writes)"] == "DEADLOCK"
+    assert f["CAF-GASNet (RDMA writes)"] == "completes"
+    assert f["CAF-MPI (MPI_PUT writes)"] == "completes"

@@ -1,0 +1,18 @@
+"""Bench: Figure 4 — RandomAccess time decomposition."""
+
+import pytest
+
+from repro.experiments.fig04_ra_breakdown import run
+
+
+def test_bench_fig04(regen):
+    result = regen(run)
+    mpi = result.findings["CAF-MPI"]
+    gasnet = result.findings["CAF-GASNet"]
+    # CAF-MPI's event_notify dwarfs CAF-GASNet's (linear FLUSH_ALL vs a
+    # single AM) — the paper's central profiling observation.
+    assert mpi["event_notify"] > 3 * gasnet["event_notify"]
+    # Computation is the same code on both runtimes.
+    assert mpi["computation"] == pytest.approx(gasnet["computation"], rel=0.2)
+    # For CAF-GASNet, notify is a minor cost next to waiting.
+    assert gasnet["event_notify"] < gasnet["event_wait"]

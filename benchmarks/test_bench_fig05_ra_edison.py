@@ -1,0 +1,17 @@
+"""Bench: Figure 5 — RandomAccess on Edison (send/recv-backed Cray RMA)."""
+
+from repro.experiments.fig05_ra_edison import run
+
+
+def test_bench_fig05(regen):
+    result = regen(run)
+    f = result.findings
+    mpi = f["CAF-MPI"]
+    gasnet = f["CAF-GASNet"]
+    # CAF-GASNet leads at every scale on Edison (paper Fig. 5), with the
+    # gap at least as large as on Fusion (send/recv-backed RMA hurts).
+    for i in range(len(f["procs"])):
+        assert gasnet[i] > 1.2 * mpi[i]
+    # Both still scale upward in this range.
+    assert gasnet[-1] > gasnet[0]
+    assert mpi[-1] > mpi[0]

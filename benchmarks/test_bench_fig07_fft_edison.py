@@ -1,0 +1,13 @@
+"""Bench: Figure 7 — FFT on Edison."""
+
+from repro.experiments.fig07_fft_edison import run
+
+
+def test_bench_fig07(regen):
+    result = regen(run)
+    f = result.findings
+    mpi = f["CAF-MPI"]
+    gasnet = f["CAF-GASNet"]
+    for i in range(len(f["procs"])):
+        assert mpi[i] > gasnet[i]
+    assert mpi[-1] > mpi[0]

@@ -1,0 +1,15 @@
+"""Bench: Figure 9 — HPL on Fusion (runtimes indistinguishable)."""
+
+from repro.experiments.fig09_hpl_fusion import run
+
+
+def test_bench_fig09(regen):
+    result = regen(run)
+    f = result.findings
+    mpi = f["CAF-MPI"]
+    gasnet = f["CAF-GASNet"]
+    # Compute-bound: the two runtimes differ by a few percent at most.
+    for a, b in zip(mpi, gasnet):
+        assert 0.85 < a / b < 1.18
+    # TFlops grow with process count (weak scaling).
+    assert mpi[-1] > mpi[0]

@@ -1,0 +1,10 @@
+"""Bench: Figure 10 — HPL on Edison."""
+
+from repro.experiments.fig10_hpl_edison import run
+
+
+def test_bench_fig10(regen):
+    result = regen(run)
+    f = result.findings
+    for a, b in zip(f["CAF-MPI"], f["CAF-GASNet"]):
+        assert 0.85 < a / b < 1.18

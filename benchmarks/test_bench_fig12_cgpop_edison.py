@@ -1,0 +1,18 @@
+"""Bench: Figure 12 — CGPOP on Edison."""
+
+from repro.experiments.fig12_cgpop_edison import run
+
+VARIANTS = [
+    "CAF-MPI (PUSH)",
+    "CAF-MPI (PULL)",
+    "CAF-GASNet (PUSH)",
+    "CAF-GASNet (PULL)",
+]
+
+
+def test_bench_fig12(regen):
+    result = regen(run)
+    f = result.findings
+    for i in range(len(f["procs"])):
+        times = [f[v][i] for v in VARIANTS]
+        assert max(times) < 2.0 * min(times)

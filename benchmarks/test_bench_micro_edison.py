@@ -1,0 +1,19 @@
+"""Bench: Edison microbenchmarks."""
+
+from repro.experiments.micro_edison import run
+
+
+def test_bench_micro_edison(regen):
+    result = regen(run)
+    f = result.findings
+    last = len(f["procs"]) - 1
+    # GASNet one-sided beats send/recv-backed Cray RMA.
+    assert f["CAF-GASNet WRITE"][last] > 1.5 * f["CAF-MPI WRITE"][last]
+    assert f["CAF-GASNet READ"][last] > 1.3 * f["CAF-MPI READ"][last]
+    # On Edison WRITE is faster than READ for GASNet (paper: 500k vs 385k).
+    assert f["CAF-GASNet WRITE"][last] > f["CAF-GASNet READ"][last]
+    # MPI NOTIFY is slightly ahead of GASNet's (paper: 700k vs 655k).
+    assert f["CAF-MPI NOTIFY"][last] > f["CAF-GASNet NOTIFY"][last]
+    # Small-scale all-to-all: the hand-rolled GASNet version leads (paper:
+    # 24k vs 12k at 32 procs).
+    assert f["CAF-GASNet ALLTOALL"][last] > f["CAF-MPI ALLTOALL"][last]

@@ -1,0 +1,20 @@
+"""Bench: Mira microbenchmarks (point-to-point rates + all-to-all)."""
+
+from repro.experiments.micro_mira import run
+
+
+def test_bench_micro_mira(regen):
+    result = regen(run)
+    f = result.findings
+    last = len(f["procs"]) - 1
+    # GASNet's one-sided ops are several times faster than MPICH-on-PAMI's.
+    assert f["CAF-GASNet READ"][last] > 2 * f["CAF-MPI READ"][last]
+    assert f["CAF-GASNet WRITE"][last] > 2 * f["CAF-MPI WRITE"][last]
+    # NOTIFY rates are comparable (paper: 97k vs 90k).
+    ratio = f["CAF-GASNet NOTIFY"][last] / f["CAF-MPI NOTIFY"][last]
+    assert 0.5 < ratio < 2.0
+    # MPI_ALLTOALL crushes the hand-rolled AM-signalled version on BG/Q.
+    assert f["CAF-MPI ALLTOALL"][last] > 3 * f["CAF-GASNet ALLTOALL"][last]
+    # Point-to-point rates stay roughly flat across the sweep.
+    reads = f["CAF-GASNet READ"]
+    assert max(reads) < 1.5 * min(reads)

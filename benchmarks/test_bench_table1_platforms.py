@@ -1,0 +1,9 @@
+"""Bench: Table 1 regeneration."""
+
+from repro.experiments.table1_platforms import run
+
+
+def test_bench_table1(regen):
+    result = regen(run)
+    assert result.findings["platforms"] == ["fusion", "edison", "mira"]
+    assert len(result.rows) == 3

@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Hiding communication under computation with CAF 2.0's async machinery.
+
+Runs the same reduce-and-broadcast working set three ways and compares the
+modeled time per step:
+
+1. blocking collectives (communication fully exposed),
+2. asynchronous collectives with completion events (§2.1) overlapping a
+   compute phase,
+3. asynchronous coarray copies (`copy_async`) double-buffering a halo
+   while computing.
+
+    python examples/async_overlap.py
+"""
+
+import numpy as np
+
+from repro.caf import run_caf
+from repro.mpi.constants import SUM
+from repro.platforms import FUSION
+from repro.util.tables import format_table
+
+STEPS = 30
+NELEMS = 1 << 14
+COMPUTE_S = 120e-6  # per-step local work
+
+
+def blocking(img):
+    send = np.zeros(NELEMS)
+    recv = np.zeros(NELEMS)
+    img.sync_all()
+    t0 = img.now
+    for _ in range(STEPS):
+        img.team_allreduce(send, recv, SUM)
+        img.compute(COMPUTE_S)
+    return (img.now - t0) / STEPS
+
+
+def overlapped(img):
+    send = np.zeros(NELEMS)
+    recv = np.zeros(NELEMS)
+    ev = img.allocate_events(1)
+    img.sync_all()
+    t0 = img.now
+    for _ in range(STEPS):
+        img.team_allreduce_async(send, recv, SUM, data_event=(ev, 0))
+        img.compute(COMPUTE_S)  # the collective progresses underneath
+        ev.wait()
+    return (img.now - t0) / STEPS
+
+
+def double_buffered_halo(img):
+    co = img.allocate_coarray((2, NELEMS // 8), np.float64)
+    done = img.allocate_events(2)
+    right = (img.rank + 1) % img.nranks
+    img.sync_all()
+    t0 = img.now
+    for step in range(STEPS):
+        parity = step % 2
+        co.write_async(
+            right, np.zeros(NELEMS // 8), offset=parity * (NELEMS // 8),
+            dest_event=(done, parity),
+        )
+        img.compute(COMPUTE_S)
+        done.wait(slot=parity)
+    img.sync_all()
+    return (img.now - t0) / STEPS
+
+
+def main():
+    nranks = 8
+    rows = []
+    for label, program in (
+        ("blocking collectives", blocking),
+        ("async collectives + events", overlapped),
+        ("copy_async double buffering", double_buffered_halo),
+    ):
+        per_step = {}
+        for backend in ("mpi", "gasnet"):
+            run = run_caf(program, nranks, FUSION, backend=backend)
+            per_step[backend] = max(run.results) * 1e6
+        rows.append([label, per_step["mpi"], per_step["gasnet"]])
+    print(
+        format_table(
+            ["strategy", "CAF-MPI us/step", "CAF-GASNet us/step"],
+            rows,
+            title=f"{nranks} images, {STEPS} steps, {COMPUTE_S * 1e6:.0f} us compute/step",
+        )
+    )
+    print(
+        "\nAsync variants approach the compute floor "
+        f"({COMPUTE_S * 1e6:.0f} us): latency hidden, as §2.1 intends."
+    )
+
+
+if __name__ == "__main__":
+    main()

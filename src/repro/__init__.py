@@ -1,0 +1,46 @@
+"""repro: a full-system reproduction of "Portable, MPI-Interoperable
+Coarray Fortran" (PPoPP 2014).
+
+Layers (bottom-up):
+
+* :mod:`repro.sim` — deterministic discrete-event simulated cluster.
+* :mod:`repro.mpi` — MPI-3 subset (p2p, collectives incl. nonblocking,
+  RMA windows with passive-target sync and one-sided atomics).
+* :mod:`repro.gasnet` — GASNet subset (segments, Active Messages,
+  RDMA put/get, SRQ behaviour).
+* :mod:`repro.caf` — the CAF 2.0 runtime (the paper's subject) with the
+  CAF-MPI (§3) and CAF-GASNet backends.
+* :mod:`repro.apps` — RandomAccess, FFT, HPL, CGPOP, microbenchmarks,
+  distributed arrays.
+* :mod:`repro.platforms` — Fusion / Edison / Mira machine models.
+* :mod:`repro.experiments` — regenerators for every table and figure.
+
+Quick start::
+
+    from repro.caf import run_caf
+
+    def hello(img):
+        co = img.allocate_coarray(4)
+        co.local[:] = img.rank
+        img.sync_all()
+        return float(co.read((img.rank + 1) % img.nranks)[0])
+
+    print(run_caf(hello, nranks=4).results)
+"""
+
+from repro.caf import run_caf
+from repro.platforms import EDISON, FUSION, LAPTOP, MIRA, PLATFORMS
+from repro.sim.network import MachineSpec
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "EDISON",
+    "FUSION",
+    "LAPTOP",
+    "MIRA",
+    "MachineSpec",
+    "PLATFORMS",
+    "__version__",
+    "run_caf",
+]

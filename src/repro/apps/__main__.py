@@ -1,0 +1,139 @@
+"""CLI: run the benchmark applications standalone.
+
+Usage::
+
+    python -m repro.apps randomaccess --procs 8 --backend gasnet
+    python -m repro.apps fft --procs 16 --platform edison --m 1048576
+    python -m repro.apps hpl --procs 4 --n 128
+    python -m repro.apps cgpop --procs 8 --mode pull
+    python -m repro.apps cgpop2d --procs 4 --ny 16 --nx 16
+    python -m repro.apps micro --procs 4 --op write
+
+Every run prints the figure of merit, the per-category time breakdown,
+and the verification verdict where the benchmark defines one.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.apps.cgpop import run_cgpop, run_cgpop_2d
+from repro.apps.fft import make_input, run_fft
+from repro.apps.hpl import run_hpl
+from repro.apps.microbench import OPS, run_microbench
+from repro.apps.randomaccess import run_randomaccess
+from repro.apps.verification import (
+    verify_cgpop,
+    verify_fft,
+    verify_hpl,
+    verify_randomaccess,
+)
+from repro.caf.program import run_caf
+from repro.platforms import PLATFORMS
+from repro.util.tables import format_table
+
+
+def _print_breakdown(run) -> None:
+    breakdown = run.profiler.breakdown()
+    if breakdown:
+        rows = sorted(breakdown.items(), key=lambda kv: -kv[1])
+        print(
+            format_table(
+                ["category", "mean s/image"], rows, title="time decomposition"
+            )
+        )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="python -m repro.apps")
+    parser.add_argument(
+        "app",
+        choices=["randomaccess", "fft", "hpl", "cgpop", "cgpop2d", "micro"],
+    )
+    parser.add_argument("--procs", type=int, default=8)
+    parser.add_argument("--backend", choices=["mpi", "gasnet"], default="mpi")
+    parser.add_argument(
+        "--platform", choices=sorted(PLATFORMS), default="laptop"
+    )
+    parser.add_argument("--m", type=int, default=1 << 14, help="FFT size")
+    parser.add_argument("--n", type=int, default=96, help="HPL matrix order")
+    parser.add_argument("--ny", type=int, default=32)
+    parser.add_argument("--nx", type=int, default=16)
+    parser.add_argument("--mode", choices=["push", "pull"], default="push")
+    parser.add_argument("--op", choices=list(OPS), default="write")
+    parser.add_argument("--updates", type=int, default=1024)
+    parser.add_argument("--seed", type=int, default=42)
+    args = parser.parse_args(argv)
+
+    spec = PLATFORMS[args.platform]
+    common = dict(backend=args.backend)
+    print(
+        f"== {args.app} on {args.platform} x{args.procs} images "
+        f"(CAF-{args.backend.upper()}) =="
+    )
+
+    if args.app == "randomaccess":
+        run = run_caf(
+            run_randomaccess, args.procs, spec, **common,
+            updates_per_image=args.updates, seed=args.seed,
+        )
+        res = run.results[0]
+        print(f"GUPS: {res.gups:.6f}  (virtual time {res.elapsed * 1e3:.3f} ms)")
+        report = verify_randomaccess(
+            run.cluster._shared["ra-tables"],
+            seed=args.seed,
+            nranks=args.procs,
+            table_bits_per_image=res.table_bits_per_image,
+            updates_per_image=res.updates_per_image,
+        )
+        print(report)
+    elif args.app == "fft":
+        run = run_caf(run_fft, args.procs, spec, **common, m=args.m, seed=args.seed)
+        res = run.results[0]
+        print(f"GFlop/s: {res.gflops:.3f}  (m = {res.m})")
+        print(verify_fft(run.cluster._shared["fft-output"], make_input(args.seed, args.m)))
+    elif args.app == "hpl":
+        run = run_caf(run_hpl, args.procs, spec, **common, n=args.n, seed=args.seed)
+        res = run.results[0]
+        print(f"TFlop/s: {res.tflops:.6f}  (N = {res.n})")
+        print(
+            verify_hpl(
+                run.cluster._shared["hpl-factors"], n=args.n, block=res.block, seed=args.seed
+            )
+        )
+    elif args.app == "cgpop":
+        run = run_caf(
+            run_cgpop, args.procs, spec, **common,
+            ny=args.ny, nx=args.nx, mode=args.mode, seed=args.seed,
+        )
+        res = run.results[0]
+        print(
+            f"iterations: {res.iterations}, residual {res.residual:.2e}, "
+            f"converged={res.converged}, time {res.elapsed * 1e3:.3f} ms"
+        )
+        print(
+            verify_cgpop(
+                run.cluster._shared["cgpop-solution"], ny=args.ny, nx=args.nx, seed=args.seed
+            )
+        )
+    elif args.app == "cgpop2d":
+        run = run_caf(
+            run_cgpop_2d, args.procs, spec, **common,
+            ny=args.ny, nx=args.nx, seed=args.seed,
+        )
+        res = run.results[0]
+        print(
+            f"iterations: {res.iterations}, residual {res.residual:.2e}, "
+            f"converged={res.converged}, time {res.elapsed * 1e3:.3f} ms"
+        )
+    else:  # micro
+        run = run_caf(run_microbench, args.procs, spec, **common, op=args.op)
+        res = run.results[0]
+        print(f"{args.op}: {res.ops_per_second:,.0f} ops/s")
+    _print_breakdown(run)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,84 @@
+"""Point-to-point and collective rate microbenchmarks.
+
+Regenerates the paper's Mira/Edison microbenchmark source data: coarray
+READ / WRITE / EVENT_NOTIFY operations per second between a fixed pair of
+images (rates essentially flat in P), and all-to-all operations per second
+over all P images (rates falling with P, much faster for the hand-rolled
+CAF-GASNet all-to-all than for ``MPI_ALLTOALL``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.caf.image import Image
+from repro.util.errors import CafError
+
+OPS = ("read", "write", "notify", "alltoall")
+
+
+@dataclass
+class MicrobenchResult:
+    nranks: int
+    op: str
+    iterations: int
+    elapsed: float
+    ops_per_second: float
+
+
+def run_microbench(
+    img: Image,
+    *,
+    op: str = "write",
+    iterations: int = 200,
+    nbytes: int = 8,
+    alltoall_elems: int = 1,
+) -> MicrobenchResult:
+    """One image's SPMD body for one microbenchmark ``op``.
+
+    For p2p ops, image 0 drives and image 1 is the passive target (it sits
+    in the progress engine, like the real benchmark's quiescent peer);
+    other images idle at barriers. The reported rate is image 0's.
+    """
+    if op not in OPS:
+        raise CafError(f"op must be one of {OPS}, got {op!r}")
+    count = max(nbytes // 8, 1)
+    co = img.allocate_coarray(count, np.float64)
+    ev = img.allocate_events(1)
+    img.sync_all()
+
+    t0 = img.now
+    elapsed = 0.0
+    if op == "alltoall":
+        send = np.zeros((img.nranks, alltoall_elems))
+        recv = np.zeros_like(send)
+        for _ in range(iterations):
+            img.team_alltoall(send, recv)
+        elapsed = img.now - t0
+    elif img.rank == 0:
+        data = np.ones(count)
+        if op == "read":
+            for _ in range(iterations):
+                co.read(1 % img.nranks)
+        elif op == "write":
+            for _ in range(iterations):
+                co.write(1 % img.nranks, data)
+        else:  # notify
+            for _ in range(iterations):
+                ev.notify(1 % img.nranks)
+        elapsed = img.now - t0
+    elif img.rank == 1:
+        if op == "notify":
+            ev.wait(count=iterations)
+
+    img.sync_all()
+    rate = iterations / elapsed if elapsed > 0 else float("inf")
+    return MicrobenchResult(
+        nranks=img.nranks,
+        op=op,
+        iterations=iterations,
+        elapsed=elapsed,
+        ops_per_second=rate,
+    )

@@ -1,0 +1,149 @@
+"""HPCC RandomAccess (GUPS) on the CAF 2.0 API — §4.1 of the paper.
+
+Distributed table of 2^t entries per image; every image generates random
+64-bit update values and applies ``table[v mod T] ^= v``. Updates are
+routed with the CAF 2.0 **hypercube software routing** algorithm: in
+dimension ``d`` each image splits its in-flight updates by bit ``d`` of
+the owning image and bulk-writes the "other half" into its dimension-``d``
+partner's landing coarray, then posts an event. The primitives this
+stresses — bulk ``coarray_write`` and ``event_notify``/``event_wait`` —
+are exactly those the paper's Figure 4 decomposes.
+
+Double-buffered landing zones (parity of the routing round) with
+consume-acknowledgement events prevent a fast partner from overwriting a
+landing buffer before it is drained.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.caf.image import Image
+from repro.util.errors import CafError
+
+
+@dataclass
+class RandomAccessResult:
+    nranks: int
+    table_bits_per_image: int
+    updates_per_image: int
+    elapsed: float
+    gups: float
+    table_checksum: int
+
+
+def generate_updates(seed: int, rank: int, count: int, total_bits: int) -> np.ndarray:
+    """Deterministic per-image update stream (stands in for the HPCC LCG)."""
+    rng = np.random.default_rng((seed, rank))
+    return rng.integers(0, 1 << total_bits, size=count, dtype=np.uint64)
+
+
+def apply_updates(table: np.ndarray, updates: np.ndarray, mask: int) -> None:
+    """XOR-apply updates whose owning entries live in this (local) table."""
+    np.bitwise_xor.at(table, (updates & np.uint64(mask)).astype(np.int64), updates)
+
+
+def reference_tables(
+    seed: int, nranks: int, table_bits_per_image: int, updates_per_image: int
+) -> list[np.ndarray]:
+    """Serial reference: what every image's table must hold at the end."""
+    local_size = 1 << table_bits_per_image
+    total_bits = table_bits_per_image + int(np.log2(nranks)) + 8
+    tables = [np.zeros(local_size, np.uint64) for _ in range(nranks)]
+    total = local_size * nranks
+    for rank in range(nranks):
+        updates = generate_updates(seed, rank, updates_per_image, total_bits)
+        idx = (updates % np.uint64(total)).astype(np.int64)
+        owner = idx // local_size
+        local = idx % local_size
+        for r in range(nranks):
+            sel = owner == r
+            np.bitwise_xor.at(tables[r], local[sel], updates[sel])
+    return tables
+
+
+def run_randomaccess(
+    img: Image,
+    *,
+    table_bits_per_image: int = 10,
+    updates_per_image: int = 2048,
+    batches: int = 8,
+    seed: int = 42,
+) -> RandomAccessResult:
+    """One image's SPMD body. Returns this image's result record.
+
+    The per-image table ends up in
+    ``img.cluster.shared('ra-tables', dict)[rank]`` for validation.
+    """
+    nranks = img.nranks
+    if nranks & (nranks - 1):
+        raise CafError("RandomAccess hypercube routing needs a power-of-two image count")
+    dims = int(np.log2(nranks)) if nranks > 1 else 0
+    local_size = 1 << table_bits_per_image
+    total = local_size * nranks
+    total_bits = table_bits_per_image + dims + 8
+    table = np.zeros(local_size, np.uint64)
+    img.cluster.shared("ra-tables", dict)[img.rank] = table
+
+    # One landing zone per hypercube dimension: the dimension-d partner is
+    # the same image every batch, so a drained-acknowledgement event from it
+    # is what makes reusing the buffer in the next batch safe. Capacity is
+    # generous: routing at most moves every in-flight update each round.
+    capacity = 4 * max(updates_per_image // batches, 1) + 8
+    land = [img.allocate_coarray(capacity + 1, np.uint64) for _ in range(max(dims, 1))]
+    arrive = img.allocate_events(max(dims, 1))  # slot = dim: data has landed
+    drained = img.allocate_events(max(dims, 1))  # slot = dim: landing zone free
+
+    updates = generate_updates(seed, img.rank, updates_per_image, total_bits)
+    batch_bounds = np.linspace(0, updates_per_image, batches + 1, dtype=int)
+
+    img.sync_all()
+    t0 = img.now
+
+    my_rank = np.uint64(img.rank)
+    for b in range(batches):
+        in_flight = updates[batch_bounds[b] : batch_bounds[b + 1]]
+        for d in range(dims):
+            partner = img.rank ^ (1 << d)
+            owner = (in_flight % np.uint64(total)) >> np.uint64(table_bits_per_image)
+            bit = np.uint64(1 << d)
+            stay = (owner & bit) == (my_rank & bit)
+            outgoing = in_flight[~stay]
+            kept = in_flight[stay]
+            if outgoing.size > capacity:
+                raise CafError(
+                    f"landing capacity {capacity} exceeded ({outgoing.size}); "
+                    "increase batches"
+                )
+            # The partner must have drained what we wrote there last batch.
+            if b >= 1:
+                drained.wait(slot=d)
+            payload = np.empty(outgoing.size + 1, np.uint64)
+            payload[0] = outgoing.size
+            payload[1:] = outgoing
+            land[d].write(partner, payload)
+            arrive.notify(partner, slot=d)
+            arrive.wait(slot=d)
+            n_in = int(land[d].local[0])
+            incoming = land[d].local[1 : 1 + n_in].copy()
+            drained.notify(partner, slot=d)
+            in_flight = np.concatenate([kept, incoming])
+        with img.profile("computation"):
+            apply_updates(table, in_flight, local_size - 1)
+            img.compute(flops=max(in_flight.size, 1))
+
+    # Drain the last two rounds' acknowledgements so nothing is lost.
+    img.sync_all()
+    elapsed = img.now - t0
+    total_updates = updates_per_image * nranks
+    gups = total_updates / elapsed / 1e9 if elapsed > 0 else float("inf")
+    return RandomAccessResult(
+        nranks=nranks,
+        table_bits_per_image=table_bits_per_image,
+        updates_per_image=updates_per_image,
+        elapsed=elapsed,
+        gups=gups,
+        table_checksum=int(np.bitwise_xor.reduce(table)),
+    )

@@ -1,0 +1,36 @@
+"""Coarray Fortran 2.0 runtime as a Python library — the paper's subject.
+
+The CAF 2.0 feature set of §2.1, backend-neutral:
+
+* **images** running SPMD programs (:class:`Image`),
+* first-class **teams** with ``team_world`` and ``team_split``,
+* **coarrays** with one-sided remote read/write (:class:`Coarray`),
+* **events** — first-class counting semaphores allocatable as coarrays,
+  with ``event_notify`` / ``event_wait`` / ``event_trywait``,
+* **asynchronous operations** — ``copy_async`` with predicate / source /
+  destination events, plus the implicit model: ``cofence`` and collective
+  ``finish`` blocks (fast flush+barrier variant and Yang's
+  termination-detection variant for function shipping),
+* **asynchronous/team collectives** and **function shipping** (``spawn``).
+
+Two interchangeable runtime backends implement the communication layer:
+
+* :class:`~repro.caf.backends.mpi_backend.MpiBackend` — **CAF-MPI**, the
+  paper's contribution: MPI-3 windows + passive target sync for coarrays,
+  Active Messages over ``MPI_ISEND``, events via send/recv with a
+  ``WAITALL`` + ``WIN_FLUSH_ALL`` release barrier on notify (§3).
+* :class:`~repro.caf.backends.gasnet_backend.GasnetBackend` —
+  **CAF-GASNet**, the original runtime: segment-based coarrays, RDMA
+  put/get, AM-based events, hand-rolled collectives.
+
+Entry point: :func:`repro.caf.program.run_caf`.
+"""
+
+from repro.caf.coarray import Coarray
+from repro.caf.events import EventArray
+from repro.caf.futures import CafFuture
+from repro.caf.image import Image
+from repro.caf.program import run_caf
+from repro.caf.teams import Team
+
+__all__ = ["CafFuture", "Coarray", "EventArray", "Image", "Team", "run_caf"]

@@ -1,0 +1,283 @@
+"""The runtime-backend interface CAF 2.0's language layer is written against.
+
+Everything communication-related funnels through this ABC; the CAF-MPI and
+CAF-GASNet backends implement it. A backend instance is per-image.
+
+Conventions:
+
+* ``team`` arguments are :class:`repro.caf.teams.Team` objects; the backend
+  stores its per-team handle in ``team.handle``.
+* Coarray storage handles are backend-specific objects stored on the
+  :class:`~repro.caf.coarray.Coarray`.
+* All blocking entry points must drive the common progress engine (poll
+  incoming Active Messages) while waiting, because shipped functions and
+  destination-event writes complete only through AM handlers.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections.abc import Callable
+from typing import TYPE_CHECKING, Any
+
+import numpy as np
+
+from repro.sim.sync import SimEvent
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.caf.teams import Team
+
+
+class AsyncHandle:
+    """Completion events of one asynchronous operation.
+
+    ``local`` fires when the source/local buffer is reusable;
+    ``remote`` fires when the data is visible at the destination.
+    ``kind`` ("put" / "get" / "coll") supports the selective ``cofence``
+    of §3.5, which may wait on only the PUT or only the GET array.
+    """
+
+    def __init__(self, label: str, kind: str = "put"):
+        self.kind = kind
+        self.local = SimEvent(f"{label}.local")
+        self.remote = SimEvent(f"{label}.remote")
+
+
+class EventStorage:
+    """Per-image event-coarray state, shared by both backends.
+
+    ``event_id`` is agreed collectively (same allocation order on every
+    image), so a notifier can name the target's storage in an AM. Posting
+    kicks the owning backend's progress engine, so an ``event_wait`` wakes
+    even when the post arrives through a non-AM path (e.g. an RGET
+    completion firing a local event).
+    """
+
+    def __init__(self, backend: "RuntimeBackend", event_id: int, team: "Team", nslots: int):
+        self.backend = backend
+        self.event_id = event_id
+        self.team = team
+        self.nslots = nslots
+        self.counters = [0] * nslots
+        self.listener: Callable[[int], None] | None = None
+
+    def post(self, slot: int) -> None:
+        self.counters[slot] += 1
+        self.post_hooks_only(slot)
+
+    def post_hooks_only(self, slot: int) -> None:
+        """Run subscriber callbacks and wake the progress engine (for
+        storages whose counters live elsewhere, e.g. in an RMA window)."""
+        if self.listener is not None:
+            self.listener(slot)
+        self.backend.kick()
+
+
+class RuntimeBackend(abc.ABC):
+    """Per-image communication backend."""
+
+    name: str = "abstract"
+
+    # -- teams -----------------------------------------------------------
+
+    @abc.abstractmethod
+    def make_world_team_handle(self, team: "Team") -> Any:
+        """Build the backend handle for TEAM_WORLD."""
+
+    @abc.abstractmethod
+    def split_team_handle(self, parent: "Team", color: int, key: int, entry) -> Any:
+        """Collective over ``parent``: backend handle for the split team.
+
+        ``entry`` is ``(team_id, members, my_index)`` from the language
+        layer's agreement protocol, or None when this image passed
+        ``color < 0``. Every parent member calls this (backends may run
+        their own collective underneath).
+        """
+
+    # -- coarrays -----------------------------------------------------------
+
+    @abc.abstractmethod
+    def allocate_coarray(self, team: "Team", nelems: int, dtype: np.dtype) -> Any:
+        """Collective over ``team``: symmetric allocation; returns storage handle."""
+
+    @abc.abstractmethod
+    def local_view(self, storage: Any) -> np.ndarray:
+        """This image's segment of the coarray."""
+
+    @abc.abstractmethod
+    def coarray_write(self, storage: Any, target: int, offset: int, data: np.ndarray) -> None:
+        """Blocking remote write; remotely complete on return (§3.1)."""
+
+    @abc.abstractmethod
+    def coarray_read(self, storage: Any, target: int, offset: int, out: np.ndarray) -> None:
+        """Blocking remote read."""
+
+    @abc.abstractmethod
+    def coarray_write_async(
+        self,
+        storage: Any,
+        target: int,
+        offset: int,
+        data: np.ndarray,
+        *,
+        want_local: bool,
+        dest_event: tuple[Any, int] | None,
+    ) -> AsyncHandle:
+        """Start an asynchronous write (the §3.3 four-case mapping).
+
+        ``dest_event`` is ``(event_storage, slot)``: when given, the backend
+        must post that event *at the target image* once the data is visible
+        there (case 4: the Active-Message path under CAF-MPI, a long AM
+        under CAF-GASNet).
+        """
+
+    @abc.abstractmethod
+    def coarray_read_async(
+        self, storage: Any, target: int, offset: int, out: np.ndarray
+    ) -> AsyncHandle:
+        """Start an asynchronous read (always request-based: §3.3 case 2)."""
+
+    @abc.abstractmethod
+    def coarray_write_runs(
+        self, storage: Any, target: int, runs: list[tuple[int, int]], data: np.ndarray
+    ) -> None:
+        """Blocking strided write: scatter ``data`` over the (element
+        offset, length) runs of the target's coarray — Fortran array
+        sections like ``A(1:n:2)[p] = ...`` (derived datatypes under MPI,
+        VIS strided puts under GASNet)."""
+
+    @abc.abstractmethod
+    def coarray_read_runs(
+        self, storage: Any, target: int, runs: list[tuple[int, int]], out: np.ndarray
+    ) -> None:
+        """Blocking strided read of the target's runs into ``out``."""
+
+    # -- events ----------------------------------------------------------------
+
+    @abc.abstractmethod
+    def allocate_events(self, team: "Team", nslots: int) -> Any:
+        """Collective: allocate an event coarray; returns storage handle."""
+
+    @abc.abstractmethod
+    def event_notify(self, storage: Any, target: int, slot: int) -> None:
+        """Post an event at ``target`` after completing all prior ops (§3.4)."""
+
+    def event_post_local(self, storage: EventStorage, slot: int) -> None:
+        """Post one of this image's own slots (local-completion events)."""
+        storage.post(slot)
+
+    def event_count(self, storage: EventStorage, slot: int) -> int:
+        """Current un-consumed notification count of a local event slot."""
+        return storage.counters[slot]
+
+    def event_consume(self, storage: EventStorage, slot: int, n: int) -> None:
+        """Consume ``n`` notifications (caller guarantees availability)."""
+        storage.counters[slot] -= n
+
+    def event_wait(self, storage: EventStorage, slot: int, count: int) -> None:
+        """Block until ``count`` notifications are pending, then consume them.
+
+        The default drives the progress engine (the paper's chosen
+        send/recv event design); backends may substitute e.g. a busy-wait
+        on one-sided atomics (§3.4's other candidate).
+        """
+        self.progress_wait(
+            lambda: self.event_count(storage, slot) >= count,
+            f"event_wait(slot={slot}, count={count})",
+        )
+        self.event_consume(storage, slot, count)
+
+    @abc.abstractmethod
+    def poll(self) -> None:
+        """Drain and run any pending incoming Active Messages (nonblocking)."""
+
+    @abc.abstractmethod
+    def kick(self) -> None:
+        """Wake this image's progress engine so it re-evaluates predicates."""
+
+    # -- deferred work (runtime continuations) --------------------------------
+
+    def defer(self, fn: Callable[[], None]) -> None:
+        """Queue work to run on this image's own execution context at its
+        next progress poll (completion callbacks fire in scheduler context
+        and may not issue communication themselves)."""
+        if not hasattr(self, "_continuations"):
+            self._continuations = []
+        self._continuations.append(fn)
+        self.kick()
+
+    def run_continuations(self) -> None:
+        """Execute deferred work; called at the top of every poll."""
+        pending = getattr(self, "_continuations", None)
+        while pending:
+            fn = pending.pop(0)
+            fn()
+
+    # -- implicit synchronization ----------------------------------------------------
+
+    @abc.abstractmethod
+    def cofence(self, *, puts: bool = True, gets: bool = True) -> None:
+        """Local completion of implicitly-synchronized async ops (§3.5).
+
+        The paper's runtime keeps one array of request handles for implicit
+        PUTs and another for implicit GETs; the optional arguments select
+        which array (or both) to MPI_WAITALL.
+        """
+
+    @abc.abstractmethod
+    def quiet(self) -> None:
+        """Remote completion of everything this image issued (finish helper)."""
+
+    # -- collectives -------------------------------------------------------------------
+
+    @abc.abstractmethod
+    def barrier(self, team: "Team") -> None: ...
+
+    @abc.abstractmethod
+    def broadcast(self, team: "Team", buf: np.ndarray, root: int) -> None: ...
+
+    @abc.abstractmethod
+    def reduce(self, team: "Team", send: np.ndarray, recv, op, root: int) -> None: ...
+
+    @abc.abstractmethod
+    def allreduce(self, team: "Team", send: np.ndarray, recv: np.ndarray, op) -> None: ...
+
+    @abc.abstractmethod
+    def alltoall(self, team: "Team", send: np.ndarray, recv: np.ndarray) -> None: ...
+
+    @abc.abstractmethod
+    def allgather(self, team: "Team", send: np.ndarray, recv: np.ndarray) -> None: ...
+
+    @abc.abstractmethod
+    def collective_async(self, team: "Team", kind: str, args: tuple) -> SimEvent:
+        """Start an asynchronous collective (§2.1); the event fires when the
+        operation completes on this image.
+
+        ``kind`` is one of broadcast/reduce/allreduce/alltoall/allgather;
+        ``args`` are that collective's buffer/op arguments. Under CAF-MPI
+        these map to MPI-3 nonblocking collectives; under CAF-GASNet a
+        progress agent drives a hand-rolled "async twin" of the team.
+        """
+
+    # -- function shipping ------------------------------------------------------------------
+
+    @abc.abstractmethod
+    def ship_function(self, team: "Team", target: int, thunk: Callable[[], None]) -> None:
+        """Run ``thunk`` on image ``target`` (under its progress engine)."""
+
+    # -- progress ---------------------------------------------------------------------------
+
+    @abc.abstractmethod
+    def progress_wait(
+        self, pred: Callable[[], bool], reason: str, extras: tuple[SimEvent, ...] = ()
+    ) -> None:
+        """Block until ``pred()``; runs AM handlers while waiting; also wakes
+        on any of ``extras`` firing."""
+
+    @abc.abstractmethod
+    def shipped_minus_completed(self) -> int:
+        """Local term of Yang's termination-detection sum (finish, §3.5)."""
+
+    def completed_count(self) -> int:
+        """How many shipped functions this image has executed so far."""
+        return self._completed  # both backends maintain this counter

@@ -1,0 +1,6 @@
+"""Runtime backends: CAF-MPI (the paper's contribution) and CAF-GASNet."""
+
+from repro.caf.backends.gasnet_backend import GasnetBackend
+from repro.caf.backends.mpi_backend import MpiBackend
+
+__all__ = ["GasnetBackend", "MpiBackend"]

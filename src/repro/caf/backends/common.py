@@ -1,0 +1,62 @@
+"""Agreement helpers shared by both backends.
+
+Collective allocations (event arrays, GASNet team ids, coarray offset
+tables) need all team members to agree on an identifier or a table. The
+pattern is the standard board-plus-barrier protocol: every member deposits
+its contribution keyed by a per-image collective sequence number, a
+barrier makes all deposits visible, the first image out of the barrier
+computes the result, and a second barrier publishes it.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.caf.backend import RuntimeBackend
+    from repro.caf.teams import Team
+    from repro.sim.cluster import Cluster
+
+
+def collective_agree(
+    backend: "RuntimeBackend",
+    cluster: "Cluster",
+    team: "Team",
+    board_space: str,
+    seq_space: dict[int, int],
+    contribution: Any,
+    combine: Callable[[dict[int, Any]], Any],
+) -> Any:
+    """Run one board-plus-barrier agreement round over ``team``.
+
+    ``seq_space`` maps team_id -> this image's next sequence number for
+    ``board_space`` (each image keeps its own copy, advanced identically
+    because the call is collective). ``combine`` maps the full
+    {my_index: contribution} dict to the agreed value.
+    """
+    seq = seq_space.get(team.team_id, 0)
+    seq_space[team.team_id] = seq + 1
+    boards = cluster.shared(board_space, dict)
+    board = boards.setdefault((team.team_id, seq), {"args": {}, "result": _UNSET})
+    board["args"][team.my_index] = contribution
+    backend.barrier(team)
+    if board["result"] is _UNSET:
+        board["result"] = combine(board["args"])
+    backend.barrier(team)
+    return board["result"]
+
+
+class _Unset:
+    __slots__ = ()
+
+
+_UNSET = _Unset()
+
+
+def next_global_id(cluster: "Cluster", space: str) -> int:
+    """Draw from a cluster-wide monotone counter (call under agreement)."""
+    box = cluster.shared(space, lambda: [0])
+    value = box[0]
+    box[0] += 1
+    return value

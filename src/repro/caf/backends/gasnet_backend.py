@@ -1,0 +1,501 @@
+"""CAF-GASNet: the original CAF 2.0 runtime design over GASNet.
+
+* **Coarrays** live at segment offsets; remote references are
+  ``(image, address)`` tuples (the paper's §3.1 description of the
+  original runtime). Blocking read/write are RDMA get/put — lower per-op
+  software overhead than MPICH RMA, which is why CAF-GASNet wins the
+  fine-grained RandomAccess benchmark at low scale (Figure 3).
+* **Events**: ``event_notify`` waits on the image's outstanding put
+  handles (GASNet tracks remote completion per handle, so there is no
+  FLUSH_ALL analogue) and then fires a single short AM — near-zero cost,
+  matching the Figure 4 decomposition where CAF-GASNet's notify time is
+  negligible and the waiting shows up in ``event_wait`` instead.
+* **Collectives**: GASNet has none, so the runtime hand-rolls them from
+  puts and AMs (:mod:`repro.gasnet.collectives`) — the FFT-losing
+  all-to-all of Figures 6-8.
+* ``am_writes=True`` switches coarray writes to the Active-Message path
+  (data + ack via AMs), which *requires target-side progress*: the
+  configuration that makes the paper's Figure 2 program deadlock.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Callable
+from typing import TYPE_CHECKING, Any
+
+import numpy as np
+
+from repro.caf.backend import AsyncHandle, EventStorage, RuntimeBackend
+from repro.caf.backends.common import collective_agree, next_global_id
+from repro.gasnet.collectives import TEAM_SIGNAL_HANDLER_BASE, TeamExchange
+from repro.gasnet.core import GasnetWorld, Handle, Token
+from repro.gasnet.segment import SegmentAllocator
+from repro.sim.agent import WorkerAgent
+from repro.mpi.world import MpiWorld
+from repro.sim.sync import SimEvent
+from repro.util.errors import CafError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.caf.teams import Team
+    from repro.sim.cluster import RankCtx
+
+#: AM handler indices used by the runtime (team signal handlers live at
+#: TEAM_SIGNAL_HANDLER_BASE and above).
+H_EVENT_POST = 1
+H_THUNK = 2
+
+_am_seq = itertools.count()
+
+DEFAULT_SEGMENT_BYTES = 64 * 1024 * 1024
+
+
+class _CoarrayStorage:
+    """(image, address) remote references: per-member segment offsets."""
+
+    def __init__(self, team: "Team", offsets: tuple[int, ...], nelems: int, dtype: np.dtype):
+        self.team = team
+        self.offsets = offsets  # team index -> byte offset in that image's segment
+        self.nelems = nelems
+        self.dtype = np.dtype(dtype)
+
+    def byte_range(self, index: int, offset_elems: int, count: int) -> tuple[int, int]:
+        start = self.offsets[index] + offset_elems * self.dtype.itemsize
+        return start, count * self.dtype.itemsize
+
+
+class GasnetBackend(RuntimeBackend):
+    name = "caf-gasnet"
+
+    def __init__(self, ctx: "RankCtx", options: dict[str, Any] | None = None):
+        self.ctx = ctx
+        self.options = dict(options or {})
+        segment_bytes = int(self.options.get("segment_bytes", DEFAULT_SEGMENT_BYTES))
+        #: Figure 2 mode: writes go via AMs and need target progress.
+        self.am_writes = bool(self.options.get("am_writes", False))
+        self.gasnet = GasnetWorld.get(ctx.cluster).attach(ctx, segment_bytes)
+        self.allocator = SegmentAllocator(segment_bytes)
+        self._event_registry: dict[int, EventStorage] = {}
+        self._agree_seq: dict[int, int] = {}
+        #: Outstanding nonblocking handles (the release barrier), split by
+        #: direction for §3.5's selective cofence.
+        self._outstanding_puts: list[Handle] = []
+        self._outstanding_gets: list[Handle] = []
+        self._shipped = 0
+        self._completed = 0
+        self._ack_counter = 0
+        self._mpi = None
+        self._am_board: dict[tuple[int, int], Callable[[], None]] = ctx.cluster.shared(
+            "caf-gasnet-am-board", dict
+        )
+        self._backends: dict[int, "GasnetBackend"] = ctx.cluster.shared(
+            "caf-gasnet-backends", dict
+        )
+        self._backends[ctx.rank] = self
+        self.gasnet.register_handler(H_EVENT_POST, self._on_event_post)
+        self.gasnet.register_handler(H_THUNK, self._on_thunk)
+        # Runtime continuations execute on the image's own context at any
+        # GASNet poll (never on a clone's agent context).
+        self.gasnet.poll_hooks.append(self._pump_continuations)
+
+    def _pump_continuations(self) -> None:
+        if self.ctx.engine._current is self.ctx.proc:
+            self.run_continuations()
+
+    # -- facade for hybrid applications ------------------------------------
+
+    def mpi_facade(self):
+        """Hybrid MPI+CAF: initializes a *second*, independent runtime —
+        the duplicated-resources situation of Figure 1."""
+        if self._mpi is None:
+            self._mpi = MpiWorld.get(self.ctx.cluster).init(self.ctx)
+        return self._mpi
+
+    # -- AM handlers ------------------------------------------------------------
+
+    def _on_event_post(self, token: Token, event_id: int, slot: int) -> None:
+        storage = self._event_registry.get(event_id)
+        if storage is None:
+            raise CafError(f"event {event_id} posted before allocation on target")
+        storage.post(slot)
+
+    def _on_thunk(self, token: Token, *rest) -> None:
+        # Short form: (seq,). Medium form: (payload, seq) — the payload is
+        # padding that models the wire size; the real arguments travel on
+        # the out-of-band board.
+        seq = rest[-1]
+        thunk = self._am_board.pop((token.src, seq))
+        thunk()
+
+    def _send_thunk(self, target_world: int, wire_bytes: int, thunk: Callable[[], None]) -> None:
+        seq = next(_am_seq)
+        self._am_board[(self.ctx.rank, seq)] = thunk
+        if wire_bytes > 64:
+            pad = np.zeros(wire_bytes - 32, np.uint8)
+            self.gasnet.am_request_medium(target_world, H_THUNK, pad, seq)
+        else:
+            self.gasnet.am_request_short(target_world, H_THUNK, seq)
+
+    # -- teams ----------------------------------------------------------------------
+
+    def make_world_team_handle(self, team: "Team") -> TeamExchange:
+        # Constructed first thing on every image, before any allocation can
+        # skew segment tops, so the symmetric-base default is valid.
+        return TeamExchange(
+            self.gasnet, team.team_id, team.members, team.my_index, self.allocator
+        )
+
+    def split_team_handle(self, parent: "Team", color: int, key: int, entry):
+        # Sibling teams of different sizes skew segment tops, so members
+        # exchange their arena/flag base offsets over the parent team.
+        exchange = None
+        contribution = None
+        if entry is not None:
+            team_id, members, my_index = entry
+            exchange = TeamExchange(
+                self.gasnet, team_id, members, my_index, self.allocator
+            )
+            contribution = (exchange.arena_base, exchange.flags_base)
+        table = collective_agree(
+            self,
+            self.ctx.cluster,
+            parent,
+            "caf-gasnet-team-bases",
+            self._agree_seq,
+            contribution,
+            lambda args: dict(args),
+        )
+        if exchange is None:
+            return None
+        by_world = {
+            parent.members[idx]: bases
+            for idx, bases in table.items()
+            if bases is not None
+        }
+        exchange.peer_arena_bases = tuple(by_world[w][0] for w in members)
+        exchange.peer_flag_bases = tuple(by_world[w][1] for w in members)
+        exchange.peer_drain_bases = tuple(
+            b + (exchange.drain_base - exchange.flags_base)
+            for b in exchange.peer_flag_bases
+        )
+        return exchange
+
+    # -- coarrays ----------------------------------------------------------------------
+
+    def allocate_coarray(self, team: "Team", nelems: int, dtype: np.dtype):
+        dtype = np.dtype(dtype)
+        my_offset = self.allocator.alloc(nelems * dtype.itemsize)
+        offsets = collective_agree(
+            self,
+            self.ctx.cluster,
+            team,
+            "caf-gasnet-coarray-offsets",
+            self._agree_seq,
+            my_offset,
+            lambda args: tuple(args[i] for i in range(len(args))),
+        )
+        return _CoarrayStorage(team, offsets, nelems, dtype)
+
+    def local_view(self, storage: _CoarrayStorage) -> np.ndarray:
+        start, nbytes = storage.byte_range(storage.team.my_index, 0, storage.nelems)
+        return self.gasnet.segment[start : start + nbytes].view(storage.dtype)
+
+    def coarray_write(self, storage: _CoarrayStorage, target: int, offset: int, data: np.ndarray) -> None:
+        target_world = storage.team.world_rank(target)
+        start, _ = storage.byte_range(target, offset, data.size)
+        if self.am_writes:
+            self._am_write(storage, target, target_world, start, data)
+        else:
+            self.gasnet.put(target_world, start, data)
+
+    def _am_write(
+        self,
+        storage: _CoarrayStorage,
+        target: int,
+        target_world: int,
+        start: int,
+        data: np.ndarray,
+    ) -> None:
+        """Figure 2 mode: write needs the target to run an AM handler."""
+        acks = [0]
+        me = self.ctx.rank
+        me_backend = self
+
+        def on_target() -> None:
+            seg = self.gasnet.segment_of(target_world)
+            raw = np.ascontiguousarray(data).reshape(-1).view(np.uint8)
+            seg[start : start + raw.nbytes] = raw
+
+            def ack() -> None:
+                acks[0] += 1
+                me_backend.gasnet.activity.add()
+
+            target_backend = self.ctx.cluster.shared("caf-gasnet-backends", dict)[
+                target_world
+            ]
+            target_backend._send_thunk(me, 32, ack)
+
+        self._send_thunk(target_world, 32 + data.nbytes, on_target)
+        self.gasnet.block_until(lambda: acks[0] > 0, "am_write ack")
+
+    def coarray_read(self, storage: _CoarrayStorage, target: int, offset: int, out: np.ndarray) -> None:
+        target_world = storage.team.world_rank(target)
+        start, _ = storage.byte_range(target, offset, out.size)
+        self.gasnet.get(out, target_world, start)
+
+    def _byte_runs(
+        self, storage: _CoarrayStorage, target: int, runs: list[tuple[int, int]]
+    ) -> list[tuple[int, int]]:
+        item = storage.dtype.itemsize
+        base = storage.offsets[target]
+        return [(base + off * item, length * item) for off, length in runs]
+
+    def coarray_write_runs(
+        self, storage: _CoarrayStorage, target: int, runs: list[tuple[int, int]], data: np.ndarray
+    ) -> None:
+        target_world = storage.team.world_rank(target)
+        handle = self.gasnet.put_runs_nb(
+            target_world, self._byte_runs(storage, target, runs), data
+        )
+        self.gasnet.wait_syncnb(handle)
+
+    def coarray_read_runs(
+        self, storage: _CoarrayStorage, target: int, runs: list[tuple[int, int]], out: np.ndarray
+    ) -> None:
+        target_world = storage.team.world_rank(target)
+        handle = self.gasnet.get_runs_nb(
+            out, target_world, self._byte_runs(storage, target, runs)
+        )
+        self.gasnet.wait_syncnb(handle)
+
+    def coarray_write_async(
+        self,
+        storage: _CoarrayStorage,
+        target: int,
+        offset: int,
+        data: np.ndarray,
+        *,
+        want_local: bool,
+        dest_event: tuple[Any, int] | None,
+    ) -> AsyncHandle:
+        handle = AsyncHandle("caf-gasnet.write_async")
+        target_world = storage.team.world_rank(target)
+        start, _ = storage.byte_range(target, offset, data.size)
+        if dest_event is not None:
+            # Long-AM style: data lands in the target coarray, then the
+            # handler posts the destination event there.
+            ev_storage, slot = dest_event
+            event_id = ev_storage.event_id
+
+            def on_target() -> None:
+                seg = self.gasnet.segment_of(target_world)
+                raw = np.ascontiguousarray(data).reshape(-1).view(np.uint8)
+                seg[start : start + raw.nbytes] = raw
+                backends = self.ctx.cluster.shared("caf-gasnet-backends", dict)
+                backends[target_world]._event_registry[event_id].post(slot)
+                handle.remote.fire()
+
+            self._send_thunk(target_world, 32 + data.nbytes, on_target)
+            handle.local.fire()
+        else:
+            h = self.gasnet.put_nb(target_world, start, data)
+            self._outstanding_puts.append(h)
+            h.event.subscribe(handle.local.fire)
+            h.event.subscribe(handle.remote.fire)
+        return handle
+
+    def coarray_read_async(
+        self, storage: _CoarrayStorage, target: int, offset: int, out: np.ndarray
+    ) -> AsyncHandle:
+        handle = AsyncHandle("caf-gasnet.read_async", kind="get")
+        target_world = storage.team.world_rank(target)
+        start, _ = storage.byte_range(target, offset, out.size)
+        h = self.gasnet.get_nb(out, target_world, start)
+        self._outstanding_gets.append(h)
+        h.event.subscribe(handle.local.fire)
+        h.event.subscribe(handle.remote.fire)
+        return handle
+
+    # -- events --------------------------------------------------------------------------
+
+    def allocate_events(self, team: "Team", nslots: int) -> EventStorage:
+        event_id = collective_agree(
+            self,
+            self.ctx.cluster,
+            team,
+            "caf-event-ids",
+            self._agree_seq,
+            None,
+            lambda args: next_global_id(self.ctx.cluster, "caf-event-id-counter"),
+        )
+        storage = EventStorage(self, event_id, team, nslots)
+        self._event_registry[event_id] = storage
+        return storage
+
+    def kick(self) -> None:
+        self.gasnet.activity.add()
+
+    def event_notify(self, storage: EventStorage, target: int, slot: int) -> None:
+        # GASNet handles already represent remote completion, so the release
+        # barrier is a (usually instant) handle sync — no FLUSH_ALL analogue.
+        outstanding = self._outstanding_puts + self._outstanding_gets
+        self._outstanding_puts = []
+        self._outstanding_gets = []
+        self.gasnet.wait_syncnb_all(outstanding)
+        target_world = storage.team.world_rank(target)
+        self.gasnet.am_request_short(
+            target_world, H_EVENT_POST, storage.event_id, slot
+        )
+
+    # -- implicit synchronization -------------------------------------------------------------
+
+    def cofence(self, *, puts: bool = True, gets: bool = True) -> None:
+        handles: list[Handle] = []
+        if puts:
+            handles += self._outstanding_puts
+            self._outstanding_puts = []
+        if gets:
+            handles += self._outstanding_gets
+            self._outstanding_gets = []
+        self.gasnet.wait_syncnb_all(handles)
+
+    def quiet(self) -> None:
+        self.cofence()
+
+    # -- collectives -----------------------------------------------------------------------------
+
+    def barrier(self, team: "Team") -> None:
+        team.handle.barrier()
+
+    def broadcast(self, team: "Team", buf: np.ndarray, root: int) -> None:
+        team.handle.broadcast(buf, root_index=root)
+
+    def reduce(self, team: "Team", send: np.ndarray, recv, op, root: int) -> None:
+        team.handle.reduce(send, recv, op, root_index=root)
+
+    def allreduce(self, team: "Team", send: np.ndarray, recv: np.ndarray, op) -> None:
+        team.handle.allreduce(send, recv, op)
+
+    def alltoall(self, team: "Team", send: np.ndarray, recv: np.ndarray) -> None:
+        team.handle.alltoall(send, recv)
+
+    def allgather(self, team: "Team", send: np.ndarray, recv: np.ndarray) -> None:
+        team.handle.allgather(send, recv)
+
+    def _async_twin(self, team: "Team"):
+        """Per-team machinery for asynchronous collectives: a progress
+        agent plus an "async twin" TeamExchange (own AM handler index,
+        arena and flags), so agent-driven collectives never race the
+        application's blocking ones.
+        """
+        if not hasattr(self, "_twins"):
+            self._twins: dict[int, tuple[WorkerAgent, TeamExchange]] = {}
+        if team.team_id not in self._twins:
+            # Collectively agree on the twin's id and exchange segment bases.
+            def combine(args):
+                # Twin ids draw from the team-id space (0 = TEAM_WORLD, so
+                # it starts at 1) so their AM handler indices can never
+                # collide with real teams'.
+                ids = self.ctx.cluster.shared("caf-team-ids", lambda: [1])
+                twin_id = ids[0]
+                ids[0] += 1
+                return (twin_id, dict(args))
+
+            # Allocate before agreeing so bases can be exchanged in one round.
+            agent = WorkerAgent(self.ctx, name=f"caf-async{self.ctx.rank}.t{team.team_id}")
+            gasnet_view = self.gasnet.clone_for(agent.ctx)
+            provisional = TeamExchange(
+                gasnet_view,
+                # Temporary unique id; re-registered below once agreed. Use
+                # a per-image placeholder far above the shared space.
+                team_id=None,  # type: ignore[arg-type]
+                members=team.members,
+                my_index=team.my_index,
+                allocator=self.allocator,
+                defer_handler=True,
+            )
+            twin_id, bases = collective_agree(
+                self,
+                self.ctx.cluster,
+                team,
+                "caf-gasnet-twin-bases",
+                self._agree_seq,
+                (provisional.arena_base, provisional.flags_base),
+                combine,
+            )
+            provisional.team_id = twin_id
+            provisional.register_handler()
+            # The agent may only ever run this twin's signal handler.
+            gasnet_view.default_handler_filter = {
+                TEAM_SIGNAL_HANDLER_BASE + twin_id
+            }
+            provisional.peer_arena_bases = tuple(
+                bases[i][0] for i in range(team.size)
+            )
+            provisional.peer_flag_bases = tuple(bases[i][1] for i in range(team.size))
+            provisional.peer_drain_bases = tuple(
+                b + (provisional.drain_base - provisional.flags_base)
+                for b in provisional.peer_flag_bases
+            )
+            self._twins[team.team_id] = (agent, provisional)
+        return self._twins[team.team_id]
+
+    def collective_async(self, team: "Team", kind: str, args: tuple):
+        agent, twin = self._async_twin(team)
+        method = {
+            "broadcast": lambda a: twin.broadcast(a[0], root_index=a[1]),
+            "reduce": lambda a: twin.reduce(a[0], a[1], a[2], root_index=a[3]),
+            "allreduce": lambda a: twin.allreduce(a[0], a[1], a[2]),
+            "alltoall": lambda a: twin.alltoall(a[0], a[1]),
+            "allgather": lambda a: twin.allgather(a[0], a[1]),
+        }.get(kind)
+        if method is None:
+            raise CafError(f"unknown async collective {kind!r}")
+        return agent.submit(lambda agent_ctx: method(args))
+
+    # -- function shipping ----------------------------------------------------------------------------
+
+    def ship_function(self, team: "Team", target: int, payload) -> None:
+        fn, args = payload
+        target_world = team.world_rank(target)
+        self._shipped += 1
+
+        def run_on_target() -> None:
+            backends = self.ctx.cluster.shared("caf-gasnet-backends", dict)
+            tbe = backends[target_world]
+            images = self.ctx.cluster.shared("caf-images", dict)
+            img = images.get(target_world)
+            if img is None:
+                raise CafError("target image not initialized for function shipping")
+            try:
+                fn(img, *args)
+            finally:
+                tbe._completed += 1
+
+        self._send_thunk(target_world, 240, run_on_target)
+
+    def shipped_minus_completed(self) -> int:
+        return self._shipped - self._completed
+
+    # -- progress -----------------------------------------------------------------------------------------
+
+    def poll(self) -> None:
+        self.run_continuations()
+        self.gasnet.poll()
+
+    def progress_wait(
+        self,
+        pred: Callable[[], bool],
+        reason: str,
+        extras: tuple[SimEvent, ...] = (),
+    ) -> None:
+        for ev in extras:
+            ev.subscribe(lambda: self.gasnet.activity.add())
+
+        def pred_with_continuations() -> bool:
+            # Runtime continuations (e.g. copy_async forwarding legs) run
+            # on this image's context as part of its progress engine.
+            self.run_continuations()
+            return pred()
+
+        self.gasnet.block_until(pred_with_continuations, reason)

@@ -1,0 +1,481 @@
+"""CAF-MPI: the paper's runtime design (§3), implemented point for point.
+
+Mapping summary:
+
+* **Coarrays** (§3.1): ``MPI_WIN_ALLOCATE`` per coarray over the team's
+  communicator; ``MPI_WIN_LOCK_ALL`` at allocation (passive target);
+  remote references are ``(window, rank, displacement)``; blocking
+  read/write are ``MPI_GET``/``MPI_PUT`` + ``MPI_WIN_FLUSH``.
+* **Active Messages** (§3.2): built on ``MPI_ISEND``; a near-replica of
+  the GASNet core AM API. The MPI library cannot run the handlers — only
+  the CAF progress engine does, by probing/receiving AM-tagged messages
+  inside blocking CAF calls. An application blocked in a *pure MPI* call
+  makes no AM progress (the §5 discussion and the Figure 2 hazard).
+* **Asynchronous operations** (§3.3), the four-case mapping:
+  no events → ``MPI_PUT``; local-completion events → ``MPI_RPUT``
+  request; GET-style → ``MPI_RGET`` (request is local+remote); remote
+  destination events → the AM path (data travels by send/recv and the
+  target posts the event after copying).
+* **Events** (§3.4): send/recv design (the paper's chosen approach 2).
+  ``event_notify`` = ``MPI_WAITALL`` on the release barrier's request
+  handles + ``MPI_WIN_FLUSH_ALL`` on every touched window (the
+  linear-in-P cost of Figure 4) + a short AM via ``MPI_ISEND``.
+  ``event_wait`` = blocking poll using MPI receive internally.
+* **cofence / finish** (§3.5): ``MPI_WAITALL`` on stored request handles;
+  fast finish = ``FLUSH_ALL`` per touched window + ``MPI_BARRIER``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Callable
+from typing import TYPE_CHECKING, Any
+
+import numpy as np
+
+from repro.caf.backend import AsyncHandle, EventStorage, RuntimeBackend
+from repro.caf.backends.common import collective_agree, next_global_id
+from repro.mpi.constants import ANY_SOURCE, SUM
+from repro.mpi.request import Request
+from repro.mpi.world import MpiWorld
+from repro.sim.sync import SimEvent
+from repro.util.errors import CafError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.caf.teams import Team
+    from repro.sim.cluster import RankCtx
+
+#: Tag used for all CAF Active Messages on the dedicated AM communicator.
+AM_TAG = 77
+
+_am_seq = itertools.count()
+
+_AM_HEADER_BYTES = 16  # modeled (kind, seq) header on the wire
+
+
+class _CoarrayStorage:
+    """(window, rank, displacement) remote references — §3.1."""
+
+    def __init__(self, win, team: "Team"):
+        self.win = win
+        self.team = team
+
+
+class _AtomicEventStorage(EventStorage):
+    """Event coarray backed by an RMA window of counters (§3.4 approach 1).
+
+    Notification is an ``MPI_ACCUMULATE``; waiting busy-polls the local
+    window counter (the unified memory model makes plain loads legal). The
+    paper chose the send/recv design instead; this one exists for the
+    ablation comparing the two.
+    """
+
+    def __init__(self, backend, event_id, team, nslots, win):
+        super().__init__(backend, event_id, team, nslots)
+        self.win = win
+        self.consumed = [0] * nslots
+
+
+class MpiBackend(RuntimeBackend):
+    name = "caf-mpi"
+
+    def __init__(self, ctx: "RankCtx", options: dict[str, Any] | None = None):
+        self.ctx = ctx
+        self.options = dict(options or {})
+        #: §3.4 event mechanism: "sendrecv" (the paper's choice) or
+        #: "atomics" (FETCH_AND_OP notify + busy-wait; the ablation).
+        self.event_impl = self.options.get("event_impl", "sendrecv")
+        if self.event_impl not in ("sendrecv", "atomics"):
+            raise CafError(f"event_impl must be sendrecv|atomics, got {self.event_impl!r}")
+        #: §5 future work, implemented: complete remote ops with the
+        #: request-based MPI_WIN_RFLUSH_ALL extension (constant software
+        #: cost, overlappable) instead of the blocking linear FLUSH_ALL.
+        self.use_rflush = bool(self.options.get("use_rflush", False))
+        world = MpiWorld.get(ctx.cluster)
+        self.mpi = world.init(ctx)
+        # The runtime's own contexts, isolated from any MPI the hybrid
+        # application does on COMM_WORLD.
+        self._team_world_comm = self.mpi.COMM_WORLD.dup()
+        self.am_comm = self.mpi.COMM_WORLD.dup()
+        self._am_matching = self.am_comm.state.user
+        # Release barrier (§3.4): request handles of every async op
+        # initiated locally since the last notify/quiet.
+        self._release_requests: list[Request] = []
+        # §3.5: the runtime "internally maintains an array of request
+        # handles of implicitly synchronized PUT operations and another
+        # array ... of GET operations"; cofence WAITALLs them selectively.
+        self._implicit_puts: list[Request] = []
+        self._implicit_gets: list[Request] = []
+        #: Every coarray window this image allocated. event_notify/quiet
+        #: FLUSH_ALL each of them — MPICH walks all ranks per window even
+        #: when the epoch is idle (cheaply) and linearly when dirty (§4.1).
+        self._windows: list = []
+        self._event_registry: dict[int, EventStorage] = {}
+        self._agree_seq: dict[int, int] = {}
+        self._shipped = 0
+        self._completed = 0
+        # Out-of-band python payloads for AMs (the wire carries sizes only).
+        self._am_board: dict[tuple[int, int], Callable[[], None]] = ctx.cluster.shared(
+            "caf-mpi-am-board", dict
+        )
+        self._backends: dict[int, "MpiBackend"] = ctx.cluster.shared(
+            "caf-mpi-backends", dict
+        )
+        self._backends[ctx.rank] = self
+
+    # -- facade for hybrid applications -----------------------------------
+
+    def mpi_facade(self):
+        """The application-visible MPI handle (hybrid MPI+CAF programs)."""
+        return self.mpi
+
+    # -- teams ----------------------------------------------------------------
+
+    def make_world_team_handle(self, team: "Team"):
+        return self._team_world_comm
+
+    def split_team_handle(self, parent: "Team", color: int, key: int, entry):
+        return parent.handle.split(color, key)
+
+    # -- Active Messages over MPI_ISEND (§3.2) ------------------------------------
+
+    def _send_am(self, target_world: int, wire_bytes: int, thunk: Callable[[], None]) -> None:
+        """Inject an AM: an eager MPI_ISEND plus an out-of-band thunk."""
+        seq = next(_am_seq)
+        self._am_board[(self.ctx.rank, seq)] = thunk
+        header = np.array([seq], dtype=np.int64)
+        payload = np.zeros(max(wire_bytes, header.nbytes), np.uint8)
+        payload[: header.nbytes] = header.view(np.uint8)
+        req = self.am_comm.isend(payload, dest=target_world, tag=AM_TAG)
+        self._release_requests.append(req)
+
+    def poll(self) -> None:
+        """Drain arrived AMs and run their handlers (the progress engine)."""
+        self.run_continuations()
+        while True:
+            ok, status = self.am_comm.iprobe(source=ANY_SOURCE, tag=AM_TAG)
+            if not ok:
+                return
+            buf = np.zeros(status.count, np.uint8)
+            st = self.am_comm.recv(buf, source=status.source, tag=AM_TAG)
+            seq = int(buf[:8].view(np.int64)[0])
+            thunk = self._am_board.pop((st.source, seq))
+            thunk()
+
+    def progress_wait(
+        self,
+        pred: Callable[[], bool],
+        reason: str,
+        extras: tuple[SimEvent, ...] = (),
+    ) -> None:
+        arrivals = self._am_matching.arrivals[self.ctx.rank]
+        first = True
+        while True:
+            self.poll()
+            if pred():
+                return
+            if first:
+                for ev in extras:
+                    # Spurious arrival bumps are harmless: they just rescan.
+                    ev.subscribe(lambda: arrivals.add())
+                first = False
+            seen = arrivals.count
+            if pred():
+                return
+            arrivals.wait_geq(self.ctx.proc, seen + 1)
+
+    # -- coarrays (§3.1) ---------------------------------------------------------------
+
+    def allocate_coarray(self, team: "Team", nelems: int, dtype: np.dtype):
+        win = self.mpi.win_allocate(shape=nelems, dtype=dtype, comm=team.handle)
+        win.lock_all()  # passive-target epoch held until deallocation
+        self._windows.append(win)
+        return _CoarrayStorage(win, team)
+
+    def local_view(self, storage: _CoarrayStorage) -> np.ndarray:
+        return storage.win.local
+
+    def coarray_write(self, storage: _CoarrayStorage, target: int, offset: int, data: np.ndarray) -> None:
+        storage.win.put(data, target, offset)
+        storage.win.flush(target)
+
+    def coarray_read(self, storage: _CoarrayStorage, target: int, offset: int, out: np.ndarray) -> None:
+        req = storage.win.rget(out, target, offset)
+        self.progress_wait(lambda: req.completed, "coarray_read", extras=(req._event,))
+
+    def coarray_write_runs(
+        self, storage: _CoarrayStorage, target: int, runs: list[tuple[int, int]], data: np.ndarray
+    ) -> None:
+        # A derived-datatype MPI_PUT followed by a flush (§3.1 semantics).
+        storage.win.put_runs(data, target, runs)
+        storage.win.flush(target)
+
+    def coarray_read_runs(
+        self, storage: _CoarrayStorage, target: int, runs: list[tuple[int, int]], out: np.ndarray
+    ) -> None:
+        req = storage.win.get_runs(out, target, runs)
+        self.progress_wait(
+            lambda: req.completed, "coarray_read_runs", extras=(req._event,)
+        )
+
+    def coarray_write_async(
+        self,
+        storage: _CoarrayStorage,
+        target: int,
+        offset: int,
+        data: np.ndarray,
+        *,
+        want_local: bool,
+        dest_event: tuple[Any, int] | None,
+    ) -> AsyncHandle:
+        handle = AsyncHandle("caf-mpi.write_async")
+        win = storage.win
+        if dest_event is not None:
+            # Case 4: remote-completion event -> Active Message path (§3.3).
+            ev_storage, slot = dest_event
+            target_world = storage.team.world_rank(target)
+            data_copy = data.copy()
+            event_id = ev_storage.event_id
+
+            def deliver_on_target() -> None:
+                tbe = self._backends[target_world]
+                tb = win.state.buffers[target]
+                tb[offset : offset + data_copy.size] = data_copy
+                tbe._event_registry[event_id].post(slot)
+                handle.remote.fire()
+
+            self._send_am(
+                target_world, _AM_HEADER_BYTES + data_copy.nbytes, deliver_on_target
+            )
+            handle.local.fire()  # buffered by the AM layer
+        elif want_local:
+            # Case 3: local-completion event -> MPI_RPUT request.
+            req = win.rput(data, target, offset)
+            self._release_requests.append(req)
+            self._implicit_puts.append(req)
+            req._event.subscribe(handle.local.fire)
+        else:
+            # Case 1: no events -> MPI_RPUT whose request feeds the
+            # implicit-PUT array for cofence; FLUSH_ALL covers the rest.
+            req = win.rput(data, target, offset)
+            self._release_requests.append(req)
+            self._implicit_puts.append(req)
+            req._event.subscribe(handle.local.fire)
+        return handle
+
+    def coarray_read_async(
+        self, storage: _CoarrayStorage, target: int, offset: int, out: np.ndarray
+    ) -> AsyncHandle:
+        # Case 2: MPI_RGET — request completion is local *and* remote.
+        handle = AsyncHandle("caf-mpi.read_async", kind="get")
+        req = storage.win.rget(out, target, offset)
+        self._release_requests.append(req)
+        self._implicit_gets.append(req)
+        req._event.subscribe(handle.local.fire)
+        req._event.subscribe(handle.remote.fire)
+        return handle
+
+    # -- events (§3.4) ------------------------------------------------------------------------
+
+    def allocate_events(self, team: "Team", nslots: int) -> EventStorage:
+        event_id = collective_agree(
+            self,
+            self.ctx.cluster,
+            team,
+            "caf-event-ids",
+            self._agree_seq,
+            None,
+            lambda args: next_global_id(self.ctx.cluster, "caf-event-id-counter"),
+        )
+        if self.event_impl == "atomics":
+            win = self.mpi.win_allocate(shape=nslots, dtype=np.int64, comm=team.handle)
+            win.lock_all()
+            storage: EventStorage = _AtomicEventStorage(
+                self, event_id, team, nslots, win
+            )
+        else:
+            storage = EventStorage(self, event_id, team, nslots)
+        self._event_registry[event_id] = storage
+        return storage
+
+    def kick(self) -> None:
+        self._am_matching.arrivals[self.ctx.rank].add()
+
+    def _release_barrier(self) -> None:
+        """§3.4: local completion of all initiated ops, then remote
+        completion via the (linear when active) FLUSH_ALL walk."""
+        requests, self._release_requests = self._release_requests, []
+        self.progress_wait(
+            lambda: all(r.completed for r in requests),
+            "event_notify.waitall",
+            extras=tuple(r._event for r in requests),
+        )
+        if self.use_rflush:
+            # The paper's §5 proposal: request-based completion at constant
+            # software cost; wait on all requests while polling AMs.
+            reqs = [win.rflush_all() for win in self._windows]
+            self.progress_wait(
+                lambda: all(r.completed for r in reqs),
+                "release.rflush_all",
+                extras=tuple(r._event for r in reqs),
+            )
+            return
+        # MPI_WIN_FLUSH_ALL on every window — the linear-in-P cost of
+        # Figure 4 when the epoch has activity, a cheap constant-cost walk
+        # when idle (which is why the paper's NOTIFY *microbenchmark*
+        # stays flat in P).
+        for win in self._windows:
+            win.flush_all()
+
+    def event_notify(self, storage: EventStorage, target: int, slot: int) -> None:
+        self._release_barrier()
+        target_world = storage.team.world_rank(target)
+        if isinstance(storage, _AtomicEventStorage):
+            # §3.4 approach 1: MPI_FETCH_AND_OP-style one-sided increment.
+            storage.win.accumulate(
+                np.ones(1, np.int64), target, offset=slot, op=SUM
+            )
+            storage.win.flush(target)
+            return
+        # §3.4 approach 2 (the paper's choice): a short AM via MPI_ISEND
+        # (nonblocking to avoid notify/wait deadlock cycles).
+        event_id = storage.event_id
+
+        def deliver() -> None:
+            self._backends[target_world]._event_registry[event_id].post(slot)
+
+        self._send_am(target_world, _AM_HEADER_BYTES, deliver)
+
+    def event_count(self, storage: EventStorage, slot: int) -> int:
+        if isinstance(storage, _AtomicEventStorage):
+            return int(storage.win.local[slot]) - storage.consumed[slot]
+        return super().event_count(storage, slot)
+
+    def event_consume(self, storage: EventStorage, slot: int, n: int) -> None:
+        if isinstance(storage, _AtomicEventStorage):
+            storage.consumed[slot] += n
+            return
+        super().event_consume(storage, slot, n)
+
+    def event_post_local(self, storage: EventStorage, slot: int) -> None:
+        if isinstance(storage, _AtomicEventStorage):
+            storage.win.local[slot] += 1
+            storage.post_hooks_only(slot)
+            return
+        super().event_post_local(storage, slot)
+
+    _ATOMIC_POLL_INTERVAL = 2.5e-7
+    _ATOMIC_POLL_LIMIT = 200_000  # ~50 ms of virtual spinning before giving up
+
+    def event_wait(self, storage: EventStorage, slot: int, count: int) -> None:
+        if isinstance(storage, _AtomicEventStorage):
+            # Busy-wait on the local counter (the MPI_COMPARE_AND_SWAP
+            # polling loop of §3.4), making AM progress as we spin.
+            for _ in range(self._ATOMIC_POLL_LIMIT):
+                self.poll()
+                if self.event_count(storage, slot) >= count:
+                    self.event_consume(storage, slot, count)
+                    return
+                self.ctx.proc.sleep(self._ATOMIC_POLL_INTERVAL)
+            raise CafError(
+                f"atomic event_wait(slot={slot}, count={count}) spun out "
+                "(event never posted?)"
+            )
+        super().event_wait(storage, slot, count)
+
+    # -- implicit synchronization (§3.5) ----------------------------------------------------------
+
+    def cofence(self, *, puts: bool = True, gets: bool = True) -> None:
+        requests: list[Request] = []
+        if puts:
+            requests += self._implicit_puts
+            self._implicit_puts = []
+        if gets:
+            requests += self._implicit_gets
+            self._implicit_gets = []
+        self.progress_wait(
+            lambda: all(r.completed for r in requests),
+            "cofence.waitall",
+            extras=tuple(r._event for r in requests),
+        )
+
+    def quiet(self) -> None:
+        self.cofence()
+        # The release barrier also waits AM sends and any remaining handles.
+        remaining = list(self._release_requests)
+        self.progress_wait(
+            lambda: all(r.completed for r in remaining),
+            "quiet.waitall",
+            extras=tuple(r._event for r in remaining),
+        )
+        self._release_requests.clear()
+        if self.use_rflush:
+            reqs = [win.rflush_all() for win in self._windows]
+            self.progress_wait(
+                lambda: all(r.completed for r in reqs),
+                "quiet.rflush_all",
+                extras=tuple(r._event for r in reqs),
+            )
+            return
+        for win in self._windows:
+            win.flush_all()
+
+    # -- collectives --------------------------------------------------------------------------------
+
+    def barrier(self, team: "Team") -> None:
+        team.handle.barrier()
+
+    def broadcast(self, team: "Team", buf: np.ndarray, root: int) -> None:
+        team.handle.bcast(buf, root=root)
+
+    def reduce(self, team: "Team", send: np.ndarray, recv, op, root: int) -> None:
+        team.handle.reduce(send, recv, op, root=root)
+
+    def allreduce(self, team: "Team", send: np.ndarray, recv: np.ndarray, op) -> None:
+        team.handle.allreduce(send, recv, op)
+
+    def alltoall(self, team: "Team", send: np.ndarray, recv: np.ndarray) -> None:
+        team.handle.alltoall(send, recv)
+
+    def allgather(self, team: "Team", send: np.ndarray, recv: np.ndarray) -> None:
+        team.handle.allgather(send, recv)
+
+    _NBC_METHODS = {
+        "broadcast": "ibcast",
+        "reduce": "ireduce",
+        "allreduce": "iallreduce",
+        "alltoall": "ialltoall",
+        "allgather": "iallgather",
+    }
+
+    def collective_async(self, team: "Team", kind: str, args: tuple):
+        """CAF 2.0 asynchronous collectives map straight onto the MPI-3
+        nonblocking collectives (one of the paper's interoperability wins)."""
+        method = self._NBC_METHODS.get(kind)
+        if method is None:
+            raise CafError(f"unknown async collective {kind!r}")
+        req = getattr(team.handle, method)(*args)
+        return req._event
+
+    # -- function shipping ------------------------------------------------------------------------------
+
+    def ship_function(self, team: "Team", target: int, payload) -> None:
+        fn, args = payload
+        target_world = team.world_rank(target)
+        self._shipped += 1
+
+        def run_on_target() -> None:
+            tbe = self._backends[target_world]
+            images = self.ctx.cluster.shared("caf-images", dict)
+            img = images.get(target_world)
+            if img is None:
+                raise CafError("target image not initialized for function shipping")
+            try:
+                fn(img, *args)
+            finally:
+                tbe._completed += 1
+
+        self._send_am(target_world, _AM_HEADER_BYTES + 240, run_on_target)
+
+    def shipped_minus_completed(self) -> int:
+        return self._shipped - self._completed

@@ -1,0 +1,99 @@
+"""CAF 2.0 events: first-class counting synchronization objects (§2.1).
+
+Events are allocated as coarrays so remote images can post them.
+``event_notify`` posts an event on another image **after all previous
+operations issued by the notifier are remotely complete** — the
+release-barrier semantics whose CAF-MPI implementation
+(``MPI_WAITALL`` + ``MPI_WIN_FLUSH_ALL`` + AM over ``MPI_ISEND``) the
+paper analyzes at length (§3.4, Figure 4). ``event_wait`` blocks (driving
+the progress engine) until posted; ``event_trywait`` is its nonblocking
+test.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.util.errors import CafError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.caf.image import Image
+    from repro.caf.teams import Team
+
+
+class EventArray:
+    """``nslots`` events on every image of a team (an event coarray)."""
+
+    def __init__(self, img: "Image", team: "Team", nslots: int):
+        if nslots <= 0:
+            raise CafError(f"event array needs at least one slot, got {nslots}")
+        self.img = img
+        self.team = team
+        self.nslots = nslots
+        self.storage = img.backend.allocate_events(team, nslots)
+        # Local-post subscribers: slot -> callbacks run on next post
+        # (predicate events of asynchronous operations).
+        self._subscribers: dict[int, list] = {}
+        self.storage.listener = self._run_subscribers
+
+    def _check_slot(self, slot: int) -> None:
+        if not 0 <= slot < self.nslots:
+            raise CafError(f"event slot {slot} out of range [0, {self.nslots})")
+
+    # -- posting ------------------------------------------------------------
+
+    def notify(self, target: int, slot: int = 0) -> None:
+        """event_notify: post slot ``slot`` on image ``target``."""
+        self._check_slot(slot)
+        if not 0 <= target < self.team.size:
+            raise CafError(f"image index {target} out of range [0, {self.team.size})")
+        with self.img.profile("event_notify"):
+            self.img.backend.event_notify(self.storage, target, slot)
+
+    def _post_local(self, slot: int) -> None:
+        """Post this image's own slot (used for source/local completion events).
+
+        Subscribers run via the storage listener.
+        """
+        self.img.backend.event_post_local(self.storage, slot)
+
+    def _run_subscribers(self, slot: int) -> None:
+        for cb in self._subscribers.pop(slot, []):
+            cb()
+
+    # -- waiting --------------------------------------------------------------
+
+    def wait(self, slot: int = 0, count: int = 1) -> None:
+        """event_wait: block until ``count`` notifications; consumes them."""
+        self._check_slot(slot)
+        with self.img.profile("event_wait"):
+            self.img.backend.event_wait(self.storage, slot, count)
+
+    def trywait(self, slot: int = 0, count: int = 1) -> bool:
+        """event_trywait: nonblocking; consumes and returns True if posted."""
+        self._check_slot(slot)
+        backend = self.img.backend
+        backend.poll()
+        if backend.event_count(self.storage, slot) >= count:
+            backend.event_consume(self.storage, slot, count)
+            return True
+        return False
+
+    def count(self, slot: int = 0) -> int:
+        """Un-consumed notifications currently pending on a local slot."""
+        self._check_slot(slot)
+        return self.img.backend.event_count(self.storage, slot)
+
+    def on_next_post(self, slot: int, cb) -> None:
+        """Run ``cb`` when the slot next becomes posted (now, if it already is).
+
+        Used for predicate events of asynchronous operations.
+        """
+        self._check_slot(slot)
+        if self.img.backend.event_count(self.storage, slot) > 0:
+            cb()
+        else:
+            self._subscribers.setdefault(slot, []).append(cb)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<EventArray slots={self.nslots} team={self.team.team_id}>"

@@ -1,0 +1,107 @@
+"""Run CAF programs on a simulated cluster.
+
+A CAF *program* is a Python callable ``program(img, **kwargs)`` executed
+SPMD on every image. :func:`run_caf` builds the cluster, instantiates the
+chosen runtime backend on each image, and returns a :class:`CafRun` with
+per-image results plus the run's profiler / memory / fabric meters.
+
+Example::
+
+    from repro.caf import run_caf
+
+    def hello(img):
+        co = img.allocate_coarray(4)
+        co.local[:] = img.rank
+        img.sync_all()
+        return co.read((img.rank + 1) % img.nranks).tolist()
+
+    run = run_caf(hello, nranks=4, backend="mpi")
+    print(run.results)
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.caf.backends.gasnet_backend import GasnetBackend
+from repro.caf.backends.mpi_backend import MpiBackend
+from repro.caf.image import Image
+from repro.sim.cluster import Cluster
+from repro.sim.memory import MemoryMeter
+from repro.sim.network import MachineSpec, NetFabric
+from repro.sim.profiler import Profiler
+from repro.util.errors import CafError
+
+BACKENDS = {
+    "mpi": MpiBackend,
+    "gasnet": GasnetBackend,
+}
+
+
+@dataclass
+class CafRun:
+    """Outcome of one simulated CAF program run."""
+
+    cluster: Cluster
+    results: list[Any]
+    backend: str
+    elapsed: float  # virtual makespan (seconds)
+    extras: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def profiler(self) -> Profiler:
+        return self.cluster.profiler
+
+    @property
+    def memory(self) -> MemoryMeter:
+        return self.cluster.memory
+
+    @property
+    def fabric(self) -> NetFabric:
+        return self.cluster.fabric
+
+    @property
+    def tracer(self):
+        return self.cluster.tracer
+
+
+def run_caf(
+    program: Callable[..., Any],
+    nranks: int,
+    spec: MachineSpec | None = None,
+    *,
+    backend: str = "mpi",
+    backend_options: dict[str, Any] | None = None,
+    sim_seed: int = 12345,
+    trace: bool = False,
+    **program_kwargs: Any,
+) -> CafRun:
+    """Run ``program(img, **program_kwargs)`` on ``nranks`` images.
+
+    ``sim_seed`` seeds the per-rank simulator RNGs (``img.ctx.rng``); any
+    other keyword — including one named ``seed`` — is forwarded verbatim to
+    the program.
+    """
+    if backend not in BACKENDS:
+        raise CafError(f"unknown backend {backend!r}; choose from {sorted(BACKENDS)}")
+    spec = spec or MachineSpec(name="generic")
+    cluster = Cluster(nranks, spec, seed=sim_seed)
+    if trace:
+        cluster.tracer.enable()
+    backend_cls = BACKENDS[backend]
+
+    def wrapper(ctx, **kwargs):
+        be = backend_cls(ctx, backend_options)
+        img = Image(ctx, be)
+        ctx.cluster.shared("caf-images", dict)[ctx.rank] = img
+        return program(img, **kwargs)
+
+    results = cluster.run(wrapper, program_kwargs=dict(program_kwargs))
+    return CafRun(
+        cluster=cluster,
+        results=results,
+        backend=backend,
+        elapsed=cluster.elapsed,
+    )

@@ -1,0 +1,87 @@
+"""CAF 2.0 teams: first-class process groups (§2.1).
+
+A team (a) is a domain for coarray allocation, (b) renames images by
+relative index, and (c) isolates collective communication — the three
+purposes the paper lists. ``TEAM_WORLD`` exists at startup; new teams come
+from :meth:`Image.team_split`.
+
+The membership agreement protocol is backend-neutral (a shared board plus
+a barrier on the parent team); backends only build their per-team handle
+(an MPI communicator / a GASNet TeamExchange) from the agreed membership.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from repro.util.errors import CafError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.caf.image import Image
+
+
+class Team:
+    """One image's view of a team."""
+
+    def __init__(self, team_id: int, members: tuple[int, ...], my_index: int):
+        self.team_id = team_id
+        self.members = members  # team index -> world rank
+        self.my_index = my_index
+        self.handle: Any = None  # backend-specific
+        # Per-image split sequence number (collective-call agreement).
+        self._split_seq = 0
+
+    @property
+    def size(self) -> int:
+        return len(self.members)
+
+    def world_rank(self, index: int) -> int:
+        if not 0 <= index < self.size:
+            raise CafError(f"image index {index} out of range [0, {self.size})")
+        return self.members[index]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Team {self.team_id} image {self.my_index}/{self.size}>"
+
+
+def split_team(img: "Image", parent: Team, color: int, key: int | None) -> Team | None:
+    """Collective team split over ``parent`` (CAF 2.0 team_split).
+
+    Returns the new team, or None for ``color < 0``.
+    """
+    if key is None:
+        key = parent.my_index
+    seq = parent._split_seq
+    parent._split_seq += 1
+    boards = img.cluster.shared("caf-team-splits", dict)
+    board = boards.setdefault(
+        (parent.team_id, seq), {"args": {}, "result": None}
+    )
+    board["args"][parent.my_index] = (color, key)
+    img.backend.barrier(parent)
+    if board["result"] is None:
+        ids = img.cluster.shared("caf-team-ids", lambda: [1])  # 0 = TEAM_WORLD
+        groups: dict[int, list[tuple[int, int]]] = {}
+        for idx, (c, k) in board["args"].items():
+            if c >= 0:
+                groups.setdefault(c, []).append((k, idx))
+        result: dict[int, tuple[int, tuple[int, ...], int]] = {}
+        for c in sorted(groups):
+            team_id = ids[0]
+            ids[0] += 1
+            indices = [idx for _k, idx in sorted(groups[c])]
+            members = tuple(parent.members[idx] for idx in indices)
+            for new_index, idx in enumerate(indices):
+                result[idx] = (team_id, members, new_index)
+        board["result"] = result
+    img.backend.barrier(parent)
+    entry = board["result"].get(parent.my_index)
+    # Every parent member participates in handle construction (the MPI
+    # backend's comm split is itself collective), even color<0 images.
+    handle = img.backend.split_team_handle(parent, color, key, entry)
+    if entry is None:
+        return None
+    team_id, members, my_index = entry
+    team = Team(team_id, members, my_index)
+    team.handle = handle
+    return team

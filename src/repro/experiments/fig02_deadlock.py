@@ -1,0 +1,68 @@
+"""Figure 2: the interoperability deadlock.
+
+A CAF program where image 0 performs a coarray write and every image then
+enters ``MPI_BARRIER``. If coarray writes require target-side CAF progress
+(Active-Message based writes, as in some CAF implementations), image 1
+never runs the handler — it is blocked inside *MPI* — and the program
+deadlocks. With true one-sided writes (CAF-MPI's ``MPI_PUT`` design, or
+RDMA GASNet puts) the same program completes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.caf import run_caf
+from repro.experiments.common import ExperimentResult, check_scale
+from repro.platforms import FUSION
+from repro.util.errors import DeadlockError
+
+EXP_ID = "fig02"
+TITLE = "The Figure 2 program under three runtime configurations"
+
+
+def _figure2_program(img):
+    co = img.allocate_coarray(4, np.float64)
+    mpi = img.mpi()
+    img.sync_all()
+    if img.rank == 0:
+        co.write(1, np.full(4, 1.0))
+    mpi.COMM_WORLD.barrier()
+    return float(co.local[0])
+
+
+def run(scale: str = "default") -> ExperimentResult:
+    check_scale(scale)
+    configs = [
+        ("CAF-GASNet (AM-based writes)", "gasnet", {"am_writes": True}),
+        ("CAF-GASNet (RDMA writes)", "gasnet", None),
+        ("CAF-MPI (MPI_PUT writes)", "mpi", None),
+    ]
+    rows = []
+    findings = {}
+    for label, backend, options in configs:
+        try:
+            result = run_caf(
+                _figure2_program, 2, FUSION, backend=backend, backend_options=options
+            )
+            outcome = "completes"
+            detail = f"rank 1 sees {result.results[1]}"
+        except DeadlockError as exc:
+            outcome = "DEADLOCK"
+            detail = "; ".join(
+                f"rank {r}: {why}" for r, why in sorted(exc.blocked.items())
+            )
+        rows.append([label, outcome, detail])
+        findings[label] = outcome
+    return ExperimentResult(
+        exp_id=EXP_ID,
+        title=TITLE,
+        headers=["configuration", "outcome", "detail"],
+        rows=rows,
+        notes=(
+            "The hazard is implementation-specific (paper §1): writes that "
+            "need target involvement deadlock against MPI_BARRIER; CAF-MPI's "
+            "one-sided mapping is immune."
+        ),
+        findings=findings,
+    )

@@ -1,0 +1,32 @@
+"""Figure 5: RandomAccess on Edison.
+
+Paper shape: CAF-GASNet wins throughout and scales better, because Cray
+MPI implements RMA over send/recv internally (no SRQ story on Aries).
+"""
+
+from __future__ import annotations
+
+from repro.experiments._perf import ra_figure
+from repro.experiments.common import ExperimentResult, check_scale
+from repro.platforms import EDISON
+
+EXP_ID = "fig05"
+
+
+def run(scale: str = "default") -> ExperimentResult:
+    check_scale(scale)
+    procs = [4, 8, 16, 32] if scale == "quick" else [4, 8, 16, 32, 64]
+    result = ra_figure(
+        EXP_ID,
+        EDISON,
+        procs,
+        include_nosrq=False,
+        table_bits=9,
+        updates_per_image=1024 if scale == "quick" else 2048,
+        batches=8,
+    )
+    result.notes = (
+        "Send/recv-backed Cray RMA puts CAF-MPI behind CAF-GASNet at every "
+        "scale (paper Fig. 5)."
+    )
+    return result

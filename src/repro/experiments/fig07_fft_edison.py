@@ -1,0 +1,21 @@
+"""Figure 7: FFT on Edison — same story as Fusion, no SRQ involved."""
+
+from __future__ import annotations
+
+from repro.experiments._perf import fft_figure
+from repro.experiments.common import ExperimentResult, check_scale
+from repro.platforms import EDISON
+
+EXP_ID = "fig07"
+
+
+def run(scale: str = "default") -> ExperimentResult:
+    check_scale(scale)
+    procs = [4, 8, 16] if scale == "quick" else [4, 8, 16, 32, 64]
+
+    def m_for(p: int) -> int:
+        return 1 << 18 if p <= 8 else 1 << 20
+
+    result = fft_figure(EXP_ID, EDISON, procs, m_for_procs=m_for)
+    result.notes = "Expected shape: CAF-MPI ahead of CAF-GASNet throughout."
+    return result

@@ -1,0 +1,24 @@
+"""Figure 9: HPL on Fusion — compute-bound, runtimes indistinguishable."""
+
+from __future__ import annotations
+
+from repro.experiments._perf import hpl_figure
+from repro.experiments.common import ExperimentResult, check_scale
+from repro.platforms import FUSION
+
+EXP_ID = "fig09"
+
+
+def run(scale: str = "default") -> ExperimentResult:
+    check_scale(scale)
+    procs = [2, 4, 8] if scale == "quick" else [2, 4, 8, 16]
+
+    def n_for(p: int) -> int:
+        return 64 * p  # weak scaling in columns
+
+    result = hpl_figure(EXP_ID, FUSION, procs, n_for_procs=n_for)
+    result.notes = (
+        "Expected shape: the CAF-MPI and CAF-GASNet curves overlap (HPL is "
+        "dominated by DGEMM flops, not the communication substrate)."
+    )
+    return result

@@ -1,0 +1,21 @@
+"""Figure 10: HPL on Edison — same compute-bound tie as Fusion."""
+
+from __future__ import annotations
+
+from repro.experiments._perf import hpl_figure
+from repro.experiments.common import ExperimentResult, check_scale
+from repro.platforms import EDISON
+
+EXP_ID = "fig10"
+
+
+def run(scale: str = "default") -> ExperimentResult:
+    check_scale(scale)
+    procs = [2, 4, 8] if scale == "quick" else [2, 4, 8, 16]
+
+    def n_for(p: int) -> int:
+        return 64 * p
+
+    result = hpl_figure(EXP_ID, EDISON, procs, n_for_procs=n_for)
+    result.notes = "Expected shape: overlapping curves for both runtimes."
+    return result

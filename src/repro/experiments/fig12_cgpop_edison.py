@@ -1,0 +1,22 @@
+"""Figure 12: CGPOP on Edison — same near-identical four variants."""
+
+from __future__ import annotations
+
+from repro.experiments._perf import cgpop_figure
+from repro.experiments.common import ExperimentResult, check_scale
+from repro.platforms import EDISON
+
+EXP_ID = "fig12"
+
+
+def run(scale: str = "default") -> ExperimentResult:
+    check_scale(scale)
+    procs = [2, 4, 8] if scale == "quick" else [2, 4, 8, 12, 24]
+    return cgpop_figure(
+        EXP_ID,
+        EDISON,
+        procs,
+        ny=96,
+        nx=48,
+        max_iter=60 if scale == "quick" else 120,
+    )

@@ -1,0 +1,37 @@
+"""Mira microbenchmarks (the paper's BG/Q source-data figure).
+
+Paper rates at small scale: GASNet READ ~266k/s, WRITE ~210k/s, NOTIFY
+~97k/s; MPI READ ~61k/s, WRITE ~51k/s, NOTIFY ~90k/s; all-to-all MPI 24k/s
+vs GASNet 3.7k/s at 16 cores (MPI's advantage grows to ~60x at 4096).
+"""
+
+from __future__ import annotations
+
+from repro.experiments._micro import micro_figure
+from repro.experiments.common import ExperimentResult, check_scale
+from repro.platforms import MIRA
+
+EXP_ID = "micro_mira"
+
+PAPER = {
+    "GASNet READ": 266e3,
+    "GASNet WRITE": 210e3,
+    "GASNet NOTIFY": 97e3,
+    "MPI READ": 61e3,
+    "MPI WRITE": 51e3,
+    "MPI NOTIFY": 90e3,
+    "MPI ALLTOALL@16": 24.1e3,
+    "GASNet ALLTOALL@16": 3.7e3,
+}
+
+
+def run(scale: str = "default") -> ExperimentResult:
+    check_scale(scale)
+    procs = [4, 16] if scale == "quick" else [4, 8, 16, 32, 64]
+    return micro_figure(
+        EXP_ID,
+        MIRA,
+        procs,
+        iterations=300 if scale == "quick" else 500,
+        paper_rates=PAPER,
+    )

@@ -1,0 +1,57 @@
+"""Registry mapping experiment ids to their modules (lazily imported)."""
+
+from __future__ import annotations
+
+import importlib
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from repro.experiments.common import ExperimentResult
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    exp_id: str
+    module: str
+    summary: str
+
+    def load(self) -> Callable[[str], ExperimentResult]:
+        mod = importlib.import_module(self.module)
+        return mod.run
+
+
+_M = "repro.experiments"
+
+EXPERIMENTS: dict[str, ExperimentSpec] = {
+    spec.exp_id: spec
+    for spec in [
+        ExperimentSpec("table1", f"{_M}.table1_platforms", "Platform characteristics"),
+        ExperimentSpec("fig01", f"{_M}.fig01_memory", "Memory usage of dual runtimes"),
+        ExperimentSpec("fig02", f"{_M}.fig02_deadlock", "Interoperability deadlock"),
+        ExperimentSpec("fig03", f"{_M}.fig03_ra_fusion", "RandomAccess on Fusion"),
+        ExperimentSpec("fig04", f"{_M}.fig04_ra_breakdown", "RandomAccess time decomposition"),
+        ExperimentSpec("fig05", f"{_M}.fig05_ra_edison", "RandomAccess on Edison"),
+        ExperimentSpec("fig06", f"{_M}.fig06_fft_fusion", "FFT on Fusion"),
+        ExperimentSpec("fig07", f"{_M}.fig07_fft_edison", "FFT on Edison"),
+        ExperimentSpec("fig08", f"{_M}.fig08_fft_breakdown", "FFT time decomposition"),
+        ExperimentSpec("fig09", f"{_M}.fig09_hpl_fusion", "HPL on Fusion"),
+        ExperimentSpec("fig10", f"{_M}.fig10_hpl_edison", "HPL on Edison"),
+        ExperimentSpec("fig11", f"{_M}.fig11_cgpop_fusion", "CGPOP on Fusion"),
+        ExperimentSpec("fig12", f"{_M}.fig12_cgpop_edison", "CGPOP on Edison"),
+        ExperimentSpec("micro_mira", f"{_M}.micro_mira", "Mira microbenchmarks"),
+        ExperimentSpec("micro_edison", f"{_M}.micro_edison", "Edison microbenchmarks"),
+        ExperimentSpec("abl_event", f"{_M}.ablation_event_impl", "Event impl: send/recv vs one-sided atomics (§3.4)"),
+        ExperimentSpec("abl_finish", f"{_M}.ablation_finish", "finish: fast flush+barrier vs termination detection (§3.5)"),
+        ExperimentSpec("abl_rflush", f"{_M}.ablation_rflush", "Hypothetical MPI_WIN_RFLUSH / constant-cost FLUSH_ALL (§5)"),
+        ExperimentSpec("abl_eager", f"{_M}.ablation_eager", "Eager/rendezvous threshold sweep"),
+        ExperimentSpec("abl_decomp", f"{_M}.ablation_decomp", "CGPOP 1-D strips vs 2-D blocks"),
+    ]
+}
+
+
+def get_experiment(exp_id: str) -> ExperimentSpec:
+    if exp_id not in EXPERIMENTS:
+        raise KeyError(
+            f"unknown experiment {exp_id!r}; known: {', '.join(sorted(EXPERIMENTS))}"
+        )
+    return EXPERIMENTS[exp_id]

@@ -1,0 +1,37 @@
+"""GASNet subset: the original CAF 2.0 communication substrate.
+
+Implements the pieces of the GASNet core and extended APIs the paper's
+CAF-GASNet runtime uses (§2.1, §3.2):
+
+* a registered memory **segment** per rank,
+* **Active Messages** (short / medium / long) with handler dispatch driven
+  by target-side polling — the progress requirement behind the paper's
+  Figure 2 deadlock scenario,
+* one-sided RDMA **put/get** on segment addresses with completion handles
+  (lower per-op software overhead than MPICH RMA, per the paper's Fusion
+  RandomAccess analysis),
+* the **SRQ** behaviour: at ``spec.gasnet_srq_threshold`` processes GASNet
+  switches to a Shared Receive Queue to save memory, which slows message
+  delivery (the Figure 3 performance drop; ``NOSRQ`` disables it),
+* *no collectives* — CAF-GASNet hand-rolls them
+  (:mod:`repro.gasnet.collectives`), which is why its all-to-all loses to
+  ``MPI_ALLTOALL`` in the FFT benchmark (Figures 6-8).
+"""
+
+from repro.gasnet.core import (
+    AM_MAX_ARGS,
+    AM_MAX_MEDIUM,
+    GasnetRank,
+    GasnetWorld,
+    Handle,
+    Token,
+)
+
+__all__ = [
+    "AM_MAX_ARGS",
+    "AM_MAX_MEDIUM",
+    "GasnetRank",
+    "GasnetWorld",
+    "Handle",
+    "Token",
+]

@@ -1,0 +1,393 @@
+"""Hand-rolled collectives over GASNet put/get/AM — CAF-GASNet's approach.
+
+GASNet (as of the paper) has no collective operations, so the original
+CAF 2.0 runtime crafts them from one-sided puts and signals. The paper's
+§4.2/§5 analysis attributes CAF-GASNet's FFT loss to exactly this: the
+hand-rolled all-to-all blasts puts at every peer in naive rank order
+(incast at the low ranks plus per-message NIC and signal-handling costs)
+while ``MPI_ALLTOALL`` uses a tuned pairwise schedule.
+
+A :class:`TeamExchange` is one team's collective engine on one image. Each
+member owns an **arena** (scratch landing space) and a **flag array** in
+its segment; members exchange base offsets at construction, so scratch
+addresses are computed as ``peer_base + delta`` with identical deltas on
+every member (robust even when other teams' allocations skewed the
+segment tops). Completion signalling is conduit-dependent
+(``spec.gasnet_coll_signal``): RDMA **flag puts** the receiver spins on
+(ibv/aries) or short **Active Messages** (pami).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gasnet.core import GasnetRank
+from repro.gasnet.segment import SegmentAllocator
+from repro.util.errors import GasnetError
+
+#: AM handler index space reserved for team signal handlers.
+TEAM_SIGNAL_HANDLER_BASE = 1 << 16
+
+DEFAULT_ARENA_BYTES = 8 * 1024 * 1024
+
+
+class TeamExchange:
+    """Collectives for one team over GASNet."""
+
+    def __init__(
+        self,
+        gasnet: GasnetRank,
+        team_id: int,
+        members: tuple[int, ...],
+        my_index: int,
+        allocator: SegmentAllocator,
+        *,
+        arena_bytes: int | None = None,
+        peer_arena_bases: tuple[int, ...] | None = None,
+        peer_flag_bases: tuple[int, ...] | None = None,
+        defer_handler: bool = False,
+    ):
+        self.gasnet = gasnet
+        self.team_id = team_id
+        self.members = members
+        self.my_index = my_index
+        if arena_bytes is None:
+            # Default: a quarter of what's left in the segment, capped.
+            arena_bytes = min(DEFAULT_ARENA_BYTES, allocator.free // 4)
+        self.arena_bytes = arena_bytes
+        self.arena_base = allocator.alloc(arena_bytes)
+        # Monotone per-sender completion flags (one uint64 per member);
+        # written with seq+1, so no reset races across collectives. The
+        # second array acknowledges that a landing zone has been drained.
+        self.flags_base = allocator.alloc(8 * len(members))
+        self.drain_base = allocator.alloc(8 * len(members))
+        n = len(members)
+        # When members' segment tops are aligned (the common, symmetric
+        # case) everyone's bases are equal; otherwise the runtime exchanges
+        # them and passes the tables in.
+        self.peer_arena_bases = peer_arena_bases or tuple([self.arena_base] * n)
+        self.peer_flag_bases = peer_flag_bases or tuple([self.flags_base] * n)
+        # The drain array sits at the same (alignment-dependent) delta past
+        # the flag array on every member.
+        self.peer_drain_bases = tuple(
+            b + (self.drain_base - self.flags_base) for b in self.peer_flag_bases
+        )
+        self.seq = 0
+        self._arena_top = 0
+        # AM-mode signal counters: (seq, round) -> count received.
+        self._signals: dict[tuple[int, int], int] = {}
+        if not defer_handler:
+            self.register_handler()
+
+    def register_handler(self) -> None:
+        """Register this team's signal handler (deferred when the team id
+        itself is still under collective agreement)."""
+        self.gasnet.register_handler(
+            TEAM_SIGNAL_HANDLER_BASE + self.team_id, self._on_signal
+        )
+
+    @property
+    def size(self) -> int:
+        return len(self.members)
+
+    @property
+    def allocator(self) -> "TeamExchange":
+        return self  # backwards-compatible alias for .allocator.used checks
+
+    @property
+    def used(self) -> int:
+        return self._arena_top
+
+    # -- arena scratch (identical deltas on every member) --------------------
+
+    def _arena_alloc(self, nbytes: int, align: int = 16) -> int:
+        delta = (self._arena_top + align - 1) // align * align
+        if delta + nbytes > self.arena_bytes:
+            raise GasnetError(
+                f"team arena exhausted: need {nbytes} at {delta}, "
+                f"capacity {self.arena_bytes} (raise arena_bytes)"
+            )
+        self._arena_top = delta + nbytes
+        return delta
+
+    def _arena_release(self, marker: int) -> None:
+        self._arena_top = marker
+
+    def _local_arena(self, delta: int, nbytes: int) -> np.ndarray:
+        start = self.arena_base + delta
+        return self.gasnet.segment[start : start + nbytes]
+
+    # -- AM-mode signalling ----------------------------------------------------
+
+    def _on_signal(self, token, seq: int, round_no: int) -> None:
+        key = (seq, round_no)
+        self._signals[key] = self._signals.get(key, 0) + 1
+
+    def _signal(self, peer_index: int, seq: int, round_no: int = 0) -> None:
+        self.gasnet.am_request_short(
+            self.members[peer_index],
+            TEAM_SIGNAL_HANDLER_BASE + self.team_id,
+            seq,
+            round_no,
+        )
+
+    def _wait_signals(self, seq: int, count: int, round_no: int = 0) -> None:
+        key = (seq, round_no)
+        self.gasnet.block_until(
+            lambda: self._signals.get(key, 0) >= count,
+            f"team{self.team_id}.signals(seq={seq},round={round_no})",
+        )
+        del self._signals[key]
+
+    # -- put-mode flag signalling -------------------------------------------------
+
+    def _flags_view(self, base: int) -> np.ndarray:
+        return self.gasnet.segment[base : base + 8 * self.size].view(np.uint64)
+
+    def _put_flag(self, peer_index: int, marker: int, peer_bases: tuple[int, ...]) -> None:
+        self.gasnet.put_nb(
+            self.members[peer_index],
+            peer_bases[peer_index] + 8 * self.my_index,
+            np.array([marker], np.uint64),
+        )
+
+    def _wait_flags(self, marker: int, base: int) -> None:
+        flags = self._flags_view(base)
+        others = [i for i in range(self.size) if i != self.my_index]
+        self.gasnet.block_until(
+            lambda: all(flags[i] >= marker for i in others),
+            f"team{self.team_id}.flags(marker={marker})",
+        )
+
+    def _next_seq(self) -> int:
+        seq = self.seq
+        self.seq += 1
+        return seq
+
+    # -- collectives ------------------------------------------------------------------
+
+    def barrier(self) -> None:
+        """Dissemination barrier from short AMs.
+
+        Signals are round-tagged: a round-k signal may only satisfy a
+        round-k wait, which the dissemination correctness proof requires
+        (an untagged counting variant lets subgroups of early arrivers
+        release each other before late ranks enter).
+        """
+        seq = self._next_seq()
+        n = self.size
+        if n == 1:
+            return
+        k = 1
+        round_no = 0
+        while k < n:
+            self._signal((self.my_index + k) % n, seq, round_no)
+            self._wait_signals(seq, 1, round_no)
+            k <<= 1
+            round_no += 1
+
+    def broadcast(self, buf, root_index: int = 0) -> None:
+        """Binomial broadcast: puts into the arena + AM signals."""
+        seq = self._next_seq()
+        arr = np.asarray(buf)
+        flat = arr.reshape(-1).view(np.uint8)
+        n = self.size
+        if n == 1:
+            return
+        marker = self._arena_top
+        land = self._arena_alloc(flat.nbytes)
+        vr = (self.my_index - root_index) % n
+        mask = 1
+        while mask < n:
+            if vr & mask:
+                self._wait_signals(seq, 1)
+                flat[...] = self._local_arena(land, flat.nbytes)
+                self.gasnet.ctx.proc.sleep(
+                    self.gasnet.ctx.spec.copy_time(flat.nbytes)
+                )
+                break
+            mask <<= 1
+        mask >>= 1
+        while mask > 0:
+            if vr + mask < n:
+                child = ((vr + mask) + root_index) % n
+                self.gasnet.put(
+                    self.members[child], self.peer_arena_bases[child] + land, flat
+                )
+                self._signal(child, seq)
+            mask >>= 1
+        # Trailing barrier: nobody may start a collective that reuses this
+        # arena region before every subtree has received its copy.
+        self.barrier()
+        self._arena_release(marker)
+
+    def reduce(self, sendbuf, recvbuf, op, root_index: int = 0) -> None:
+        """Gather-to-root into landing slots, then combine at the root.
+
+        The flat (non-tree) structure is deliberately naive — the paper
+        notes CAF-GASNet's hand-crafted collectives are "not as performant"
+        as MPI's tuned trees.
+        """
+        seq = self._next_seq()
+        send = np.asarray(sendbuf)
+        flat = np.ascontiguousarray(send).reshape(-1)
+        nbytes = flat.nbytes
+        n = self.size
+        marker = self._arena_top
+        land = self._arena_alloc(nbytes * n)
+        if self.my_index == root_index:
+            if n > 1:
+                self._wait_signals(seq, n - 1)
+            acc = flat.copy()
+            landing = self._local_arena(land, nbytes * n)
+            for i in range(n):
+                if i == root_index:
+                    continue
+                chunk = landing[i * nbytes : (i + 1) * nbytes].view(flat.dtype)
+                acc = op(acc, chunk)
+                self.gasnet.ctx.proc.sleep(self.gasnet.ctx.spec.flops_time(acc.size))
+            recv = np.asarray(recvbuf)
+            recv.reshape(-1)[...] = acc
+            # Ack: peers may not reuse the arena before the root combined.
+            for i in range(n):
+                if i != root_index:
+                    self._signal(i, seq, round_no=1)
+        else:
+            self.gasnet.put(
+                self.members[root_index],
+                self.peer_arena_bases[root_index] + land + self.my_index * nbytes,
+                flat,
+            )
+            self._signal(root_index, seq)
+            self._wait_signals(seq, 1, round_no=1)
+        self._arena_release(marker)
+
+    def allreduce(self, sendbuf, recvbuf, op, root_index: int = 0) -> None:
+        recv = np.asarray(recvbuf)
+        self.reduce(sendbuf, recv, op, root_index)
+        self.broadcast(recv, root_index)
+
+    def allgather(self, sendbuf, recvbuf) -> None:
+        """Everyone puts its block into everyone's landing zone (naive)."""
+        send = np.ascontiguousarray(np.asarray(sendbuf)).reshape(-1)
+        recv = np.asarray(recvbuf)
+        n = self.size
+        nbytes = send.nbytes
+        if recv.shape[0] != n:
+            raise GasnetError(f"allgather recvbuf needs leading dimension {n}")
+        marker = self._arena_top
+        land = self._arena_alloc(nbytes * n)
+        seq = self._exchange(lambda peer: (send, land + self.my_index * nbytes))
+        landing = self._local_arena(land, nbytes * n)
+        for i in range(n):
+            if i == self.my_index:
+                recv[i] = np.asarray(sendbuf).reshape(recv[i].shape)
+            else:
+                recv[i] = (
+                    landing[i * nbytes : (i + 1) * nbytes]
+                    .view(recv.dtype)
+                    .reshape(recv[i].shape)
+                )
+        # Unpack cost: landing zone -> user buffer (MPI's collectives
+        # receive in place and skip this — part of why they win).
+        self.gasnet.ctx.proc.sleep(self.gasnet.ctx.spec.copy_time(nbytes * n))
+        self._finish_exchange(seq)
+        self._arena_release(marker)
+
+    def alltoall(self, sendbuf, recvbuf) -> None:
+        """Naive all-to-all: put chunk j to peer j in ascending rank order.
+
+        Every image starts at peer 0 and walks up, so low-index peers
+        absorb an incast burst; each chunk also costs a completion signal.
+        This is the hand-rolled collective whose cost dominates
+        CAF-GASNet's FFT (Figure 8).
+        """
+        send = np.asarray(sendbuf)
+        recv = np.asarray(recvbuf)
+        n = self.size
+        if send.shape[0] != n or recv.shape[0] != n:
+            raise GasnetError(f"alltoall buffers need leading dimension {n}")
+        chunk0 = np.ascontiguousarray(send[0]).reshape(-1).view(np.uint8)
+        nbytes = chunk0.nbytes
+        marker = self._arena_top
+        land = self._arena_alloc(nbytes * n)
+        seq = self._exchange(
+            lambda peer: (
+                np.ascontiguousarray(send[peer]).reshape(-1).view(np.uint8),
+                land + self.my_index * nbytes,
+            ),
+        )
+        recv[self.my_index] = send[self.my_index]
+        landing = self._local_arena(land, nbytes * n)
+        for i in range(n):
+            if i != self.my_index:
+                recv[i] = (
+                    landing[i * nbytes : (i + 1) * nbytes]
+                    .view(recv.dtype)
+                    .reshape(recv[i].shape)
+                )
+        # Unpack cost (see allgather): landing zone -> user buffer.
+        self.gasnet.ctx.proc.sleep(self.gasnet.ctx.spec.copy_time(nbytes * n))
+        self._finish_exchange(seq)
+        self._arena_release(marker)
+
+    def _exchange(self, chunk_for_peer) -> int:
+        """Common body of allgather/alltoall: put + signal every peer in
+        naive ascending order, then wait for every peer's signal. Returns
+        the collective's sequence number for :meth:`_finish_exchange`."""
+        seq = self._next_seq()
+        n = self.size
+        mode = self.gasnet.ctx.spec.gasnet_coll_signal
+        if mode == "put":
+            marker_val = seq + 1
+            for j in range(n):
+                if j == self.my_index:
+                    continue
+                data, delta = chunk_for_peer(j)
+                self.gasnet.put_nb(
+                    self.members[j], self.peer_arena_bases[j] + delta, data
+                )
+                # Pair-FIFO delivery makes the flag arrive after the data.
+                self._put_flag(j, marker_val, self.peer_flag_bases)
+            if n > 1:
+                self._wait_flags(marker_val, self.flags_base)
+        elif mode == "am":
+            handles = []
+            for j in range(n):
+                if j == self.my_index:
+                    continue
+                data, delta = chunk_for_peer(j)
+                handles.append(
+                    self.gasnet.put_nb(
+                        self.members[j], self.peer_arena_bases[j] + delta, data
+                    )
+                )
+            self.gasnet.wait_syncnb_all(handles)
+            for j in range(n):
+                if j != self.my_index:
+                    self._signal(j, seq)
+            if n > 1:
+                self._wait_signals(seq, n - 1)
+        else:
+            raise GasnetError(f"unknown gasnet_coll_signal mode {mode!r}")
+        return seq
+
+    def _finish_exchange(self, seq: int) -> None:
+        """Drain round: nobody's landing zone may be overwritten (by a
+        subsequent collective reusing the arena) until everyone has copied
+        theirs out."""
+        n = self.size
+        if n == 1:
+            return
+        mode = self.gasnet.ctx.spec.gasnet_coll_signal
+        if mode == "put":
+            marker_val = seq + 1
+            for j in range(n):
+                if j != self.my_index:
+                    self._put_flag(j, marker_val, self.peer_drain_bases)
+            self._wait_flags(marker_val, self.drain_base)
+        else:
+            for j in range(n):
+                if j != self.my_index:
+                    self._signal(j, seq, round_no=1)
+            self._wait_signals(seq, n - 1, round_no=1)

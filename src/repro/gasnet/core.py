@@ -1,0 +1,505 @@
+"""GASNet core + extended API on the simulated fabric.
+
+Progress model
+--------------
+RDMA put/get complete purely in the network (no target CPU), like
+InfiniBand RDMA. Active Messages land in a per-rank queue and their
+handlers run only when the *target* calls :meth:`GasnetRank.poll` — which
+every blocking GASNet call does internally (``GASNET_BLOCKUNTIL``
+semantics). A process blocked outside GASNet (e.g. in an MPI barrier)
+never runs its AM handlers: exactly the interoperability hazard of the
+paper's Figure 2.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from collections import deque
+from collections.abc import Callable
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.sim.cluster import Cluster, RankCtx
+from repro.sim.memory import MB
+from repro.sim.sync import Counter, SimEvent
+from repro.util.errors import GasnetError
+
+AM_MAX_ARGS = 16
+AM_MAX_MEDIUM = 65536  # bytes of medium-AM payload
+
+_handle_ids = itertools.count()
+
+
+@dataclass
+class Handle:
+    """Completion handle for a nonblocking put/get (gasnet_handle_t)."""
+
+    kind: str
+    event: SimEvent = field(default_factory=lambda: SimEvent("gasnet-handle"))
+
+    @property
+    def done(self) -> bool:
+        return self.event.is_set
+
+
+@dataclass
+class Token:
+    """Handler token: identifies the requester and allows one reply."""
+
+    src: int
+    gasnet: "GasnetRank"
+
+    def reply_short(self, handler_idx: int, *args: int) -> None:
+        """AMReplyShort: send a short AM back to the requester."""
+        self.gasnet._am_inject(
+            self.src, handler_idx, args, payload=None, dest_offset=None, is_reply=True
+        )
+
+
+@dataclass
+class _QueuedAM:
+    src: int
+    handler_idx: int
+    args: tuple[int, ...]
+    payload: np.ndarray | None  # medium AM payload (bounce buffer copy)
+    dest_offset: int | None  # long AM landing offset (data already in segment)
+    nbytes: int
+    is_reply: bool = False  # replies do not return a flow-control credit
+
+
+class GasnetWorld:
+    """Shared GASNet library state for one cluster run."""
+
+    @classmethod
+    def get(cls, cluster: Cluster) -> "GasnetWorld":
+        return cluster.shared("gasnet-world", lambda: cls(cluster))
+
+    def __init__(self, cluster: Cluster):
+        self.cluster = cluster
+        self.nranks = cluster.nranks
+        self.segments: list[np.ndarray | None] = [None] * cluster.nranks
+        self.ranks: dict[int, GasnetRank] = {}
+        self.srq_enabled = cluster.spec.srq_active(cluster.nranks)
+        self._attached = Counter("gasnet.attached")
+
+    def attach(self, ctx: RankCtx, segment_bytes: int) -> "GasnetRank":
+        """gasnet_init + gasnet_attach for one rank (collective: returns only
+        once every rank has attached, like the real bootstrap)."""
+        if ctx.rank in self.ranks:
+            raise GasnetError(f"rank {ctx.rank} attached to GASNet twice")
+        if segment_bytes <= 0:
+            raise GasnetError(f"segment size must be positive, got {segment_bytes}")
+        self.segments[ctx.rank] = np.zeros(segment_bytes, np.uint8)
+        g = GasnetRank(self, ctx)
+        self.ranks[ctx.rank] = g
+        spec = ctx.spec
+        nranks = self.nranks
+        meta_mb = spec.gasnet_mem_base_mb + spec.gasnet_mem_log_mb * math.log2(
+            max(nranks, 2)
+        )
+        ctx.memory.alloc(ctx.rank, "gasnet/base", meta_mb * MB)
+        if not self.srq_enabled:
+            # Without the Shared Receive Queue, per-peer receive buffers
+            # grow linearly — the memory SRQ exists to save (paper §4.1).
+            ctx.memory.alloc(
+                ctx.rank, "gasnet/rbuf", spec.gasnet_mem_nosrq_per_rank_mb * MB * nranks
+            )
+        ctx.memory.alloc(ctx.rank, "gasnet/segment", segment_bytes)
+        self._attached.add()
+        self._attached.wait_geq(ctx.proc, self.nranks)
+        return g
+
+
+class GasnetRank:
+    """Per-rank GASNet facade."""
+
+    def __init__(self, world: GasnetWorld, ctx: RankCtx):
+        self.world = world
+        self.ctx = ctx
+        self.rank = ctx.rank
+        self.nranks = world.nranks
+        self.handlers: dict[int, Callable[..., Any]] = {}
+        self.am_queue: deque[_QueuedAM] = deque()
+        #: Restricts which handler indices THIS view may run (progress
+        #: agents set it on their clones; None = unrestricted).
+        self.default_handler_filter: set[int] | None = None
+        #: Callables run at every poll (library progress hooks, e.g. CAF
+        #: runtime continuations). Shared across clones.
+        self.poll_hooks: list[Callable[[], None]] = []
+        #: Bumped on every arrival/completion; blocking calls wait on it.
+        self.activity = Counter(f"gasnet.activity[{ctx.rank}]")
+        #: AM request/reply flow control: available request slots per peer.
+        self._credits: dict[int, int] = {}
+        self.am_requests_sent = 0
+        self.am_handled = 0
+
+    # -- segment ---------------------------------------------------------
+
+    @property
+    def segment(self) -> np.ndarray:
+        seg = self.world.segments[self.rank]
+        assert seg is not None
+        return seg
+
+    def segment_of(self, rank: int) -> np.ndarray:
+        seg = self.world.segments[rank]
+        if seg is None:
+            raise GasnetError(f"rank {rank} has not attached a segment")
+        return seg
+
+    def _check_range(self, rank: int, offset: int, nbytes: int) -> None:
+        seg = self.segment_of(rank)
+        if offset < 0 or offset + nbytes > seg.nbytes:
+            raise GasnetError(
+                f"segment access [{offset}, {offset + nbytes}) outside rank "
+                f"{rank}'s {seg.nbytes}-byte segment"
+            )
+
+    def _rx_extra(self) -> float:
+        return self.ctx.spec.gasnet_srq_penalty if self.world.srq_enabled else 0.0
+
+    # -- active messages ----------------------------------------------------
+
+    def register_handler(self, idx: int, fn: Callable[..., Any]) -> None:
+        """Register AM handler ``idx``. Short handlers get ``(token, *args)``;
+        medium get ``(token, payload, *args)``; long get
+        ``(token, offset, nbytes, *args)``."""
+        if idx in self.handlers:
+            raise GasnetError(f"handler index {idx} already registered")
+        self.handlers[idx] = fn
+
+    def _acquire_credit(self, dest: int) -> None:
+        """Block (with AM progress) until a request slot to ``dest`` frees.
+
+        Models GASNet's request/reply flow control: a sender cannot run
+        unboundedly ahead of the target's handler drain rate, which is what
+        bounds the sustained EVENT_NOTIFY rate in the paper's
+        microbenchmarks.
+        """
+        limit = self.ctx.spec.gasnet_am_credits
+        if limit is None:
+            return
+        if self._credits.get(dest, limit) <= 0:
+            self.block_until(
+                lambda: self._credits.get(dest, limit) > 0,
+                f"am credits to rank {dest}",
+            )
+        self._credits[dest] = self._credits.get(dest, limit) - 1
+
+    def _credit_returned(self, dest: int) -> None:
+        limit = self.ctx.spec.gasnet_am_credits
+        if limit is None:
+            return
+        self._credits[dest] = self._credits.get(dest, limit) + 1
+        self.activity.add()
+
+    def _am_inject(
+        self,
+        dest: int,
+        handler_idx: int,
+        args: tuple[int, ...],
+        payload: np.ndarray | None,
+        dest_offset: int | None,
+        *,
+        is_reply: bool = False,
+    ) -> None:
+        if len(args) > AM_MAX_ARGS:
+            raise GasnetError(f"AM carries {len(args)} args > AMMaxArgs={AM_MAX_ARGS}")
+        spec = self.ctx.spec
+        if not is_reply:
+            # Replies have a guaranteed slot; only requests consume credits.
+            self._acquire_credit(dest)
+        self.ctx.proc.sleep(spec.gasnet_am_overhead)
+        self.am_requests_sent += 1
+        nbytes = 0 if payload is None else payload.nbytes
+        wire = 32 + nbytes
+        src = self.rank
+        target = self.world.ranks.get(dest)
+        if target is None:
+            raise GasnetError(f"AM to rank {dest}, which has not attached")
+        qam = _QueuedAM(
+            src=src,
+            handler_idx=handler_idx,
+            args=args,
+            payload=payload,
+            dest_offset=dest_offset,
+            nbytes=nbytes,
+            is_reply=is_reply,
+        )
+
+        def on_delivered() -> None:
+            if qam.dest_offset is not None and qam.payload is not None:
+                # Long AM: payload lands in the target segment before the
+                # handler is queued.
+                seg = self.world.segments[dest]
+                assert seg is not None
+                seg[qam.dest_offset : qam.dest_offset + qam.nbytes] = qam.payload
+            target.am_queue.append(qam)
+            target.activity.add()
+
+        self.ctx.fabric.transfer(src, dest, wire, on_delivered, rx_extra=self._rx_extra())
+
+    def am_request_short(self, dest: int, handler_idx: int, *args: int) -> None:
+        """AMRequestShort: a few integer arguments, no payload."""
+        self._am_inject(dest, handler_idx, args, payload=None, dest_offset=None)
+
+    def am_request_medium(self, dest: int, handler_idx: int, payload, *args: int) -> None:
+        """AMRequestMedium: opaque payload into a target bounce buffer."""
+        data = np.ascontiguousarray(payload).reshape(-1).view(np.uint8).copy()
+        if data.nbytes > AM_MAX_MEDIUM:
+            raise GasnetError(
+                f"medium AM payload {data.nbytes} > AMMaxMedium={AM_MAX_MEDIUM}"
+            )
+        self._am_inject(dest, handler_idx, args, payload=data, dest_offset=None)
+
+    def am_request_long(
+        self, dest: int, handler_idx: int, payload, dest_offset: int, *args: int
+    ) -> None:
+        """AMRequestLong: payload lands at a predetermined segment address."""
+        data = np.ascontiguousarray(payload).reshape(-1).view(np.uint8).copy()
+        self._check_range(dest, dest_offset, data.nbytes)
+        self._am_inject(dest, handler_idx, args, payload=data, dest_offset=dest_offset)
+
+    def clone_for(self, ctx) -> "GasnetRank":
+        """A view of this rank bound to another execution context.
+
+        Shares every piece of library state (handlers, AM queue, activity
+        counter, credits) but charges costs to ``ctx.proc`` — how a library
+        progress agent participates in GASNet on the rank's behalf.
+        """
+        clone = object.__new__(GasnetRank)
+        clone.__dict__ = dict(self.__dict__)
+        clone.ctx = ctx
+        clone.default_handler_filter = None
+        return clone
+
+    def poll(self, handler_filter: "set[int] | None" = None) -> int:
+        """gasnet_AMPoll: run queued AM handlers; returns how many ran.
+
+        ``handler_filter`` restricts which handler indices this caller may
+        execute (used by progress agents so they never run application
+        handlers on the wrong execution context); others stay queued.
+        """
+        spec = self.ctx.spec
+        if handler_filter is None:
+            handler_filter = self.default_handler_filter
+        self.ctx.proc.sleep(spec.gasnet_poll_overhead)
+        for hook in self.poll_hooks:
+            hook()
+        ran = 0
+        pending = []
+        while self.am_queue:
+            qam = self.am_queue.popleft()
+            if handler_filter is not None and qam.handler_idx not in handler_filter:
+                pending.append(qam)
+                continue
+            cost = spec.gasnet_handler_overhead
+            if self.world.srq_enabled:
+                cost += spec.gasnet_srq_penalty
+            self.ctx.proc.sleep(cost)
+            handler = self.handlers.get(qam.handler_idx)
+            if handler is None:
+                raise GasnetError(f"no handler registered at index {qam.handler_idx}")
+            token = Token(src=qam.src, gasnet=self)
+            if qam.dest_offset is not None:
+                handler(token, qam.dest_offset, qam.nbytes, *qam.args)
+            elif qam.payload is not None:
+                handler(token, qam.payload, *qam.args)
+            else:
+                handler(token, *qam.args)
+            self.am_handled += 1
+            ran += 1
+            if not qam.is_reply:
+                # The implicit reply returns the sender's flow-control
+                # credit one wire latency later.
+                sender = self.world.ranks.get(qam.src)
+                if sender is not None:
+                    back = (
+                        spec.loopback_latency
+                        if spec.node_of(qam.src) == spec.node_of(self.rank)
+                        else spec.latency
+                    )
+                    dest = self.rank
+                    self.ctx.engine.call_in(
+                        back, lambda s=sender, d=dest: s._credit_returned(d)
+                    )
+        # Re-queue messages this caller wasn't allowed to handle, in order.
+        for qam in reversed(pending):
+            self.am_queue.appendleft(qam)
+        if ran:
+            # Handlers mutate state other blocked contexts (progress
+            # agents, the main image) may be waiting on; make them re-check.
+            # Without this, a context that saw an empty queue while another
+            # context was mid-handler misses the state change forever.
+            self.activity.add()
+        return ran
+
+    def block_until(
+        self,
+        pred: Callable[[], bool],
+        reason: str,
+        handler_filter: "set[int] | None" = None,
+    ) -> None:
+        """GASNET_BLOCKUNTIL: poll-and-sleep until ``pred()`` holds.
+
+        Polls AMs on every wake-up, so handlers make progress while this
+        image is blocked inside GASNet (and only then).
+        """
+        while True:
+            ran = self.poll(handler_filter)
+            if pred():
+                return
+            seen = self.activity.count
+            if ran and self.am_queue:
+                continue  # more AMs this caller may handle arrived mid-poll
+            self.activity.wait_geq(self.ctx.proc, seen + 1, reason=reason)
+
+    # -- one-sided RDMA ---------------------------------------------------------
+
+    def put_nb(self, dest: int, dest_offset: int, data) -> Handle:
+        """gasnet_put_nb: RDMA write; the handle fires on remote completion
+        (data commits at delivery; the origin learns of it one ack later)."""
+        arr = np.ascontiguousarray(data).reshape(-1).view(np.uint8).copy()
+        self._check_range(dest, dest_offset, arr.nbytes)
+        spec = self.ctx.spec
+        self.ctx.proc.sleep(spec.gasnet_put_overhead)
+        handle = Handle(kind=f"put(dest={dest})")
+        seg = self.segment_of(dest)
+        me = self
+        src = self.rank
+        if src == dest or spec.node_of(src) == spec.node_of(dest):
+            ack = spec.loopback_latency
+        else:
+            ack = spec.latency
+        engine = self.ctx.engine
+
+        dest_rank = self.world.ranks.get(dest)
+
+        def on_delivered() -> None:
+            seg[dest_offset : dest_offset + arr.nbytes] = arr
+            if dest_rank is not None and dest_rank is not me:
+                # The destination may be spinning on segment memory
+                # (GASNET_BLOCKUNTIL on a flag): let it re-check.
+                dest_rank.activity.add()
+            engine.call_in(ack, lambda: (handle.event.fire(), me.activity.add()))
+
+        self.ctx.fabric.transfer(
+            self.rank, dest, arr.nbytes + 32, on_delivered, rx_extra=self._rx_extra()
+        )
+        return handle
+
+    def get_nb(self, dest_buf, src: int, src_offset: int) -> Handle:
+        """gasnet_get_nb: RDMA read into ``dest_buf``."""
+        out = np.asarray(dest_buf)
+        if out.size and not out.flags["C_CONTIGUOUS"]:
+            raise GasnetError("get destination must be C-contiguous")
+        nbytes = out.nbytes
+        self._check_range(src, src_offset, nbytes)
+        spec = self.ctx.spec
+        self.ctx.proc.sleep(spec.gasnet_get_overhead)
+        handle = Handle(kind=f"get(src={src})")
+        fabric = self.ctx.fabric
+        me = self
+
+        def at_source() -> None:
+            payload = self.segment_of(src)[src_offset : src_offset + nbytes].copy()
+
+            def at_origin() -> None:
+                out.reshape(-1).view(np.uint8)[...] = payload
+                handle.event.fire()
+                me.activity.add()
+
+            fabric.transfer(src, self.rank, nbytes + 32, at_origin, rx_extra=me._rx_extra())
+
+        fabric.transfer(self.rank, src, 32, at_source, rx_extra=self._rx_extra())
+        return handle
+
+    def put_runs_nb(self, dest: int, runs: list[tuple[int, int]], data) -> Handle:
+        """Strided RDMA write (the GASNet VIS extended API): one message
+        scatters ``data`` into the (byte_offset, nbytes) runs of the
+        destination segment."""
+        arr = np.ascontiguousarray(data).reshape(-1).view(np.uint8)
+        total = sum(n for _off, n in runs)
+        if arr.nbytes != total:
+            raise GasnetError(f"put_runs data is {arr.nbytes} bytes, runs cover {total}")
+        for off, n in runs:
+            self._check_range(dest, int(off), int(n))
+        spec = self.ctx.spec
+        # Pack cost at the origin, then a single wire message.
+        self.ctx.proc.sleep(spec.gasnet_put_overhead + spec.copy_time(arr.nbytes))
+        snapshot = arr.copy()
+        handle = Handle(kind=f"put_runs(dest={dest})")
+        seg = self.segment_of(dest)
+        me = self
+        src = self.rank
+        if src == dest or spec.node_of(src) == spec.node_of(dest):
+            ack = spec.loopback_latency
+        else:
+            ack = spec.latency
+        engine = self.ctx.engine
+        dest_rank = self.world.ranks.get(dest)
+
+        def on_delivered() -> None:
+            cursor = 0
+            for off, n in runs:
+                seg[off : off + n] = snapshot[cursor : cursor + n]
+                cursor += n
+            if dest_rank is not None and dest_rank is not me:
+                dest_rank.activity.add()
+            engine.call_in(ack, lambda: (handle.event.fire(), me.activity.add()))
+
+        self.ctx.fabric.transfer(
+            self.rank, dest, arr.nbytes + 32, on_delivered, rx_extra=self._rx_extra()
+        )
+        return handle
+
+    def get_runs_nb(self, dest_buf, src: int, runs: list[tuple[int, int]]) -> Handle:
+        """Strided RDMA read: gather the source segment's byte runs into
+        ``dest_buf`` with one request/response exchange."""
+        out = np.asarray(dest_buf)
+        total = sum(n for _off, n in runs)
+        if out.nbytes != total:
+            raise GasnetError(f"get_runs buffer is {out.nbytes} bytes, runs cover {total}")
+        for off, n in runs:
+            self._check_range(src, int(off), int(n))
+        spec = self.ctx.spec
+        self.ctx.proc.sleep(spec.gasnet_get_overhead)
+        handle = Handle(kind=f"get_runs(src={src})")
+        fabric = self.ctx.fabric
+        me = self
+
+        def at_source() -> None:
+            seg = self.segment_of(src)
+            payload = np.concatenate(
+                [seg[off : off + n] for off, n in runs]
+            ) if runs else np.empty(0, np.uint8)
+
+            def at_origin() -> None:
+                out.reshape(-1).view(np.uint8)[...] = payload
+                handle.event.fire()
+                me.activity.add()
+
+            fabric.transfer(src, self.rank, total + 32, at_origin, rx_extra=me._rx_extra())
+
+        fabric.transfer(self.rank, src, 32, at_source, rx_extra=self._rx_extra())
+        return handle
+
+    def wait_syncnb(self, handle: Handle) -> None:
+        """gasnet_wait_syncnb: block (with AM progress) until the handle fires."""
+        self.block_until(lambda: handle.done, f"wait_syncnb({handle.kind})")
+
+    def wait_syncnb_all(self, handles: list[Handle]) -> None:
+        self.block_until(
+            lambda: all(h.done for h in handles), "wait_syncnb_all"
+        )
+
+    def put(self, dest: int, dest_offset: int, data) -> None:
+        """gasnet_put (blocking): returns when remotely complete."""
+        self.wait_syncnb(self.put_nb(dest, dest_offset, data))
+
+    def get(self, dest_buf, src: int, src_offset: int) -> None:
+        """gasnet_get (blocking)."""
+        self.wait_syncnb(self.get_nb(dest_buf, src, src_offset))

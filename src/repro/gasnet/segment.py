@@ -1,0 +1,54 @@
+"""Symmetric bump/stack allocator for GASNet segments.
+
+CAF coarrays over GASNet live at segment offsets. Because every image
+performs the same (collective) allocations in the same order with the same
+sizes, offsets agree across images — the symmetric-heap property remote
+puts/gets rely on. Scratch regions for hand-rolled collectives are
+allocated with :meth:`mark` / :meth:`release` in LIFO order.
+"""
+
+from __future__ import annotations
+
+from repro.util.errors import GasnetError
+
+
+def _align_up(n: int, align: int) -> int:
+    return (n + align - 1) // align * align
+
+
+class SegmentAllocator:
+    def __init__(self, capacity: int):
+        if capacity <= 0:
+            raise GasnetError(f"segment capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._top = 0
+
+    def alloc(self, nbytes: int, align: int = 16) -> int:
+        """Reserve ``nbytes`` and return the segment offset."""
+        if nbytes < 0:
+            raise GasnetError(f"negative allocation {nbytes}")
+        offset = _align_up(self._top, align)
+        if offset + nbytes > self.capacity:
+            raise GasnetError(
+                f"segment exhausted: need {nbytes} at {offset}, capacity {self.capacity}"
+            )
+        self._top = offset + nbytes
+        return offset
+
+    def mark(self) -> int:
+        """Checkpoint for LIFO scratch allocation."""
+        return self._top
+
+    def release(self, marker: int) -> None:
+        """Pop back to a previous :meth:`mark`."""
+        if not 0 <= marker <= self._top:
+            raise GasnetError(f"bad release marker {marker} (top={self._top})")
+        self._top = marker
+
+    @property
+    def used(self) -> int:
+        return self._top
+
+    @property
+    def free(self) -> int:
+        return self.capacity - self._top

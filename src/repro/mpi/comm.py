@@ -1,0 +1,261 @@
+"""Communicators: groups, context ids, dup/split, and the per-rank facade.
+
+A :class:`_CommState` is the shared (library-side) state of one
+communicator: its group, its two matching contexts (user + collective),
+and coordination boards for ``split``. A :class:`Comm` is one rank's view
+of that state — the object application code holds.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+import numpy as np
+
+from repro.mpi import collectives as coll
+from repro.mpi import p2p
+from repro.mpi.constants import ANY_SOURCE, ANY_TAG
+from repro.mpi.p2p import Matching
+from repro.mpi.request import Request
+from repro.mpi.status import Status
+from repro.util.errors import MpiError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.mpi.world import MpiRank, MpiWorld
+
+
+class _CommState:
+    """Shared library state of one communicator."""
+
+    def __init__(self, world: "MpiWorld", group: tuple[int, ...], context_id: int):
+        self.world = world
+        self.group = group  # comm rank -> world rank
+        self.context_id = context_id
+        n = len(group)
+        self.user = Matching(n, f"comm{context_id}.user")
+        self.coll = Matching(n, f"comm{context_id}.coll")
+        # Nonblocking collectives run on progress agents in their own
+        # context, so they can overlap blocking traffic.
+        self.nbc = Matching(n, f"comm{context_id}.nbc")
+        # Per-rank collective sequence numbers (become internal tags).
+        self.coll_seq = [0] * n
+        self.nbc_seq = [0] * n
+        # Split coordination: split_seq -> {"args": {rank: (color,key)}, "result": ...}
+        self.split_boards: dict[int, dict[str, Any]] = {}
+        self.split_count = [0] * n
+
+
+class Comm:
+    """One rank's handle on a communicator.
+
+    ``space`` selects which internal matching context collectives use:
+    "coll" for the blocking entry points, "nbc" for the agent-side views
+    that execute nonblocking collectives.
+    """
+
+    def __init__(self, state: _CommState, mpirank: "MpiRank", rank: int, space: str = "coll"):
+        self.state = state
+        self.mpirank = mpirank
+        self.ctx = mpirank.ctx
+        self.rank = rank
+        self.size = len(state.group)
+        self._space = space
+
+    # -- identity ---------------------------------------------------------
+
+    def world_rank(self, comm_rank: int) -> int:
+        return self.state.group[comm_rank]
+
+    def check_peer(self, peer: int) -> None:
+        if not 0 <= peer < self.size:
+            raise MpiError(f"peer rank {peer} out of range [0, {self.size})")
+
+    # -- point-to-point (user context) -------------------------------------
+
+    def isend(self, buf, dest: int, tag: int = 0) -> Request:
+        return p2p.isend(self, self.state.user, buf, dest, tag)
+
+    def irecv(self, buf, source: int, tag: int = ANY_TAG) -> Request:
+        return p2p.irecv(self, self.state.user, buf, source, tag)
+
+    def send(self, buf, dest: int, tag: int = 0) -> None:
+        self.isend(buf, dest, tag).wait()
+
+    def recv(self, buf, source: int, tag: int = ANY_TAG) -> Status:
+        return self.irecv(buf, source, tag).wait()
+
+    def sendrecv(
+        self, sendbuf, dest: int, recvbuf, source: int, sendtag: int = 0, recvtag: int = ANY_TAG
+    ) -> Status:
+        rreq = self.irecv(recvbuf, source, recvtag)
+        sreq = self.isend(sendbuf, dest, sendtag)
+        sreq.wait()
+        return rreq.wait()
+
+    def probe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Status:
+        env = p2p.probe(self, self.state.user, source, tag, blocking=True)
+        assert env is not None
+        return Status(source=env.src, tag=env.tag, count=env.nbytes)
+
+    def iprobe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> tuple[bool, Status | None]:
+        env = p2p.probe(self, self.state.user, source, tag, blocking=False)
+        if env is None:
+            return False, None
+        return True, Status(source=env.src, tag=env.tag, count=env.nbytes)
+
+    # -- internal p2p on the collective context ----------------------------
+
+    @property
+    def _coll_matching(self) -> Matching:
+        return self.state.nbc if self._space == "nbc" else self.state.coll
+
+    @property
+    def _coll_seq_list(self) -> list[int]:
+        return self.state.nbc_seq if self._space == "nbc" else self.state.coll_seq
+
+    def _coll_isend(self, buf, dest: int, tag: int) -> Request:
+        return p2p.isend(self, self._coll_matching, buf, dest, tag)
+
+    def _coll_irecv(self, buf, source: int, tag: int) -> Request:
+        return p2p.irecv(self, self._coll_matching, buf, source, tag)
+
+    def _coll_send(self, buf, dest: int, tag: int) -> None:
+        self._coll_isend(buf, dest, tag).wait()
+
+    def _coll_recv(self, buf, source: int, tag: int) -> Status:
+        return self._coll_irecv(buf, source, tag).wait()
+
+    def _coll_sendrecv(self, sendbuf, dest: int, recvbuf, source: int, tag: int) -> None:
+        rreq = self._coll_irecv(recvbuf, source, tag)
+        sreq = self._coll_isend(sendbuf, dest, tag)
+        sreq.wait()
+        rreq.wait()
+
+    def _next_coll_tag(self) -> int:
+        seq_list = self._coll_seq_list
+        tag = seq_list[self.rank]
+        seq_list[self.rank] += 1
+        return tag
+
+    # -- collectives --------------------------------------------------------
+
+    def barrier(self) -> None:
+        coll.barrier(self)
+
+    def bcast(self, buf, root: int = 0) -> None:
+        coll.bcast(self, buf, root)
+
+    def reduce(self, sendbuf, recvbuf, op=None, root: int = 0) -> None:
+        coll.reduce(self, sendbuf, recvbuf, op, root)
+
+    def allreduce(self, sendbuf, recvbuf, op=None) -> None:
+        coll.allreduce(self, sendbuf, recvbuf, op)
+
+    def alltoall(self, sendbuf, recvbuf) -> None:
+        coll.alltoall(self, sendbuf, recvbuf)
+
+    def alltoallv(self, sendchunks, recvchunks) -> None:
+        coll.alltoallv(self, sendchunks, recvchunks)
+
+    def allgather(self, sendbuf, recvbuf) -> None:
+        coll.allgather(self, sendbuf, recvbuf)
+
+    def gather(self, sendbuf, recvbuf, root: int = 0) -> None:
+        coll.gather(self, sendbuf, recvbuf, root)
+
+    def scatter(self, sendbuf, recvbuf, root: int = 0) -> None:
+        coll.scatter(self, sendbuf, recvbuf, root)
+
+    def reduce_scatter_block(self, sendbuf, recvbuf, op=None) -> None:
+        coll.reduce_scatter_block(self, sendbuf, recvbuf, op)
+
+    # -- nonblocking collectives (MPI-3) -------------------------------------
+
+    def _submit_nbc(self, kind: str, work) -> Request:
+        """Queue a collective on this comm's progress agent (FIFO per comm,
+        so every rank's agent executes the same sequence — the MPI NBC
+        ordering requirement)."""
+        agent, view = self.mpirank._nbc_agent(self)
+        req = Request(f"i{kind}(ctx={self.state.context_id})", self.ctx.proc)
+        done = agent.submit(lambda agent_ctx: work(view))
+        done.subscribe(lambda: req._complete())
+        return req
+
+    def ibarrier(self) -> Request:
+        """MPI_IBARRIER: request completes when all ranks have entered."""
+        return self._submit_nbc("barrier", lambda view: coll.barrier(view))
+
+    def ibcast(self, buf, root: int = 0) -> Request:
+        return self._submit_nbc("bcast", lambda view: coll.bcast(view, buf, root))
+
+    def ireduce(self, sendbuf, recvbuf, op=None, root: int = 0) -> Request:
+        return self._submit_nbc(
+            "reduce", lambda view: coll.reduce(view, sendbuf, recvbuf, op, root)
+        )
+
+    def iallreduce(self, sendbuf, recvbuf, op=None) -> Request:
+        return self._submit_nbc(
+            "allreduce", lambda view: coll.allreduce(view, sendbuf, recvbuf, op)
+        )
+
+    def ialltoall(self, sendbuf, recvbuf) -> Request:
+        return self._submit_nbc(
+            "alltoall", lambda view: coll.alltoall(view, sendbuf, recvbuf)
+        )
+
+    def iallgather(self, sendbuf, recvbuf) -> Request:
+        return self._submit_nbc(
+            "allgather", lambda view: coll.allgather(view, sendbuf, recvbuf)
+        )
+
+    # -- construction ---------------------------------------------------------
+
+    def split(self, color: int, key: int | None = None) -> "Comm | None":
+        """MPI_COMM_SPLIT. ``color < 0`` (MPI_UNDEFINED) yields None."""
+        if key is None:
+            key = self.rank
+        state = self.state
+        seq = state.split_count[self.rank]
+        state.split_count[self.rank] += 1
+        board = state.split_boards.setdefault(seq, {"args": {}, "result": None})
+        board["args"][self.rank] = (color, key)
+        # Agreement protocol: everyone contributes, then a barrier guarantees
+        # all contributions are visible; rank 0 computes the partition once.
+        self.barrier()
+        if board["result"] is None:
+            groups: dict[int, list[tuple[int, int]]] = {}
+            for r, (c, k) in board["args"].items():
+                if c >= 0:
+                    groups.setdefault(c, []).append((k, r))
+            result: dict[int, tuple[_CommState, int]] = {}
+            for c in sorted(groups):
+                members = [r for _k, r in sorted(groups[c])]
+                new_state = _CommState(
+                    state.world,
+                    tuple(state.group[r] for r in members),
+                    state.world.next_context_id(),
+                )
+                for new_rank, r in enumerate(members):
+                    result[r] = (new_state, new_rank)
+            board["result"] = result
+        # Second barrier: nobody proceeds before the partition exists.
+        self.barrier()
+        entry = board["result"].get(self.rank)
+        if entry is None:
+            return None
+        new_state, new_rank = entry
+        return Comm(new_state, self.mpirank, new_rank)
+
+    def dup(self) -> "Comm":
+        """MPI_COMM_DUP: same group, fresh context."""
+        new = self.split(0, self.rank)
+        assert new is not None
+        return new
+
+    # -- convenience ------------------------------------------------------------
+
+    def new_like(self, template: np.ndarray) -> np.ndarray:
+        return np.empty_like(template)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Comm ctx={self.state.context_id} rank={self.rank}/{self.size}>"

@@ -1,0 +1,47 @@
+"""MPI constants: wildcards and predefined reduction/accumulate operations."""
+
+from __future__ import annotations
+
+import numpy as np
+
+ANY_SOURCE = -1
+ANY_TAG = -1
+
+#: Upper bound on user tags; internal traffic uses tags above this.
+TAG_UB = 1 << 20
+
+
+class Op:
+    """A predefined reduction / accumulate operation.
+
+    ``fn(acc, operand)`` combines arrays elementwise and returns the result
+    (it must not modify ``operand``).
+    """
+
+    def __init__(self, name: str, fn, *, commutative: bool = True):
+        self.name = name
+        self.fn = fn
+        self.commutative = commutative
+
+    def __call__(self, acc: np.ndarray, operand: np.ndarray) -> np.ndarray:
+        return self.fn(acc, operand)
+
+    def __repr__(self) -> str:
+        return f"<MPI.Op {self.name}>"
+
+
+SUM = Op("SUM", lambda a, b: a + b)
+PROD = Op("PROD", lambda a, b: a * b)
+MAX = Op("MAX", np.maximum)
+MIN = Op("MIN", np.minimum)
+LAND = Op("LAND", np.logical_and)
+LOR = Op("LOR", np.logical_or)
+LXOR = Op("LXOR", np.logical_xor)
+BAND = Op("BAND", np.bitwise_and)
+BOR = Op("BOR", np.bitwise_or)
+BXOR = Op("BXOR", np.bitwise_xor)
+#: Accumulate-only: overwrite the target (MPI_REPLACE).
+REPLACE = Op("REPLACE", lambda a, b: b)
+#: Accumulate-only: leave the target unchanged (MPI_NO_OP; used by
+#: MPI_GET_ACCUMULATE / MPI_FETCH_AND_OP to implement pure fetches).
+NO_OP = Op("NO_OP", lambda a, b: a)

@@ -1,0 +1,243 @@
+"""Two-sided point-to-point: tag matching, eager and rendezvous protocols.
+
+One :class:`Matching` instance is one MPI *context*: a communicator owns
+two (user traffic and collective traffic) so library-internal messages can
+never match user wildcards, exactly as real MPI separates them with
+context ids.
+
+Protocols
+---------
+* **Eager** (payload <= ``spec.mpi_eager_threshold``): the sender copies the
+  payload into an internal buffer (charged as memcpy time), injects it, and
+  the send completes locally at once. On delivery the target either fills a
+  posted receive (completing it after the match overhead) or parks the
+  message in the unexpected queue.
+* **Rendezvous** (larger payloads): the sender injects a ready-to-send
+  (RTS) envelope; when the target matches it, a clear-to-send (CTS) flows
+  back and the payload moves directly; both requests complete when the
+  payload lands.
+
+The simulated MPI library has asynchronous progress for two-sided traffic
+(matching runs in scheduler callbacks, like a hardware-assisted or
+progress-thread implementation); the *lack* of progress the paper's
+Figure 2 warns about lives one level up, in CAF's Active-Message layer.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.mpi.constants import ANY_SOURCE, ANY_TAG
+from repro.mpi.request import Request
+from repro.sim.sync import Counter
+from repro.util.errors import MpiError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.mpi.comm import Comm
+
+_ENVELOPE_BYTES = 48  # modeled on-wire size of a match header / RTS / CTS
+
+_seq = itertools.count()
+
+
+def _as_bytes_view(buf) -> np.ndarray:
+    """View any contiguous numpy buffer as flat bytes (zero-copy)."""
+    arr = np.asarray(buf)
+    if arr.size and not arr.flags["C_CONTIGUOUS"]:
+        raise MpiError("message buffers must be C-contiguous")
+    return arr.reshape(-1).view(np.uint8)
+
+
+@dataclass
+class _Envelope:
+    """An arrived (or in-flight) message as seen by the matcher."""
+
+    src: int  # comm rank of the sender
+    tag: int
+    nbytes: int
+    data: np.ndarray | None  # eager payload (byte snapshot); None for RTS
+    rendezvous: "_Rendezvous | None"
+    seq: int = field(default_factory=lambda: next(_seq))
+
+
+@dataclass
+class _Rendezvous:
+    """Sender-side state referenced by an RTS envelope."""
+
+    payload: np.ndarray  # byte snapshot taken at send time
+    send_request: Request
+    src_world: int
+
+
+def _filters_match(src_filter: int, tag_filter: int, env: _Envelope) -> bool:
+    return (src_filter in (ANY_SOURCE, env.src)) and (
+        tag_filter in (ANY_TAG, env.tag)
+    )
+
+
+@dataclass
+class _PostedRecv:
+    src: int  # comm rank or ANY_SOURCE
+    tag: int  # or ANY_TAG
+    buf: np.ndarray  # flat byte view of the user buffer
+    request: Request
+    seq: int = field(default_factory=lambda: next(_seq))
+
+    def matches(self, env: _Envelope) -> bool:
+        return _filters_match(self.src, self.tag, env)
+
+
+class Matching:
+    """Posted-receive and unexpected-message queues for one context."""
+
+    def __init__(self, nranks: int, label: str):
+        self.label = label
+        self.posted: list[list[_PostedRecv]] = [[] for _ in range(nranks)]
+        self.unexpected: list[list[_Envelope]] = [[] for _ in range(nranks)]
+        # Bumped on every arrival at each rank; lets probe() block.
+        self.arrivals: list[Counter] = [
+            Counter(f"{label}.arrivals[{r}]") for r in range(nranks)
+        ]
+
+
+def _complete_recv(comm: "Comm", posted: _PostedRecv, env: _Envelope, data: np.ndarray) -> None:
+    """Fill the posted buffer and complete the request after the match overhead.
+
+    Eager messages pay an unpack copy out of the library's bounce buffer;
+    rendezvous payloads land directly in the user buffer (zero-copy), so
+    they only pay the match overhead.
+    """
+    if env.nbytes > posted.buf.nbytes:
+        raise MpiError(
+            f"message truncation: {env.nbytes} bytes arrived for a "
+            f"{posted.buf.nbytes}-byte receive (tag {env.tag})"
+        )
+    spec = comm.ctx.spec
+    engine = comm.ctx.engine
+    delay = spec.mpi_match_overhead
+    if env.rendezvous is None:
+        delay += spec.copy_time(env.nbytes)
+
+    def finish() -> None:
+        posted.buf[: env.nbytes] = data[: env.nbytes]
+        posted.request.status.source = env.src
+        posted.request.status.tag = env.tag
+        posted.request.status.count = env.nbytes
+        posted.request._complete()
+
+    engine.call_in(delay, finish)
+
+
+def _start_rendezvous_data(comm: "Comm", posted: _PostedRecv, env: _Envelope) -> None:
+    """Target matched an RTS: send CTS back, then move the payload."""
+    rv = env.rendezvous
+    assert rv is not None
+    fabric = comm.ctx.fabric
+    dst_world = comm.world_rank(comm.rank)
+
+    def on_cts_at_sender() -> None:
+        def on_payload_delivered() -> None:
+            _complete_recv(comm, posted, env, rv.payload)
+            rv.send_request._complete()
+
+        fabric.transfer(rv.src_world, dst_world, env.nbytes, on_payload_delivered)
+
+    fabric.transfer(dst_world, rv.src_world, _ENVELOPE_BYTES, on_cts_at_sender)
+
+
+def deliver(comm: "Comm", dst: int, env: _Envelope, matching: Matching) -> None:
+    """Scheduler-context arrival of ``env`` at comm rank ``dst``."""
+    for i, posted in enumerate(matching.posted[dst]):
+        if posted.matches(env):
+            del matching.posted[dst][i]
+            if env.rendezvous is not None:
+                _start_rendezvous_data(comm, posted, env)
+            else:
+                assert env.data is not None
+                _complete_recv(comm, posted, env, env.data)
+            matching.arrivals[dst].add()
+            return
+    matching.unexpected[dst].append(env)
+    matching.arrivals[dst].add()
+
+
+def isend(comm: "Comm", matching: Matching, buf, dest: int, tag: int) -> Request:
+    """Nonblocking send. The payload is snapshotted at call time."""
+    ctx = comm.ctx
+    spec = ctx.spec
+    comm.check_peer(dest)
+    data = _as_bytes_view(buf if buf is not None else np.empty(0, np.uint8)).copy()
+    nbytes = data.nbytes
+    req = Request(f"isend(dst={dest},tag={tag})", ctx.proc)
+    req.status.source = comm.rank
+    req.status.tag = tag
+    req.status.count = nbytes
+    src_world = comm.world_rank(comm.rank)
+    dst_world = comm.world_rank(dest)
+
+    eager = nbytes <= spec.mpi_eager_threshold
+    if eager:
+        # Copy into the library's eager buffer, inject, complete locally.
+        ctx.proc.sleep(spec.mpi_p2p_overhead + spec.copy_time(nbytes))
+        env = _Envelope(src=comm.rank, tag=tag, nbytes=nbytes, data=data, rendezvous=None)
+        ctx.fabric.transfer(
+            src_world,
+            dst_world,
+            nbytes + _ENVELOPE_BYTES,
+            lambda: deliver(comm, dest, env, matching),
+        )
+        req._complete()
+    else:
+        ctx.proc.sleep(spec.mpi_p2p_overhead)
+        rv = _Rendezvous(payload=data, send_request=req, src_world=src_world)
+        env = _Envelope(src=comm.rank, tag=tag, nbytes=nbytes, data=None, rendezvous=rv)
+        ctx.fabric.transfer(
+            src_world,
+            dst_world,
+            _ENVELOPE_BYTES,
+            lambda: deliver(comm, dest, env, matching),
+        )
+    return req
+
+
+def irecv(comm: "Comm", matching: Matching, buf, source: int, tag: int) -> Request:
+    """Nonblocking receive into ``buf`` (a writable contiguous numpy array)."""
+    ctx = comm.ctx
+    spec = ctx.spec
+    if source != ANY_SOURCE:
+        comm.check_peer(source)
+    view = _as_bytes_view(buf if buf is not None else np.empty(0, np.uint8))
+    req = Request(f"irecv(src={source},tag={tag})", ctx.proc)
+    posted = _PostedRecv(src=source, tag=tag, buf=view, request=req)
+    ctx.proc.sleep(spec.mpi_p2p_overhead)
+    # Search the unexpected queue in arrival order.
+    queue = matching.unexpected[comm.rank]
+    for i, env in enumerate(queue):
+        if posted.matches(env):
+            del queue[i]
+            if env.rendezvous is not None:
+                _start_rendezvous_data(comm, posted, env)
+            else:
+                assert env.data is not None
+                _complete_recv(comm, posted, env, env.data)
+            return req
+    matching.posted[comm.rank].append(posted)
+    return req
+
+
+def probe(
+    comm: "Comm", matching: Matching, source: int, tag: int, *, blocking: bool
+) -> _Envelope | None:
+    """Check for a matching unexpected message without receiving it."""
+    while True:
+        for env in matching.unexpected[comm.rank]:
+            if _filters_match(source, tag, env):
+                return env
+        if not blocking:
+            return None
+        seen = matching.arrivals[comm.rank].count
+        matching.arrivals[comm.rank].wait_geq(comm.ctx.proc, seen + 1)

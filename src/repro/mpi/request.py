@@ -1,0 +1,80 @@
+"""MPI request objects: nonblocking-operation completion handles.
+
+A :class:`Request` wraps a :class:`~repro.sim.sync.SimEvent`. Waiting on a
+request blocks the calling image until the simulated operation completes;
+because the library progresses communication asynchronously (callbacks on
+the event heap), no polling loop is needed at the MPI level.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.sim.engine import Proc
+from repro.sim.sync import SimEvent
+from repro.mpi.status import Status
+
+
+class Request:
+    """Completion handle for a nonblocking MPI operation."""
+
+    def __init__(self, kind: str, proc: Proc):
+        self.kind = kind
+        self._proc = proc
+        self._event = SimEvent(f"req:{kind}")
+        self.status = Status()
+
+    # -- completion (library side) ---------------------------------------
+
+    def _complete(self, value=None) -> None:
+        self._event.fire(value)
+
+    @property
+    def completed(self) -> bool:
+        return self._event.is_set
+
+    # -- user side --------------------------------------------------------
+
+    def wait(self) -> Status:
+        """Block until the operation completes; returns its status."""
+        self._event.wait(self._proc)
+        return self.status
+
+    def test(self) -> tuple[bool, Status | None]:
+        """Nonblocking completion check."""
+        if self._event.is_set:
+            return True, self.status
+        return False, None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Request {self.kind} {'done' if self.completed else 'pending'}>"
+
+
+def wait_all(requests: Iterable[Request]) -> list[Status]:
+    """MPI_WAITALL: block until every request completes."""
+    return [req.wait() for req in requests]
+
+
+def wait_any(requests: list[Request]) -> tuple[int, Status]:
+    """MPI_WAITANY: block until at least one request completes.
+
+    Returns the index of a completed request (earliest-completing wins on
+    ties by list order, matching a deterministic MPI implementation).
+    """
+    if not requests:
+        raise ValueError("wait_any on empty request list")
+    proc = requests[0]._proc
+    while True:
+        for i, req in enumerate(requests):
+            if req.completed:
+                return i, req.status
+        # Park on a fresh merge event that fires when any request completes.
+        any_ev = SimEvent("wait_any")
+        for req in requests:
+            req._event.subscribe(any_ev.fire)
+        any_ev.wait(proc)
+
+
+def test_all(requests: Iterable[Request]) -> bool:
+    """MPI_TESTALL: True iff every request has completed."""
+    return all(req.completed for req in requests)

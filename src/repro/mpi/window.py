@@ -1,0 +1,884 @@
+"""MPI-3 RMA: windows, one-sided operations, passive-target synchronization.
+
+Implements the MPI-3 additions the paper's CAF-MPI runtime relies on
+(§2.2): ``MPI_WIN_ALLOCATE``, passive-target ``LOCK_ALL`` epochs,
+``PUT``/``GET``/``ACCUMULATE``, request-generating ``RPUT``/``RGET``,
+one-sided atomics (``FETCH_AND_OP``, ``COMPARE_AND_SWAP``), and the
+completion routines ``FLUSH`` / ``FLUSH_ALL`` / ``FLUSH_LOCAL``.
+
+Behavioural fidelity:
+
+* **Linear FLUSH_ALL** — MPICH derivatives flush every rank of the window's
+  group; with any epoch activity the call costs
+  ``group_size * mpi_flush_all_per_target`` (the paper's Figure 4 analysis
+  of RandomAccess `event_notify` time). With no activity it costs only
+  ``mpi_flush_all_idle``, which is why the paper's NOTIFY *microbenchmark*
+  stays flat while full RandomAccess does not.
+* **Send/recv-backed RMA** (``spec.mpi_rma_over_sendrecv``) — Cray MPI at
+  the time implemented RMA over two-sided internals; every one-sided op
+  pays an extra origin overhead and a target-side software delay (the
+  paper's Figure 5 analysis). The library still progresses these without
+  user intervention (Cray MPI has an internal agent), just more slowly.
+* Hardware-RMA mode completes PUT/GET purely in the fabric — no target CPU
+  involvement — which is what makes the CAF-MPI design deadlock-free where
+  AM-based coarray writes are not (Figure 2).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.mpi.constants import NO_OP, REPLACE, Op
+from repro.mpi.request import Request
+from repro.sim.memory import MB
+from repro.sim.sync import SimEvent
+from repro.util.errors import MpiError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.mpi.comm import Comm
+
+_RMA_ENVELOPE_BYTES = 48
+_win_ids = itertools.count()
+
+
+class _WindowState:
+    """Shared (library-side) state of one window."""
+
+    def __init__(
+        self,
+        group: tuple[int, ...],
+        buffers: list[np.ndarray | None],
+        win_id: int,
+        *,
+        memory_model: str = "unified",
+        dynamic: bool = False,
+        shared: bool = False,
+    ):
+        self.group = group  # comm rank -> world rank
+        self.buffers = buffers  # per comm rank, flat arrays of the window dtype
+        self.win_id = win_id
+        self.memory_model = memory_model  # "unified" (MPI-3) or "separate" (MPI-2)
+        self.dynamic = dynamic  # MPI_WIN_CREATE_DYNAMIC: memory attached later
+        self.shared = shared  # MPI_WIN_ALLOCATE_SHARED
+        n = len(group)
+        # pending[o][t]: ops from origin o not yet complete at target t.
+        self.pending = [[0] * n for _ in range(n)]
+        self.flush_waiters: dict[tuple[int, int], list[SimEvent]] = {}
+        # Origins with epoch activity since their last FLUSH_ALL.
+        self.dirty: list[bool] = [False] * n
+        self.lock_all_held: list[bool] = [False] * n
+        # Per-target exclusive/shared lock state: (mode, holders, wait queue).
+        self.locks: list[dict] = [
+            {"mode": None, "holders": set(), "queue": []} for _ in range(n)
+        ]
+        # Dynamic windows: per rank, base displacement -> attached region.
+        self.regions: list[dict[int, np.ndarray]] = [{} for _ in range(n)]
+        self.next_base: list[int] = [0] * n
+        # Separate model: per rank, private copy + mask of RMA-updated slots.
+        self.private_copies: list[np.ndarray | None] = [None] * n
+        self.rma_dirty_mask: list[np.ndarray | None] = [None] * n
+        self.freed = False
+
+    # -- target memory resolution (standard vs dynamic windows) -----------
+
+    def resolve(self, rank: int, offset: int, count: int) -> tuple[np.ndarray, int]:
+        """Locate the target array and local offset for an access."""
+        if self.dynamic:
+            for base, region in self.regions[rank].items():
+                if base <= offset and offset + count <= base + region.size:
+                    return region, offset - base
+            raise MpiError(
+                f"dynamic-window access [{offset}, {offset + count}) hits no "
+                f"attached region on rank {rank}"
+            )
+        buf = self.buffers[rank]
+        if buf is None:
+            raise MpiError(f"rank {rank} has no window memory")
+        if offset < 0 or offset + count > buf.size:
+            raise MpiError(
+                f"RMA access [{offset}, {offset + count}) outside target "
+                f"window of {buf.size} elements"
+            )
+        return buf, offset
+
+    def write_target(self, rank: int, offset: int, data: np.ndarray) -> None:
+        buf, off = self.resolve(rank, offset, data.size)
+        buf[off : off + data.size] = data
+        mask = self.rma_dirty_mask[rank]
+        if mask is not None and not self.dynamic:
+            mask[off : off + data.size] = True
+
+    def read_target(self, rank: int, offset: int, count: int) -> np.ndarray:
+        buf, off = self.resolve(rank, offset, count)
+        return buf[off : off + count].copy()
+
+    def apply_target(self, rank: int, offset: int, data: np.ndarray, op: Op) -> np.ndarray:
+        """Atomically combine; returns the previous contents."""
+        buf, off = self.resolve(rank, offset, data.size)
+        sl = slice(off, off + data.size)
+        old = buf[sl].copy()
+        buf[sl] = op(buf[sl], data)
+        mask = self.rma_dirty_mask[rank]
+        if mask is not None and not self.dynamic:
+            mask[sl] = True
+        return old
+
+
+class Window:
+    """One rank's handle on an RMA window (what ``MPI_WIN_ALLOCATE`` returns)."""
+
+    def __init__(self, state: _WindowState, comm: "Comm"):
+        self.state = state
+        self.comm = comm
+        self.ctx = comm.ctx
+        self.rank = comm.rank
+
+    # -- local access ------------------------------------------------------
+
+    @property
+    def local(self) -> np.ndarray:
+        """This rank's window segment.
+
+        Under the MPI-3 **unified** memory model, plain loads/stores to
+        this view are coherent with RMA (§2.2). Under the MPI-2-style
+        **separate** model this is the *private* copy: RMA lands in the
+        public copy and only becomes visible here after :meth:`sync`.
+        """
+        if self.state.dynamic:
+            raise MpiError("dynamic windows have no implicit local segment; "
+                           "use the array passed to attach()")
+        if self.state.memory_model == "separate":
+            private = self.state.private_copies[self.rank]
+            assert private is not None
+            return private
+        buf = self.state.buffers[self.rank]
+        assert buf is not None
+        return buf
+
+    def sync(self) -> None:
+        """MPI_WIN_SYNC: reconcile the private and public copies (separate
+        memory model). RMA updates since the last sync become visible in
+        ``local``; local stores become visible to RMA readers. A no-op
+        under the unified model (§2.2's point: coherent hardware makes the
+        separate model's bookkeeping unnecessary)."""
+        state = self.state
+        if state.memory_model != "separate":
+            return
+        public = state.buffers[self.rank]
+        private = state.private_copies[self.rank]
+        mask = state.rma_dirty_mask[self.rank]
+        assert public is not None and private is not None and mask is not None
+        self.ctx.proc.sleep(self.ctx.spec.copy_time(public.nbytes))
+        private[mask] = public[mask]
+        mask[:] = False
+        public[...] = private
+
+    def shared_query(self, rank: int) -> np.ndarray:
+        """MPI_WIN_SHARED_QUERY: direct load/store access to another
+        rank's segment of a shared window (same shared-memory node only)."""
+        if not self.state.shared:
+            raise MpiError("shared_query on a non-shared window")
+        spec = self.ctx.spec
+        me_world = self._world(self.rank)
+        other_world = self._world(rank)
+        if spec.node_of(me_world) != spec.node_of(other_world):
+            raise MpiError(
+                f"rank {rank} is not on this rank's shared-memory node"
+            )
+        buf = self.state.buffers[rank]
+        assert buf is not None
+        return buf
+
+    # -- dynamic windows (§2.2) -------------------------------------------
+
+    def attach(self, nelems: int) -> int:
+        """MPI_WIN_ATTACH: expose ``nelems`` elements; returns the base
+        displacement remote ranks use to address this region."""
+        if not self.state.dynamic:
+            raise MpiError("attach() on a non-dynamic window")
+        if nelems <= 0:
+            raise MpiError(f"attach needs a positive size, got {nelems}")
+        state = self.state
+        base = state.next_base[self.rank]
+        # Leave a guard gap so out-of-region accesses fault.
+        state.next_base[self.rank] = base + nelems + 64
+        region = np.zeros(nelems, self._dtype())
+        state.regions[self.rank][base] = region
+        self.ctx.memory.alloc(
+            self.ctx.rank, f"mpi/win{self.win_id}", region.nbytes
+        )
+        return base
+
+    def detach(self, base: int) -> None:
+        """MPI_WIN_DETACH."""
+        if not self.state.dynamic:
+            raise MpiError("detach() on a non-dynamic window")
+        region = self.state.regions[self.rank].pop(base, None)
+        if region is None:
+            raise MpiError(f"no region attached at displacement {base}")
+        self.ctx.memory.free(
+            self.ctx.rank, f"mpi/win{self.win_id}", region.nbytes
+        )
+
+    def region(self, base: int) -> np.ndarray:
+        """The locally-attached region at ``base`` (dynamic windows)."""
+        if not self.state.dynamic:
+            raise MpiError("region() on a non-dynamic window")
+        try:
+            return self.state.regions[self.rank][base]
+        except KeyError:
+            raise MpiError(f"no region attached at displacement {base}") from None
+
+    def _dtype(self) -> np.dtype:
+        if self.state.dynamic:
+            return np.dtype(getattr(self.state, "dtype", np.uint8))
+        buf = self.state.buffers[self.rank]
+        assert buf is not None
+        return buf.dtype
+
+    @property
+    def group_size(self) -> int:
+        return len(self.state.group)
+
+    @property
+    def win_id(self) -> int:
+        return self.state.win_id
+
+    # -- helpers --------------------------------------------------------------
+
+    def _check_target(self, target: int, offset: int, count: int) -> None:
+        if self.state.freed:
+            raise MpiError("window has been freed")
+        if not 0 <= target < self.group_size:
+            raise MpiError(f"target {target} out of range [0, {self.group_size})")
+        if count > 0:
+            self.state.resolve(target, offset, count)  # bounds / region check
+
+    def _origin_overhead(self, base: float) -> float:
+        spec = self.ctx.spec
+        if spec.mpi_rma_over_sendrecv:
+            return base + spec.mpi_sendrecv_rma_extra
+        return base
+
+    def _target_delay(self) -> float:
+        """Target-side software delay before an op commits (send/recv mode)."""
+        spec = self.ctx.spec
+        return spec.mpi_match_overhead if spec.mpi_rma_over_sendrecv else 0.0
+
+    def _op_started(self, target: int) -> None:
+        self.state.pending[self.rank][target] += 1
+        self.state.dirty[self.rank] = True
+
+    def _op_done_at_target(self, origin: int, target: int) -> None:
+        pending = self.state.pending[origin]
+        pending[target] -= 1
+        if pending[target] == 0:
+            for ev in self.state.flush_waiters.pop((origin, target), []):
+                ev.fire()
+
+    def _ack_latency(self, origin: int, target: int) -> float:
+        """Completion-acknowledgement travel time back to the origin.
+
+        One-way ops (PUT/ACCUMULATE) commit at delivery, but the origin
+        only *learns* of remote completion an ack later.
+        """
+        spec = self.ctx.spec
+        src, dst = self._world(origin), self._world(target)
+        if src == dst or spec.node_of(src) == spec.node_of(dst):
+            return spec.loopback_latency
+        return spec.latency
+
+    def _world(self, comm_rank: int) -> int:
+        return self.state.group[comm_rank]
+
+    # -- one-sided data movement ------------------------------------------------
+
+    def put(self, data, target: int, offset: int = 0) -> None:
+        """MPI_PUT: one-sided write; remote completion requires a flush."""
+        self.rput(data, target, offset)
+
+    def rput(self, data, target: int, offset: int = 0) -> Request:
+        """MPI_RPUT: like PUT, returning a request for *local* completion."""
+        arr = np.ascontiguousarray(data, dtype=self._dtype()).reshape(-1)
+        self._check_target(target, offset, arr.size)
+        spec = self.ctx.spec
+        self.ctx.proc.sleep(self._origin_overhead(spec.mpi_rma_overhead))
+        self._op_started(target)
+        snapshot = arr.copy()
+        req = Request(f"rput(win={self.win_id},target={target})", self.ctx.proc)
+        origin = self.rank
+        engine = self.ctx.engine
+        target_delay = self._target_delay()
+        ack = self._ack_latency(origin, target)
+
+        def on_delivered() -> None:
+            def commit() -> None:
+                self.state.write_target(target, offset, snapshot)
+                engine.call_in(ack, lambda: (self._op_done_at_target(origin, target), req._complete()))
+
+            if target_delay:
+                engine.call_in(target_delay, commit)
+            else:
+                commit()
+
+        self.ctx.fabric.transfer(
+            self._world(origin),
+            self._world(target),
+            snapshot.nbytes + _RMA_ENVELOPE_BYTES,
+            on_delivered,
+        )
+        if snapshot.nbytes <= spec.mpi_eager_threshold:
+            # Small transfers are buffered by the library: locally complete now.
+            req._complete()
+        return req
+
+    def get(self, dest, target: int, offset: int = 0) -> None:
+        """MPI_GET into ``dest``; completion requires a flush (use rget+wait
+        for request-based completion)."""
+        self.rget(dest, target, offset)
+
+    def rget(self, dest, target: int, offset: int = 0) -> Request:
+        """MPI_RGET: request completion == local *and* remote completion."""
+        dest_arr = np.asarray(dest)
+        if dest_arr.dtype != self._dtype():
+            raise MpiError(
+                f"rget destination dtype {dest_arr.dtype} != window dtype {self._dtype()}"
+            )
+        count = dest_arr.size
+        self._check_target(target, offset, count)
+        spec = self.ctx.spec
+        self.ctx.proc.sleep(self._origin_overhead(spec.mpi_rma_overhead))
+        self._op_started(target)
+        req = Request(f"rget(win={self.win_id},target={target})", self.ctx.proc)
+        origin = self.rank
+        fabric = self.ctx.fabric
+        engine = self.ctx.engine
+        target_delay = self._target_delay()
+        nbytes = count * self._dtype().itemsize
+
+        def at_target() -> None:
+            def respond() -> None:
+                payload = self.state.read_target(target, offset, count)
+
+                def at_origin() -> None:
+                    dest_arr.reshape(-1)[...] = payload
+                    self._op_done_at_target(origin, target)
+                    req._complete()
+
+                fabric.transfer(
+                    self._world(target), self._world(origin), nbytes, at_origin
+                )
+
+            if target_delay:
+                engine.call_in(target_delay, respond)
+            else:
+                respond()
+
+        fabric.transfer(
+            self._world(origin), self._world(target), _RMA_ENVELOPE_BYTES, at_target
+        )
+        return req
+
+    # -- one-sided atomics ---------------------------------------------------------
+
+    def accumulate(self, data, target: int, offset: int = 0, op: Op = REPLACE) -> None:
+        """MPI_ACCUMULATE: elementwise atomic update of target memory."""
+        self.raccumulate(data, target, offset, op)
+
+    def raccumulate(self, data, target: int, offset: int = 0, op: Op = REPLACE) -> Request:
+        arr = np.ascontiguousarray(data, dtype=self._dtype()).reshape(-1)
+        self._check_target(target, offset, arr.size)
+        spec = self.ctx.spec
+        self.ctx.proc.sleep(self._origin_overhead(spec.mpi_atomic_overhead))
+        self._op_started(target)
+        snapshot = arr.copy()
+        req = Request(f"raccumulate(win={self.win_id},target={target})", self.ctx.proc)
+        origin = self.rank
+        engine = self.ctx.engine
+        target_delay = self._target_delay()
+        ack = self._ack_latency(origin, target)
+
+        def on_delivered() -> None:
+            def commit() -> None:
+                self.state.apply_target(target, offset, snapshot, op)
+                engine.call_in(ack, lambda: (self._op_done_at_target(origin, target), req._complete()))
+
+            if target_delay:
+                engine.call_in(target_delay, commit)
+            else:
+                commit()
+
+        self.ctx.fabric.transfer(
+            self._world(origin),
+            self._world(target),
+            snapshot.nbytes + _RMA_ENVELOPE_BYTES,
+            on_delivered,
+        )
+        if snapshot.nbytes <= spec.mpi_eager_threshold:
+            req._complete()
+        return req
+
+    def get_accumulate(self, data, result, target: int, offset: int = 0, op: Op = NO_OP):
+        """MPI_GET_ACCUMULATE (blocking wait on the internal request)."""
+        return self._fetch_op_common(data, result, target, offset, op).wait()
+
+    def fetch_and_op(self, value, result, target: int, offset: int = 0, op: Op = NO_OP):
+        """MPI_FETCH_AND_OP: single-element fast path of GET_ACCUMULATE."""
+        return self._fetch_op_common(value, result, target, offset, op).wait()
+
+    def _fetch_op_common(self, data, result, target: int, offset: int, op: Op) -> Request:
+        arr = np.ascontiguousarray(data, dtype=self._dtype()).reshape(-1)
+        result_arr = np.asarray(result).reshape(-1)
+        self._check_target(target, offset, arr.size)
+        spec = self.ctx.spec
+        self.ctx.proc.sleep(self._origin_overhead(spec.mpi_atomic_overhead))
+        self._op_started(target)
+        snapshot = arr.copy()
+        req = Request(f"fetch_op(win={self.win_id},target={target})", self.ctx.proc)
+        origin = self.rank
+        fabric = self.ctx.fabric
+        engine = self.ctx.engine
+        target_delay = self._target_delay()
+
+        def at_target() -> None:
+            def commit() -> None:
+                old = self.state.apply_target(target, offset, snapshot, op)
+
+                def at_origin() -> None:
+                    result_arr[...] = old
+                    self._op_done_at_target(origin, target)
+                    req._complete()
+
+                fabric.transfer(
+                    self._world(target), self._world(origin), old.nbytes, at_origin
+                )
+
+            if target_delay:
+                engine.call_in(target_delay, commit)
+            else:
+                commit()
+
+        fabric.transfer(
+            self._world(origin),
+            self._world(target),
+            snapshot.nbytes + _RMA_ENVELOPE_BYTES,
+            at_target,
+        )
+        return req
+
+    def compare_and_swap(self, compare, value, result, target: int, offset: int = 0):
+        """MPI_COMPARE_AND_SWAP on a single element."""
+        dtype = self._dtype()
+        cmp_val = np.asarray(compare, dtype=dtype).reshape(())
+        new_val = np.asarray(value, dtype=dtype).reshape(())
+        result_arr = np.asarray(result).reshape(-1)
+        self._check_target(target, offset, 1)
+        spec = self.ctx.spec
+        self.ctx.proc.sleep(self._origin_overhead(spec.mpi_atomic_overhead))
+        self._op_started(target)
+        req = Request(f"cas(win={self.win_id},target={target})", self.ctx.proc)
+        origin = self.rank
+        fabric = self.ctx.fabric
+        engine = self.ctx.engine
+        target_delay = self._target_delay()
+
+        def at_target() -> None:
+            def commit() -> None:
+                tbuf, toff = self.state.resolve(target, offset, 1)
+                old = tbuf[toff].copy()
+                if old == cmp_val:
+                    tbuf[toff] = new_val
+
+                def at_origin() -> None:
+                    result_arr[0] = old
+                    self._op_done_at_target(origin, target)
+                    req._complete()
+
+                fabric.transfer(
+                    self._world(target), self._world(origin), old.nbytes, at_origin
+                )
+
+            if target_delay:
+                engine.call_in(target_delay, commit)
+            else:
+                commit()
+
+        fabric.transfer(
+            self._world(origin), self._world(target), 2 * dtype.itemsize + _RMA_ENVELOPE_BYTES, at_target
+        )
+        req.wait()
+        return result_arr[0]
+
+    # -- passive-target synchronization ------------------------------------------
+
+    def lock_all(self) -> None:
+        """MPI_WIN_LOCK_ALL (shared): open a passive epoch to every target."""
+        if self.state.lock_all_held[self.rank]:
+            raise MpiError("lock_all while already holding lock_all")
+        self.ctx.proc.sleep(self.ctx.spec.mpi_flush_overhead)
+        self.state.lock_all_held[self.rank] = True
+
+    def unlock_all(self) -> None:
+        """MPI_WIN_UNLOCK_ALL: completes all outstanding ops, closes the epoch."""
+        if not self.state.lock_all_held[self.rank]:
+            raise MpiError("unlock_all without lock_all")
+        self.flush_all()
+        self.state.lock_all_held[self.rank] = False
+
+    def put_runs(self, data, target: int, runs: list[tuple[int, int]]) -> None:
+        """PUT with a derived datatype: scatter ``data`` into the target's
+        window at the given (offset, length) runs, as one network message
+        (how MPI_Type_vector + MPI_PUT moves strided sections)."""
+        arr = np.ascontiguousarray(data, dtype=self._dtype()).reshape(-1)
+        total = sum(length for _off, length in runs)
+        if arr.size != total:
+            raise MpiError(f"put_runs data has {arr.size} elements, runs cover {total}")
+        for off, length in runs:
+            self._check_target(target, int(off), int(length))
+        spec = self.ctx.spec
+        # Origin packs the section, then one wire message carries it.
+        self.ctx.proc.sleep(
+            self._origin_overhead(spec.mpi_rma_overhead) + spec.copy_time(arr.nbytes)
+        )
+        self._op_started(target)
+        snapshot = arr.copy()
+        origin = self.rank
+        engine = self.ctx.engine
+        target_delay = self._target_delay()
+        ack = self._ack_latency(origin, target)
+
+        def on_delivered() -> None:
+            def commit() -> None:
+                cursor = 0
+                for off, length in runs:
+                    self.state.write_target(
+                        target, int(off), snapshot[cursor : cursor + length]
+                    )
+                    cursor += length
+                engine.call_in(ack, lambda: self._op_done_at_target(origin, target))
+
+            if target_delay:
+                engine.call_in(target_delay, commit)
+            else:
+                commit()
+
+        self.ctx.fabric.transfer(
+            self._world(origin),
+            self._world(target),
+            snapshot.nbytes + _RMA_ENVELOPE_BYTES,
+            on_delivered,
+        )
+
+    def get_runs(self, dest, target: int, runs: list[tuple[int, int]]) -> Request:
+        """GET with a derived datatype: gather the target's runs into
+        ``dest`` as one response message; returns a request (like RGET)."""
+        dest_arr = np.asarray(dest).reshape(-1)
+        total = sum(length for _off, length in runs)
+        if dest_arr.size != total:
+            raise MpiError(f"get_runs buffer has {dest_arr.size} elements, runs cover {total}")
+        for off, length in runs:
+            self._check_target(target, int(off), int(length))
+        spec = self.ctx.spec
+        self.ctx.proc.sleep(self._origin_overhead(spec.mpi_rma_overhead))
+        self._op_started(target)
+        req = Request(f"get_runs(win={self.win_id},target={target})", self.ctx.proc)
+        origin = self.rank
+        fabric = self.ctx.fabric
+        engine = self.ctx.engine
+        target_delay = self._target_delay()
+        nbytes = total * self._dtype().itemsize
+
+        def at_target() -> None:
+            def respond() -> None:
+                parts = [
+                    self.state.read_target(target, int(off), int(length))
+                    for off, length in runs
+                ]
+                payload = np.concatenate(parts) if parts else np.empty(0, self._dtype())
+
+                def at_origin() -> None:
+                    dest_arr[...] = payload
+                    self._op_done_at_target(origin, target)
+                    req._complete()
+
+                fabric.transfer(
+                    self._world(target), self._world(origin), nbytes, at_origin
+                )
+
+            if target_delay:
+                engine.call_in(target_delay, respond)
+            else:
+                respond()
+
+        fabric.transfer(
+            self._world(origin), self._world(target), _RMA_ENVELOPE_BYTES, at_target
+        )
+        return req
+
+    def lock(self, target: int, *, exclusive: bool = False) -> None:
+        """MPI_WIN_LOCK: open a passive epoch to one target.
+
+        Exclusive locks serialize against all other lock holders; shared
+        locks coexist with other shared holders. Blocks while conflicting
+        locks are held (the blocking possibility §3.3 calls out).
+        """
+        self._check_target(target, 0, 0)
+        self.ctx.proc.sleep(self.ctx.spec.mpi_flush_overhead)
+        lock = self.state.locks[target]
+        me = (self.rank, "exclusive" if exclusive else "shared")
+
+        def admissible() -> bool:
+            if not lock["holders"]:
+                return True
+            return not exclusive and lock["mode"] == "shared"
+
+        while not (admissible() and (not lock["queue"] or lock["queue"][0] is me)):
+            if me not in lock["queue"]:
+                lock["queue"].append(me)
+            ev = SimEvent(f"lock(win={self.win_id},t={target})")
+            lock.setdefault("waiters", []).append(ev)
+            ev.wait(self.ctx.proc)
+        if me in lock["queue"]:
+            lock["queue"].remove(me)
+        lock["mode"] = "exclusive" if exclusive else "shared"
+        lock["holders"].add(self.rank)
+
+    def unlock(self, target: int) -> None:
+        """MPI_WIN_UNLOCK: completes outstanding ops, releases the lock."""
+        lock = self.state.locks[target]
+        if self.rank not in lock["holders"]:
+            raise MpiError(f"unlock(target={target}) without holding the lock")
+        self.flush(target)
+        lock["holders"].discard(self.rank)
+        if not lock["holders"]:
+            lock["mode"] = None
+        for ev in lock.pop("waiters", []):
+            ev.fire()
+
+    def rflush(self, target: int) -> Request:
+        """MPI_WIN_RFLUSH — the paper's §5 proposal, implemented.
+
+        Starts remote-completion tracking for outstanding ops to ``target``
+        and returns a request; constant software cost regardless of group
+        size, and the latency can overlap computation. Not part of MPI-3 —
+        this is the extension the paper asks the Forum to standardize.
+        """
+        self._check_target(target, 0, 0)
+        self.ctx.proc.sleep(self.ctx.spec.mpi_flush_overhead)
+        req = Request(f"rflush(win={self.win_id},t={target})", self.ctx.proc)
+        self._when_quiet([target], req)
+        return req
+
+    def rflush_all(self) -> Request:
+        """MPI_WIN_RFLUSH_ALL: request-based remote completion to every
+        target, at constant (not linear-in-P) software cost."""
+        self.ctx.proc.sleep(self.ctx.spec.mpi_flush_all_idle)
+        self.state.dirty[self.rank] = False
+        req = Request(f"rflush_all(win={self.win_id})", self.ctx.proc)
+        self._when_quiet(range(self.group_size), req)
+        return req
+
+    def _when_quiet(self, targets, req: Request) -> None:
+        """Complete ``req`` once pending ops to all ``targets`` are done."""
+        state = self.state
+        origin = self.rank
+        remaining = [t for t in targets if state.pending[origin][t] > 0]
+        if not remaining:
+            req._complete()
+            return
+        outstanding = [len(remaining)]
+
+        def one_done() -> None:
+            outstanding[0] -= 1
+            if outstanding[0] == 0:
+                req._complete()
+
+        for t in remaining:
+            ev = SimEvent(f"rflush-track(o={origin},t={t})")
+            state.flush_waiters.setdefault((origin, t), []).append(ev)
+            ev.subscribe(one_done)
+
+    def flush(self, target: int) -> None:
+        """MPI_WIN_FLUSH: wait for remote completion of my ops at ``target``."""
+        self._check_target(target, 0, 0)
+        self.ctx.proc.sleep(self.ctx.spec.mpi_flush_overhead)
+        self._wait_target_quiet(target)
+
+    def flush_all(self) -> None:
+        """MPI_WIN_FLUSH_ALL — linear in group size when the epoch is active.
+
+        MPICH derivatives (MVAPICH, Cray MPI) flush every rank in the window
+        group; the paper identifies this as the dominant cost of CAF-MPI's
+        ``event_notify`` in RandomAccess.
+        """
+        spec = self.ctx.spec
+        if self.state.dirty[self.rank]:
+            self.ctx.proc.sleep(self.group_size * spec.mpi_flush_all_per_target)
+            self.state.dirty[self.rank] = False
+        else:
+            self.ctx.proc.sleep(spec.mpi_flush_all_idle)
+        for target in range(self.group_size):
+            self._wait_target_quiet(target)
+
+    def flush_local(self, target: int) -> None:
+        """MPI_WIN_FLUSH_LOCAL: origin buffers reusable (ops may still be in
+        flight to the target). Our ops snapshot at call time, so this only
+        charges the call cost."""
+        self._check_target(target, 0, 0)
+        self.ctx.proc.sleep(self.ctx.spec.mpi_flush_overhead)
+
+    def flush_local_all(self) -> None:
+        self.ctx.proc.sleep(self.ctx.spec.mpi_flush_overhead)
+
+    def _wait_target_quiet(self, target: int) -> None:
+        state = self.state
+        origin = self.rank
+        while state.pending[origin][target] > 0:
+            ev = SimEvent(f"flush(win={self.win_id},o={origin},t={target})")
+            state.flush_waiters.setdefault((origin, target), []).append(ev)
+            ev.wait(self.ctx.proc)
+
+    def fence(self) -> None:
+        """MPI_WIN_FENCE (active target): flush + barrier."""
+        self.flush_all()
+        self.comm.barrier()
+
+    def free(self) -> None:
+        """MPI_WIN_FREE (collective): release the modeled window memory."""
+        self.flush_all()
+        self.comm.barrier()
+        if self.state.dynamic:
+            for base in list(self.state.regions[self.rank]):
+                self.detach(base)
+        else:
+            self.ctx.memory.free(
+                self.ctx.rank,
+                f"mpi/win{self.win_id}",
+                self.local.nbytes,
+            )
+        if self.rank == 0:
+            self.state.freed = True
+        self.comm.barrier()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Window id={self.win_id} rank={self.rank}/{self.group_size}>"
+
+
+def win_allocate(
+    comm: "Comm",
+    *,
+    nbytes: int | None = None,
+    shape: tuple[int, ...] | int | None = None,
+    dtype=np.float64,
+    memory_model: str = "unified",
+) -> Window:
+    """MPI_WIN_ALLOCATE: collective creation of a window over ``comm``.
+
+    Pass either ``nbytes`` (window dtype becomes uint8) or ``shape`` +
+    ``dtype``. Every rank gets a same-sized segment (CAF coarrays are
+    symmetric, and MPI_WIN_ALLOCATE commonly allocates aligned symmetric
+    segments — the optimization opportunity the paper cites in §3.1).
+    ``memory_model`` picks the MPI-3 "unified" model (default) or the
+    MPI-2-style "separate" model requiring :meth:`Window.sync`.
+    """
+    if (nbytes is None) == (shape is None):
+        raise MpiError("pass exactly one of nbytes= or shape=")
+    if memory_model not in ("unified", "separate"):
+        raise MpiError(f"memory_model must be unified|separate, got {memory_model!r}")
+    if nbytes is not None:
+        count, dt = int(nbytes), np.dtype(np.uint8)
+    else:
+        count = int(np.prod(shape))
+        dt = np.dtype(dtype)
+    if count < 0:
+        raise MpiError(f"negative window size {count}")
+
+    def build(win_id: int) -> _WindowState:
+        buffers = [np.zeros(count, dt) for _ in range(comm.size)]
+        state = _WindowState(
+            tuple(comm.state.group), buffers, win_id, memory_model=memory_model
+        )
+        if memory_model == "separate":
+            state.private_copies = [np.zeros(count, dt) for _ in range(comm.size)]
+            state.rma_dirty_mask = [
+                np.zeros(count, bool) for _ in range(comm.size)
+            ]
+        return state
+
+    win = _create_window(comm, build)
+    comm.ctx.memory.alloc(
+        comm.ctx.rank, f"mpi/win{win.win_id}", count * dt.itemsize
+    )
+    return win
+
+
+def win_allocate_shared(
+    comm: "Comm",
+    *,
+    shape: tuple[int, ...] | int,
+    dtype=np.float64,
+) -> Window:
+    """MPI_WIN_ALLOCATE_SHARED: one contiguous allocation across the group
+    (all members must share a node); segments are views into it, and
+    :meth:`Window.shared_query` grants direct load/store access to peers'
+    segments (§2.2)."""
+    spec = comm.ctx.spec
+    nodes = {spec.node_of(w) for w in comm.state.group}
+    if len(nodes) > 1:
+        raise MpiError(
+            "win_allocate_shared requires all ranks on one shared-memory node"
+        )
+    count = int(np.prod(shape))
+    dt = np.dtype(dtype)
+    if count <= 0:
+        raise MpiError(f"shared window size must be positive, got {count}")
+
+    def build(win_id: int) -> _WindowState:
+        block = np.zeros(count * comm.size, dt)
+        buffers = [block[r * count : (r + 1) * count] for r in range(comm.size)]
+        return _WindowState(
+            tuple(comm.state.group), buffers, win_id, shared=True
+        )
+
+    win = _create_window(comm, build)
+    comm.ctx.memory.alloc(
+        comm.ctx.rank, f"mpi/win{win.win_id}", count * dt.itemsize
+    )
+    return win
+
+
+def win_create_dynamic(comm: "Comm", *, dtype=np.uint8) -> Window:
+    """MPI_WIN_CREATE_DYNAMIC: a window without memory; ranks expose
+    regions later with :meth:`Window.attach` and address them by the
+    returned displacement (§2.2, §3.1's remote-reference discussion)."""
+
+    def build(win_id: int) -> _WindowState:
+        state = _WindowState(
+            tuple(comm.state.group), [None] * comm.size, win_id, dynamic=True
+        )
+        state.dtype = np.dtype(dtype)
+        return state
+
+    return _create_window(comm, build)
+
+
+def _create_window(comm: "Comm", build) -> Window:
+    """Collective window-creation skeleton (board + two barriers)."""
+    world = comm.state.world
+    # Per-rank allocation sequence number on this communicator: collectives
+    # are called in the same order on every rank, so these agree.
+    counter_key = (comm.state.context_id, comm.rank)
+    seq = world._win_counter.get(counter_key, 0)
+    world._win_counter[counter_key] = seq + 1
+    board_key = (comm.state.context_id, seq)
+    comm.barrier()
+    # The first rank out of the barrier builds the shared state; everyone
+    # else picks it up after the second barrier.
+    if board_key not in world._win_boards:
+        world._win_boards[board_key] = build(next(_win_ids))
+    state = world._win_boards[board_key]
+    comm.barrier()
+    return Window(state, comm)

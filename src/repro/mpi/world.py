@@ -1,0 +1,132 @@
+"""MPI world: per-cluster shared state and the per-rank entry facade.
+
+Usage from a rank program::
+
+    world = MpiWorld.get(ctx.cluster)
+    mpi = world.init(ctx)            # MPI_Init
+    mpi.COMM_WORLD.barrier()
+    win = mpi.win_allocate(1024)     # MPI_WIN_ALLOCATE on COMM_WORLD
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mpi.comm import Comm, _CommState
+from repro.mpi.window import (
+    Window,
+    win_allocate,
+    win_allocate_shared,
+    win_create_dynamic,
+)
+from repro.sim.cluster import Cluster, RankCtx
+from repro.sim.memory import MB
+from repro.util.errors import MpiError
+
+
+class MpiWorld:
+    """Shared MPI library state for one cluster run."""
+
+    @classmethod
+    def get(cls, cluster: Cluster) -> "MpiWorld":
+        return cluster.shared("mpi-world", lambda: cls(cluster))
+
+    def __init__(self, cluster: Cluster):
+        self.cluster = cluster
+        self._context_counter = 0
+        self.world_state = _CommState(
+            self, tuple(range(cluster.nranks)), self.next_context_id()
+        )
+        self.initialized: set[int] = set()
+        # win_allocate coordination: (context_id, alloc_seq) -> shared state,
+        # and (context_id, rank) -> that rank's allocation sequence number.
+        self._win_boards: dict[tuple[int, int], object] = {}
+        self._win_counter: dict[tuple[int, int], int] = {}
+
+    def next_context_id(self) -> int:
+        cid = self._context_counter
+        self._context_counter += 1
+        return cid
+
+    def init(self, ctx: RankCtx) -> "MpiRank":
+        """MPI_Init for one rank: registers it and charges the memory model."""
+        if ctx.rank in self.initialized:
+            raise MpiError(f"rank {ctx.rank} called MPI init twice")
+        self.initialized.add(ctx.rank)
+        spec = ctx.spec
+        ctx.memory.alloc(ctx.rank, "mpi/base", spec.mpi_mem_base_mb * MB)
+        ctx.memory.alloc(
+            ctx.rank,
+            "mpi/peers",
+            spec.mpi_mem_per_rank_mb * MB * self.cluster.nranks,
+        )
+        return MpiRank(self, ctx)
+
+
+class MpiRank:
+    """Per-rank MPI facade (what MPI_Init hands back)."""
+
+    def __init__(self, world: MpiWorld, ctx: RankCtx):
+        self.world = world
+        self.ctx = ctx
+        self.COMM_WORLD = Comm(world.world_state, self, ctx.rank)
+        # Nonblocking-collective progress agents: one per communicator this
+        # rank has used NBCs on (keyed by context id).
+        self._nbc_agents: dict[int, tuple] = {}
+
+    def _nbc_agent(self, comm: Comm):
+        """The (agent, agent-side comm view) pair for ``comm``."""
+        from types import SimpleNamespace
+
+        from repro.sim.agent import WorkerAgent
+
+        cid = comm.state.context_id
+        if cid not in self._nbc_agents:
+            agent = WorkerAgent(self.ctx, name=f"nbc{self.ctx.rank}.c{cid}")
+            view = Comm(
+                comm.state, SimpleNamespace(ctx=agent.ctx), comm.rank, space="nbc"
+            )
+            self._nbc_agents[cid] = (agent, view)
+        return self._nbc_agents[cid]
+
+    @property
+    def rank(self) -> int:
+        return self.ctx.rank
+
+    @property
+    def size(self) -> int:
+        return self.world.cluster.nranks
+
+    def win_allocate(
+        self,
+        nbytes: int | None = None,
+        *,
+        shape: tuple[int, ...] | int | None = None,
+        dtype=np.float64,
+        comm: Comm | None = None,
+        memory_model: str = "unified",
+    ) -> Window:
+        """MPI_WIN_ALLOCATE (collective over ``comm``, default COMM_WORLD)."""
+        return win_allocate(
+            comm or self.COMM_WORLD,
+            nbytes=nbytes,
+            shape=shape,
+            dtype=dtype,
+            memory_model=memory_model,
+        )
+
+    def win_allocate_shared(
+        self,
+        *,
+        shape: tuple[int, ...] | int,
+        dtype=np.float64,
+        comm: Comm | None = None,
+    ) -> Window:
+        """MPI_WIN_ALLOCATE_SHARED (collective; same-node groups only)."""
+        return win_allocate_shared(
+            comm or self.COMM_WORLD, shape=shape, dtype=dtype
+        )
+
+    def win_create_dynamic(self, *, dtype=np.uint8, comm: Comm | None = None) -> Window:
+        """MPI_WIN_CREATE_DYNAMIC (collective)."""
+        return win_create_dynamic(comm or self.COMM_WORLD, dtype=dtype)

@@ -1,0 +1,24 @@
+"""Machine models for the paper's experimental platforms (Table 1 + §4).
+
+Each :class:`~repro.sim.network.MachineSpec` is calibrated so the
+simulator's *microbenchmark* rates land near the paper's own measured
+per-operation rates, which in turn makes the application-level comparisons
+(Figures 3-12) emerge from the same mechanisms as on the real machines.
+
+* :data:`FUSION` — 320-node InfiniBand QDR cluster at Argonne, MVAPICH2
+  (hardware RMA; GASNet enables SRQ at >=128 processes).
+* :data:`EDISON` — Cray XC30 (Aries) at NERSC, Cray MPICH (RMA internally
+  implemented over send/recv at the time — the Figure 5 analysis).
+* :data:`MIRA` — IBM Blue Gene/Q at Argonne (the microbenchmark dataset's
+  other platform; MPICH-on-PAMI with high per-op RMA software overhead).
+* :data:`LAPTOP` — a small generic machine for quick local runs.
+"""
+
+from repro.platforms.edison import EDISON
+from repro.platforms.fusion import FUSION
+from repro.platforms.laptop import LAPTOP
+from repro.platforms.mira import MIRA
+
+PLATFORMS = {spec.name: spec for spec in (FUSION, EDISON, MIRA, LAPTOP)}
+
+__all__ = ["EDISON", "FUSION", "LAPTOP", "MIRA", "PLATFORMS"]

@@ -1,0 +1,59 @@
+"""Edison: NERSC Cray XC30 (Table 1).
+
+5200 nodes, 2x12 cores, 64 GB/node, Aries interconnect, CRAY-MPICH-6.0.2.
+
+Calibration targets (paper's Edison microbenchmarks, ops/second):
+
+* CAF-GASNet READ ~385k (2.6 us), WRITE ~500k (2.0 us), NOTIFY ~655k.
+* CAF-MPI READ/WRITE ~207k (4.8 us) — Cray MPI implemented RMA over
+  send/recv internally at the time (``mpi_rma_over_sendrecv``), the
+  paper's explanation for CAF-MPI's larger RandomAccess loss (Figure 5).
+* CAF-MPI NOTIFY ~700k — Cray's FLUSH_ALL fast-path on an idle epoch plus
+  a cheap ISEND is slightly *faster* than GASNet's AM path.
+* All-to-all at 32 procs: hand-rolled GASNet ~24k/s beats MPI ~12k/s
+  (lower per-op overhead), crossing over by ~128 procs as incast and
+  handler costs bite.
+"""
+
+from repro.sim.network import MachineSpec
+
+EDISON = MachineSpec(
+    name="edison",
+    # Aries dragonfly: low latency, high bandwidth.
+    latency=0.65e-6,
+    bandwidth=8.0e9,
+    header_bytes=64,
+    loopback_latency=2.0e-7,
+    ranks_per_node=1,
+    # 2.4 GHz Ivy Bridge.
+    flops_per_sec=19.0e9,
+    mem_copy_bw=10.0e9,
+    # Cray MPICH 6.0.2: excellent two-sided/collectives, send/recv-backed RMA.
+    mpi_p2p_overhead=0.5e-6,
+    mpi_match_overhead=0.5e-6,
+    mpi_rma_overhead=1.0e-6,
+    mpi_atomic_overhead=1.3e-6,
+    mpi_flush_overhead=0.5e-6,
+    mpi_flush_all_per_target=0.3e-6,
+    mpi_flush_all_idle=0.9e-6,
+    mpi_coll_overhead=0.5e-6,
+    mpi_eager_threshold=8192,
+    mpi_rma_over_sendrecv=True,
+    mpi_sendrecv_rma_extra=1.6e-6,
+    # GASNet aries conduit: very lean one-sided path, no SRQ on Aries.
+    gasnet_put_overhead=0.55e-6,
+    gasnet_get_overhead=1.1e-6,
+    gasnet_am_overhead=0.5e-6,
+    gasnet_handler_overhead=1.9e-6,
+    gasnet_poll_overhead=0.1e-6,
+    gasnet_srq_threshold=None,
+    gasnet_srq_penalty=0.0,
+    gasnet_coll_signal="put",
+    gasnet_am_credits=32,
+    # Memory model: same runtime stacks, larger base segments.
+    mpi_mem_base_mb=106.5,
+    mpi_mem_per_rank_mb=0.033,
+    gasnet_mem_base_mb=13.0,
+    gasnet_mem_log_mb=3.25,
+    gasnet_mem_nosrq_per_rank_mb=0.05,
+)

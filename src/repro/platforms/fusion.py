@@ -1,0 +1,58 @@
+"""Fusion: Argonne InfiniBand QDR cluster (Table 1).
+
+320 nodes, 2x4 cores, 36 GB/node, InfiniBand QDR, MVAPICH2-1.9.
+
+Calibration targets (from the paper's Fusion results):
+
+* CAF-GASNet beats CAF-MPI on fine-grained RandomAccess by a small
+  constant factor below 128 cores (GASNet RMA per-op overhead < MVAPICH2
+  RMA per-op overhead).
+* GASNet enables its Shared Receive Queue at >=128 processes, producing
+  the Figure 3 performance drop; MVAPICH2's SRQ effect is not observable.
+* ``MPI_WIN_FLUSH_ALL`` cost grows linearly with process count when the
+  epoch has activity (Figure 4's ~200 s of ``event_notify``).
+"""
+
+from repro.sim.network import MachineSpec
+
+FUSION = MachineSpec(
+    name="fusion",
+    # Fabric: IB QDR, one rank per simulated node (the paper's runs span
+    # nodes; intra-node effects are not what its figures measure).
+    latency=1.3e-6,
+    bandwidth=3.2e9,
+    header_bytes=64,
+    loopback_latency=3.0e-7,
+    ranks_per_node=1,
+    # CPU: 2.6 GHz Xeon, ~4 flops/cycle/core.
+    flops_per_sec=9.0e9,
+    mem_copy_bw=6.0e9,
+    # MPI (MVAPICH2-1.9): hardware RMA but heavier per-op software path
+    # than GASNet's.
+    mpi_p2p_overhead=0.7e-6,
+    mpi_match_overhead=0.3e-6,
+    mpi_rma_overhead=1.4e-6,
+    mpi_atomic_overhead=1.8e-6,
+    mpi_flush_overhead=0.6e-6,
+    mpi_flush_all_per_target=0.45e-6,
+    mpi_flush_all_idle=0.6e-6,
+    mpi_coll_overhead=0.9e-6,
+    mpi_eager_threshold=8192,
+    mpi_rma_over_sendrecv=False,
+    # GASNet (ibv conduit): lean RDMA path, SRQ at 128 procs.
+    gasnet_put_overhead=0.6e-6,
+    gasnet_get_overhead=0.6e-6,
+    gasnet_am_overhead=0.6e-6,
+    gasnet_handler_overhead=0.5e-6,
+    gasnet_poll_overhead=0.15e-6,
+    gasnet_srq_threshold=128,
+    gasnet_srq_penalty=5.0e-6,
+    gasnet_coll_signal="put",  # ibv conduit: RDMA flag signalling
+    # Memory model (Figure 1: 16/64/256 procs -> GASNet 26/34/39 MB,
+    # MPI 107/109/115 MB).
+    mpi_mem_base_mb=106.5,
+    mpi_mem_per_rank_mb=0.033,
+    gasnet_mem_base_mb=13.0,
+    gasnet_mem_log_mb=3.25,
+    gasnet_mem_nosrq_per_rank_mb=0.05,
+)

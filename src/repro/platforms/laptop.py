@@ -1,0 +1,12 @@
+"""A small generic machine for quickstarts and fast local experiments."""
+
+from repro.sim.network import MachineSpec
+
+LAPTOP = MachineSpec(
+    name="laptop",
+    latency=1.0e-6,
+    bandwidth=4.0e9,
+    ranks_per_node=1,
+    flops_per_sec=8.0e9,
+    gasnet_srq_threshold=None,
+)

@@ -1,0 +1,51 @@
+"""Mira: Argonne IBM Blue Gene/Q (the microbenchmark dataset's platform).
+
+Calibration targets (paper's Mira microbenchmarks, ops/second, flat in P):
+
+* CAF-GASNet READ ~266k (3.8 us), WRITE ~210k (4.8 us), NOTIFY ~97k.
+* CAF-MPI READ ~61k (16.3 us), WRITE ~51k (19.6 us) — MPICH-on-PAMI RMA
+  had a heavy software path on BG/Q.
+* CAF-MPI NOTIFY ~90k (11 us): dominated by the (idle) FLUSH_ALL walk.
+* All-to-all: MPI_ALLTOALL vastly outperforms the hand-rolled GASNet
+  version (24k/s vs 3.7k/s at 16 cores, 60x at 4096).
+"""
+
+from repro.sim.network import MachineSpec
+
+MIRA = MachineSpec(
+    name="mira",
+    # BG/Q 5-D torus: moderate latency, 2 GB/s per link.
+    latency=1.4e-6,
+    bandwidth=1.8e9,
+    header_bytes=32,
+    loopback_latency=4.0e-7,
+    ranks_per_node=1,
+    # 1.6 GHz PowerPC A2, 4-wide FPU.
+    flops_per_sec=6.0e9,
+    mem_copy_bw=4.0e9,
+    # MPICH on PAMI: heavy RMA software path.
+    mpi_p2p_overhead=1.0e-6,
+    mpi_match_overhead=0.5e-6,
+    mpi_rma_overhead=13.0e-6,
+    mpi_atomic_overhead=14.0e-6,
+    mpi_flush_overhead=3.5e-6,
+    mpi_flush_all_per_target=0.5e-6,
+    mpi_flush_all_idle=9.0e-6,
+    mpi_coll_overhead=1.2e-6,
+    mpi_eager_threshold=4096,
+    mpi_rma_over_sendrecv=False,
+    # GASNet pami conduit.
+    gasnet_put_overhead=1.8e-6,
+    gasnet_get_overhead=0.7e-6,
+    gasnet_am_overhead=1.0e-6,
+    gasnet_handler_overhead=13.0e-6,  # NOTIFY rate is target-bound on BG/Q
+    gasnet_poll_overhead=0.2e-6,
+    gasnet_srq_threshold=None,  # no SRQ concept on BG/Q
+    gasnet_srq_penalty=0.0,
+    gasnet_coll_signal="am",  # pami conduit: AM-based signalling
+    mpi_mem_base_mb=106.5,
+    mpi_mem_per_rank_mb=0.033,
+    gasnet_mem_base_mb=13.0,
+    gasnet_mem_log_mb=3.25,
+    gasnet_mem_nosrq_per_rank_mb=0.05,
+)

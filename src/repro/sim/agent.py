@@ -1,0 +1,71 @@
+"""Worker agents: daemon processes that execute queued work items.
+
+A :class:`WorkerAgent` models a library progress thread: it shares the
+owning rank's machine parameters but has its own virtual timeline, so work
+it performs overlaps with the rank's main computation — which is the whole
+point of nonblocking collectives and asynchronous CAF operations.
+
+Work items run strictly FIFO, one at a time, on the agent's process.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from typing import Any
+
+from repro.sim.cluster import RankCtx
+from repro.sim.engine import Proc
+from repro.sim.sync import Channel, SimEvent
+
+
+class AgentCtx:
+    """A rank context whose ``proc`` is the agent's process.
+
+    Communication layers charge their software overheads to ``ctx.proc``;
+    handing them this context makes the agent pay instead of the user
+    thread.
+    """
+
+    def __init__(self, base: RankCtx, proc: Proc):
+        self.cluster = base.cluster
+        self.rank = base.rank
+        self.nranks = base.nranks
+        self.proc = proc
+        self.engine = base.engine
+        self.fabric = base.fabric
+        self.spec = base.spec
+        self.profiler = base.profiler
+        self.memory = base.memory
+        self.rng = base.rng
+
+    @property
+    def now(self) -> float:
+        return self.engine.now
+
+    def profile(self, category: str):
+        return self.profiler.region(self.rank, category)
+
+
+class WorkerAgent:
+    """One rank's FIFO work executor (a modeled progress thread)."""
+
+    def __init__(self, base_ctx: RankCtx, name: str):
+        self.base_ctx = base_ctx
+        self._queue: Channel = Channel(f"{name}.queue")
+        self._proc = base_ctx.engine.spawn(self._loop, name=name, daemon=True)
+        self.ctx = AgentCtx(base_ctx, self._proc)
+        self.items_executed = 0
+
+    def submit(self, work: Callable[[AgentCtx], Any]) -> SimEvent:
+        """Queue ``work(agent_ctx)``; the returned event fires with its
+        result when the agent completes it."""
+        done = SimEvent("agent-work")
+        self._queue.put((work, done))
+        return done
+
+    def _loop(self, proc: Proc) -> None:
+        while True:
+            work, done = self._queue.get(proc, match=None)
+            result = work(self.ctx)
+            self.items_executed += 1
+            done.fire(result)

@@ -1,0 +1,131 @@
+"""The simulated cluster: spawns one image per rank and runs a program.
+
+A *program* is a plain Python callable ``program(ctx, **kwargs)`` executed
+once per rank. ``ctx`` (:class:`RankCtx`) bundles the rank's process handle
+with the shared engine, fabric, profiler, memory meter and a deterministic
+RNG. Communication layers attach shared per-run state (e.g. the MPI world)
+through :meth:`Cluster.shared`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from typing import Any
+
+from repro.sim.engine import Engine, Proc
+from repro.sim.memory import MemoryMeter
+from repro.sim.network import MachineSpec, NetFabric
+from repro.sim.profiler import Profiler
+from repro.sim.trace import Tracer
+from repro.util.errors import SimulationError
+from repro.util.rng import rank_rng
+
+
+class RankCtx:
+    """Everything one simulated image needs: identity, clock, costs, RNG."""
+
+    def __init__(self, cluster: "Cluster", rank: int, proc: Proc):
+        self.cluster = cluster
+        self.rank = rank
+        self.nranks = cluster.nranks
+        self.proc = proc
+        self.engine = cluster.engine
+        self.fabric = cluster.fabric
+        self.spec = cluster.spec
+        self.profiler = cluster.profiler
+        self.memory = cluster.memory
+        self.rng = rank_rng(cluster.seed, rank)
+
+    # -- time -----------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        return self.engine.now
+
+    def compute(
+        self,
+        seconds: float | None = None,
+        *,
+        flops: float | None = None,
+        category: str = "computation",
+    ) -> None:
+        """Charge modeled compute time to this rank's virtual clock."""
+        if (seconds is None) == (flops is None):
+            raise SimulationError("pass exactly one of seconds= or flops=")
+        duration = self.spec.flops_time(flops) if seconds is None else seconds
+        with self.profile(category):
+            self.proc.sleep(duration)
+
+    def profile(self, category: str):
+        return self.profiler.region(self.rank, category)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<RankCtx rank={self.rank}/{self.nranks}>"
+
+
+class Cluster:
+    """A fixed-size simulated machine plus the services layers share."""
+
+    def __init__(self, nranks: int, spec: MachineSpec, *, seed: int = 12345):
+        if nranks <= 0:
+            raise SimulationError(f"nranks must be positive, got {nranks}")
+        self.nranks = nranks
+        self.spec = spec
+        self.seed = seed
+        self.engine = Engine()
+        self.tracer = Tracer()
+        self.fabric = NetFabric(self.engine, nranks, spec, tracer=self.tracer)
+        self.profiler = Profiler(self.engine, nranks, tracer=self.tracer)
+        self.memory = MemoryMeter(nranks)
+        self.ctxs: list[RankCtx] = []
+        self._shared: dict[Any, Any] = {}
+        self.elapsed = 0.0  # virtual makespan after run()
+
+    def shared(self, key: Any, factory: Callable[[], Any]) -> Any:
+        """Get-or-create a cross-rank singleton (e.g. the MPI world)."""
+        if key not in self._shared:
+            self._shared[key] = factory()
+        return self._shared[key]
+
+    def run(
+        self,
+        program: Callable[..., Any],
+        *,
+        program_kwargs: dict[str, Any] | None = None,
+    ) -> list[Any]:
+        """Run ``program(ctx, **kwargs)`` on every rank; returns per-rank results."""
+        kwargs = program_kwargs or {}
+
+        def make_target(rank: int) -> Callable[[Proc], Any]:
+            def target(proc: Proc) -> Any:
+                ctx = self.ctxs[rank]
+                return program(ctx, **kwargs)
+
+            return target
+
+        rank_procs = []
+        for rank in range(self.nranks):
+            proc = self.engine.spawn(make_target(rank), name=f"rank{rank}")
+            rank_procs.append(proc)
+            self.ctxs.append(RankCtx(self, rank, proc))
+        self.engine.run()
+        self.elapsed = self.engine.now
+        # Only the rank programs' results — libraries may have spawned
+        # daemon agents whose results are not the application's.
+        return [p.result for p in rank_procs]
+
+
+def run_program(
+    program: Callable[..., Any],
+    nranks: int,
+    spec: MachineSpec | None = None,
+    *,
+    seed: int = 12345,
+    **program_kwargs: Any,
+) -> tuple[Cluster, list[Any]]:
+    """Convenience: build a cluster, run ``program`` on every rank, return both."""
+    if spec is None:
+        spec = MachineSpec(name="generic")
+    cluster = Cluster(nranks, spec, seed=seed)
+    results = cluster.run(program, program_kwargs=dict(program_kwargs))
+    return cluster, results

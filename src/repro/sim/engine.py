@@ -1,0 +1,278 @@
+"""Deterministic discrete-event engine with thread-backed processes.
+
+Design
+------
+* The scheduler owns a heap of ``(time, seq, callback)`` events and a
+  virtual clock. ``seq`` is a monotone counter so ties break
+  deterministically in scheduling order.
+* Each simulated process (:class:`Proc`) runs user code on its own OS
+  thread, but the engine guarantees **exactly one thread runs at a time**:
+  the scheduler releases a process's semaphore to resume it and then blocks
+  on its own control semaphore until the process yields back (by blocking
+  or finishing). This gives plain blocking-style user code, determinism,
+  and free atomicity for all simulator state.
+* A process yields with :meth:`Proc.block` and is resumed by
+  :meth:`Proc.wake`, which schedules a resume event at the waker's current
+  time. :meth:`Proc.sleep` advances the process's local time, which is how
+  modeled compute/communication costs are charged. Every block carries a
+  generation number; resume events for an older generation are ignored, so
+  a process can never be resumed by a stale wake-up.
+* Because scheduling is cooperative, nothing can run between a process
+  registering itself in a wait list and blocking — lost wake-ups cannot
+  happen as long as wakers only wake registered waiters.
+* When the event heap empties while live processes remain blocked, the
+  engine raises :class:`~repro.util.errors.DeadlockError` naming each
+  blocked process's call site — the hazard of Figure 2 of the paper.
+"""
+
+from __future__ import annotations
+
+import heapq
+import threading
+from collections.abc import Callable
+from typing import Any
+
+from repro.util.errors import DeadlockError, SimulationError
+
+
+class _Killed(BaseException):
+    """Raised inside a process thread to unwind it during engine teardown.
+
+    Derives from ``BaseException`` so user ``except Exception`` blocks cannot
+    swallow it.
+    """
+
+
+class Proc:
+    """A simulated process: user code plus scheduling state.
+
+    The target callable receives this object (usually wrapped in a richer
+    per-rank context) and may only interact with the engine while it is the
+    running process.
+    """
+
+    NEW = "new"
+    RUNNING = "running"
+    BLOCKED = "blocked"
+    DONE = "done"
+
+    def __init__(
+        self,
+        engine: Engine,
+        pid: int,
+        target: Callable[[Proc], Any],
+        name: str,
+        daemon: bool = False,
+    ):
+        self.engine = engine
+        self.pid = pid
+        self.name = name
+        #: Daemon processes (library progress agents) may outlive the
+        #: program: they neither block run() completion nor count as
+        #: deadlocked when everything else finishes.
+        self.daemon = daemon
+        self.state = Proc.NEW
+        self.block_reason = "not started"
+        self.result: Any = None
+        self._target = target
+        self._sem = threading.Semaphore(0)
+        self._killed = False
+        self._gen = 0  # generation of the current block; stale resumes are ignored
+        self._wake_payload: Any = None
+        self._thread = threading.Thread(
+            target=self._run, name=f"sim-{name}", daemon=True
+        )
+
+    # -- scheduler side -------------------------------------------------
+
+    def _start(self) -> None:
+        self._thread.start()
+        self.engine.call_at(self.engine.now, lambda: self._resume(0))
+
+    def _resume(self, gen: int) -> None:
+        """Hand the baton to this process and wait for it to yield back."""
+        if self.state == Proc.DONE or gen != self._gen:
+            return
+        self.state = Proc.RUNNING
+        self.engine._current = self
+        self._sem.release()
+        self.engine._control.acquire()
+        self.engine._current = None
+
+    def _kill(self) -> None:
+        if self.state == Proc.DONE:
+            return
+        self._killed = True
+        self._sem.release()
+        self._thread.join()
+
+    # -- process side ---------------------------------------------------
+
+    def _run(self) -> None:
+        self._sem.acquire()  # wait for the initial resume
+        if self._killed:
+            self.state = Proc.DONE
+            self.engine._control.release()
+            return
+        try:
+            self.result = self._target(self)
+        except _Killed:
+            pass
+        except BaseException as exc:  # noqa: BLE001 - reported to scheduler
+            if self.engine._failure is None:
+                self.engine._failure = exc
+        finally:
+            self.state = Proc.DONE
+            self.engine._control.release()
+
+    def _yield_to_scheduler(self) -> None:
+        self.engine._control.release()
+        self._sem.acquire()
+        if self._killed:
+            raise _Killed
+        self.state = Proc.RUNNING
+
+    def block(self, reason: str) -> Any:
+        """Yield until some other party calls :meth:`wake`.
+
+        The caller must have registered itself with whatever structure will
+        eventually wake it *before* blocking. Returns the payload passed to
+        ``wake``.
+        """
+        self._check_running("block")
+        self._gen += 1
+        self.state = Proc.BLOCKED
+        self.block_reason = reason
+        self._yield_to_scheduler()
+        payload, self._wake_payload = self._wake_payload, None
+        return payload
+
+    def wake(self, payload: Any = None) -> None:
+        """Schedule this process to resume at the engine's current time.
+
+        A wake targets the process's *current* block; if the process blocks
+        again before the resume event fires, the stale resume is ignored
+        (the waker must wake it again through the new wait structure).
+        """
+        if self.state != Proc.BLOCKED:
+            raise SimulationError(f"wake() on non-blocked {self!r}")
+        self._wake_payload = payload
+        gen = self._gen
+        self.engine.call_at(self.engine.now, lambda: self._resume(gen))
+
+    def sleep(self, duration: float) -> None:
+        """Advance this process's local (virtual) time by ``duration``."""
+        self._check_running("sleep")
+        if duration < 0:
+            raise SimulationError(f"cannot sleep for negative time {duration!r}")
+        if duration == 0:
+            return
+        self._gen += 1
+        gen = self._gen
+        self.state = Proc.BLOCKED
+        self.block_reason = f"sleep({duration:g})"
+        self.engine.call_at(self.engine.now + duration, lambda: self._resume(gen))
+        self._yield_to_scheduler()
+
+    def _check_running(self, op: str) -> None:
+        if self.engine._current is not self:
+            raise SimulationError(
+                f"{op}() called from outside the running process "
+                f"(current={self.engine._current}, self={self})"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Proc {self.pid} {self.name!r} {self.state}>"
+
+
+class Engine:
+    """Event heap, virtual clock and process registry."""
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, Callable[[], None]]] = []
+        self._seq = 0
+        self.now = 0.0
+        self.procs: list[Proc] = []
+        self._control = threading.Semaphore(0)
+        self._current: Proc | None = None
+        self._failure: BaseException | None = None
+        self._ran = False
+        self._finished = False
+
+    # -- construction ---------------------------------------------------
+
+    def spawn(
+        self,
+        target: Callable[[Proc], Any],
+        name: str | None = None,
+        *,
+        daemon: bool = False,
+    ) -> Proc:
+        """Register a new process.
+
+        Before :meth:`run`, the process starts at virtual time 0. During a
+        run (e.g. a library spawning a progress agent), it starts at the
+        current virtual time. Daemon processes neither hold the run open
+        nor count as deadlocked.
+        """
+        if self._finished:
+            raise SimulationError("cannot spawn after the engine has finished")
+        pid = len(self.procs)
+        proc = Proc(self, pid, target, name or f"proc{pid}", daemon=daemon)
+        self.procs.append(proc)
+        if self._ran:
+            proc._start()
+        return proc
+
+    # -- event heap -----------------------------------------------------
+
+    def call_at(self, when: float, fn: Callable[[], None]) -> None:
+        """Schedule ``fn()`` to run in scheduler context at virtual time ``when``."""
+        if when < self.now:
+            raise SimulationError(
+                f"cannot schedule event in the past ({when} < now={self.now})"
+            )
+        heapq.heappush(self._heap, (when, self._seq, fn))
+        self._seq += 1
+
+    def call_in(self, delay: float, fn: Callable[[], None]) -> None:
+        self.call_at(self.now + delay, fn)
+
+    # -- main loop ------------------------------------------------------
+
+    def run(self) -> None:
+        """Run until all processes finish. Must be called from the creating thread.
+
+        Raises
+        ------
+        DeadlockError
+            If the event heap empties while unfinished processes remain.
+        Exception
+            Re-raises the first exception raised inside any process.
+        """
+        if self._ran:
+            raise SimulationError("engine can only run once")
+        self._ran = True
+        for proc in self.procs:
+            proc._start()
+        try:
+            while self._heap:
+                when, _seq, fn = heapq.heappop(self._heap)
+                self.now = when
+                fn()
+                if self._failure is not None:
+                    raise self._failure
+            blocked = {
+                p.pid: p.block_reason
+                for p in self.procs
+                if p.state != Proc.DONE and not p.daemon
+            }
+            if blocked:
+                raise DeadlockError(blocked)
+        finally:
+            self._finished = True
+            for proc in self.procs:
+                proc._kill()
+
+    def unfinished(self) -> list[Proc]:
+        return [p for p in self.procs if p.state != Proc.DONE]

@@ -1,0 +1,178 @@
+"""Machine description and the shared network fabric.
+
+:class:`MachineSpec` collects every modeled cost knob for a platform: wire
+latency/bandwidth, per-operation software overheads of the MPI and GASNet
+stacks, behavioural switches (Cray-style send/recv-backed RMA, MPICH's
+linear ``MPI_WIN_FLUSH_ALL``, GASNet's SRQ), the floating-point rate used to
+convert flop counts into virtual compute time, and the runtime memory
+model. Platform instances calibrated from the paper's own microbenchmarks
+live in :mod:`repro.platforms`.
+
+:class:`NetFabric` moves bytes between ranks with per-NIC injection and
+delivery serialization, which is what makes naive all-at-once all-to-alls
+(CAF-GASNet's hand-rolled collective) suffer incast contention while
+schedule-aware algorithms (MPI's pairwise exchange) do not.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Callable
+from dataclasses import dataclass
+from typing import Any
+
+from repro.sim.engine import Engine
+from repro.util.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """Modeled cost parameters of one experimental platform."""
+
+    name: str
+
+    # --- fabric -------------------------------------------------------
+    latency: float = 1.5e-6  # one-way inter-node wire latency (s)
+    bandwidth: float = 3.2e9  # NIC injection/delivery bandwidth (B/s)
+    header_bytes: int = 64  # per-message wire header
+    tx_msg_overhead: float = 0.1e-6  # per-message NIC injection occupancy (s)
+    rx_msg_overhead: float = 0.2e-6  # per-message NIC delivery occupancy (s)
+    loopback_latency: float = 3.0e-7  # same-node message latency (s)
+    ranks_per_node: int = 8
+
+    # --- CPU ------------------------------------------------------------
+    flops_per_sec: float = 8.0e9  # per-core double-precision rate
+    mem_copy_bw: float = 6.0e9  # memcpy bandwidth for buffering (B/s)
+
+    # --- MPI software costs (seconds per operation) ---------------------
+    mpi_p2p_overhead: float = 0.6e-6  # send/isend/recv initiation (origin)
+    mpi_match_overhead: float = 0.2e-6  # target-side match per message
+    mpi_rma_overhead: float = 1.2e-6  # PUT/GET initiation
+    mpi_atomic_overhead: float = 1.4e-6  # ACCUMULATE/FETCH_AND_OP/CAS
+    mpi_flush_overhead: float = 0.8e-6  # FLUSH to one target
+    mpi_flush_all_per_target: float = 0.4e-6  # MPICH: FLUSH_ALL walks every rank
+    mpi_flush_all_idle: float = 0.2e-6  # FLUSH_ALL with no epoch activity
+    mpi_coll_overhead: float = 0.8e-6  # per collective call setup
+    mpi_eager_threshold: int = 8192  # bytes; above this, rendezvous
+    mpi_rma_over_sendrecv: bool = False  # Cray MPI implements RMA over send/recv
+    mpi_sendrecv_rma_extra: float = 2.0e-6  # extra per-op cost in that mode
+    mpi_async_progress: bool = True  # library progresses 2-sided without user calls
+
+    # --- GASNet software costs ------------------------------------------
+    gasnet_put_overhead: float = 0.5e-6
+    gasnet_get_overhead: float = 0.5e-6
+    gasnet_am_overhead: float = 0.5e-6  # AM request injection (origin)
+    gasnet_handler_overhead: float = 0.4e-6  # target-side AM handler dispatch
+    gasnet_poll_overhead: float = 0.1e-6  # one gasnet_AMPoll() pass
+    gasnet_srq_threshold: int | None = 128  # SRQ enabled at >= this many procs
+    gasnet_srq_penalty: float = 6.0e-6  # extra target-side per-message cost w/ SRQ
+    gasnet_am_credits: int | None = 64  # outstanding AM requests per peer
+    # How CAF-GASNet's hand-rolled alltoall/allgather signal completion:
+    # "put" = RDMA flag writes the receiver spins on (ibv/aries conduits),
+    # "am"  = short Active Messages (pami conduit; pays handler dispatch).
+    gasnet_coll_signal: str = "put"
+
+    # --- runtime memory model (MB), Figure 1 -----------------------------
+    mpi_mem_base_mb: float = 106.5
+    mpi_mem_per_rank_mb: float = 0.033  # eager buffers + metadata per peer
+    gasnet_mem_base_mb: float = 13.0
+    gasnet_mem_log_mb: float = 3.25  # per log2(P) segment metadata growth
+    gasnet_mem_nosrq_per_rank_mb: float = 0.05  # per-peer recv buffers w/o SRQ
+
+    def with_overrides(self, **kwargs: Any) -> "MachineSpec":
+        """Return a copy with the given fields replaced (for ablations)."""
+        return dataclasses.replace(self, **kwargs)
+
+    def flops_time(self, flops: float) -> float:
+        return flops / self.flops_per_sec
+
+    def copy_time(self, nbytes: int) -> float:
+        return nbytes / self.mem_copy_bw
+
+    def node_of(self, rank: int) -> int:
+        return rank // self.ranks_per_node
+
+    def srq_active(self, nranks: int) -> bool:
+        return (
+            self.gasnet_srq_threshold is not None
+            and nranks >= self.gasnet_srq_threshold
+        )
+
+
+class NetFabric:
+    """Point-to-point byte transport with NIC serialization at both ends.
+
+    ``transfer`` is asynchronous: the caller charges its own software
+    overhead separately (via ``proc.sleep``), and ``on_delivered`` runs in
+    scheduler context at the modeled delivery time.
+    """
+
+    def __init__(self, engine: Engine, nranks: int, spec: MachineSpec, tracer=None):
+        self.engine = engine
+        self.nranks = nranks
+        self.spec = spec
+        self.tracer = tracer
+        self._tx_free = [0.0] * nranks
+        self._rx_free = [0.0] * nranks
+        # Per-(src, dst) last delivery time: enforces FIFO per ordered pair,
+        # which MPI's non-overtaking rule and GASNet AM ordering rely on.
+        self._pair_last: dict[tuple[int, int], float] = {}
+        self.messages_sent = 0
+        self.bytes_sent = 0
+
+    def _check_rank(self, rank: int) -> None:
+        if not 0 <= rank < self.nranks:
+            raise SimulationError(f"rank {rank} out of range [0, {self.nranks})")
+
+    def transfer(
+        self,
+        src: int,
+        dst: int,
+        nbytes: int,
+        on_delivered: Callable[[], None],
+        *,
+        rx_extra: float = 0.0,
+    ) -> float:
+        """Move ``nbytes`` from ``src`` to ``dst``; returns the delivery time.
+
+        ``rx_extra`` adds per-message occupancy at the destination NIC
+        (seconds) — used to model GASNet's Shared Receive Queue slowdown,
+        which throttles incast throughput at scale (paper Figure 3).
+        """
+        self._check_rank(src)
+        self._check_rank(dst)
+        if nbytes < 0:
+            raise SimulationError(f"negative transfer size {nbytes}")
+        now = self.engine.now
+        self.messages_sent += 1
+        self.bytes_sent += nbytes
+        spec = self.spec
+        if src == dst or spec.node_of(src) == spec.node_of(dst):
+            # Intra-node: shared-memory copy, no NIC involvement.
+            deliver = now + spec.loopback_latency + spec.copy_time(nbytes)
+        else:
+            wire_bytes = nbytes + spec.header_bytes
+            ser = wire_bytes / spec.bandwidth
+            depart = max(now, self._tx_free[src])
+            # NICs have a message-rate limit independent of bandwidth: each
+            # message occupies the NIC for a fixed overhead plus its wire
+            # time. This is what punishes unscheduled incast (the naive
+            # all-to-all) as the process count grows.
+            self._tx_free[src] = depart + ser + spec.tx_msg_overhead
+            head_arrive = depart + spec.latency
+            deliver = (
+                max(head_arrive, self._rx_free[dst])
+                + ser
+                + spec.rx_msg_overhead
+                + rx_extra
+            )
+            self._rx_free[dst] = deliver
+        pair = (src, dst)
+        deliver = max(deliver, self._pair_last.get(pair, 0.0))
+        self._pair_last[pair] = deliver
+        if self.tracer is not None and self.tracer.enabled:
+            self.tracer.record(
+                "transfer", src, now, deliver, dst=dst, nbytes=nbytes
+            )
+        self.engine.call_at(deliver, on_delivered)
+        return deliver

@@ -1,0 +1,73 @@
+"""Per-rank virtual-time category accounting.
+
+Regenerates the paper's HPCToolkit-style time decompositions (Figures 4
+and 8): each rank attributes its elapsed virtual time to the innermost
+active category (``computation``, ``coarray_write``, ``event_wait``,
+``event_notify``, ``alltoall``, ...). Accounting is *exclusive*: entering a
+nested region pauses the parent region's clock.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+from repro.sim.engine import Engine
+
+
+class Profiler:
+    def __init__(self, engine: Engine, nranks: int, tracer=None):
+        self.engine = engine
+        self.nranks = nranks
+        self.tracer = tracer
+        self.times: list[dict[str, float]] = [{} for _ in range(nranks)]
+        self.counts: list[dict[str, int]] = [{} for _ in range(nranks)]
+        # Per rank: stack of [category, segment_start] with the top segment open.
+        self._stack: list[list[list]] = [[] for _ in range(nranks)]
+
+    def _charge_top(self, rank: int) -> None:
+        stack = self._stack[rank]
+        if stack:
+            cat, start = stack[-1]
+            self.times[rank][cat] = (
+                self.times[rank].get(cat, 0.0) + self.engine.now - start
+            )
+            stack[-1][1] = self.engine.now
+
+    @contextmanager
+    def region(self, rank: int, category: str):
+        """Attribute enclosed virtual time on ``rank`` to ``category``."""
+        self.counts[rank][category] = self.counts[rank].get(category, 0) + 1
+        self._charge_top(rank)
+        entered = self.engine.now
+        self._stack[rank].append([category, entered])
+        try:
+            yield
+        finally:
+            self._charge_top(rank)
+            self._stack[rank].pop()
+            if self._stack[rank]:
+                self._stack[rank][-1][1] = self.engine.now
+            if self.tracer is not None and self.tracer.enabled:
+                self.tracer.record(
+                    "region", rank, entered, self.engine.now, category=category
+                )
+
+    def total(self, category: str) -> float:
+        """Sum of ``category`` time across all ranks."""
+        return sum(t.get(category, 0.0) for t in self.times)
+
+    def rank_total(self, rank: int, category: str) -> float:
+        return self.times[rank].get(category, 0.0)
+
+    def mean(self, category: str) -> float:
+        return self.total(category) / self.nranks
+
+    def categories(self) -> list[str]:
+        cats: set[str] = set()
+        for t in self.times:
+            cats.update(t)
+        return sorted(cats)
+
+    def breakdown(self) -> dict[str, float]:
+        """Mean per-rank time for every category (the figures' bar segments)."""
+        return {c: self.mean(c) for c in self.categories()}

@@ -1,0 +1,134 @@
+"""Synchronization primitives built on the engine's block/wake protocol.
+
+Because scheduling is cooperative (nothing runs between a check and the
+subsequent block), these primitives need no locks; they only need to keep
+their waiter lists consistent.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Callable
+from typing import Any
+
+from repro.sim.engine import Proc
+
+
+class SimEvent:
+    """A one-shot level-triggered flag processes can wait on.
+
+    Optionally carries a value set at fire time (used for completion
+    handles that deliver data, e.g. fetched RMA results).
+    """
+
+    def __init__(self, label: str = "event"):
+        self.label = label
+        self.is_set = False
+        self.value: Any = None
+        self._waiters: list[Proc] = []
+        self._callbacks: list[Callable[[], None]] = []
+
+    def fire(self, value: Any = None) -> None:
+        """Set the flag, wake every waiter and run subscribed callbacks. Idempotent."""
+        if self.is_set:
+            return
+        self.is_set = True
+        self.value = value
+        waiters, self._waiters = self._waiters, []
+        for proc in waiters:
+            proc.wake()
+        callbacks, self._callbacks = self._callbacks, []
+        for cb in callbacks:
+            cb()
+
+    def subscribe(self, cb: Callable[[], None]) -> None:
+        """Run ``cb`` when the event fires (immediately if already set)."""
+        if self.is_set:
+            cb()
+        else:
+            self._callbacks.append(cb)
+
+    def wait(self, proc: Proc) -> Any:
+        """Block ``proc`` until the flag is set; returns the fired value."""
+        while not self.is_set:
+            self._waiters.append(proc)
+            proc.block(f"wait({self.label})")
+            if proc in self._waiters:  # woken by someone else's stale wake
+                self._waiters.remove(proc)
+        return self.value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<SimEvent {self.label} set={self.is_set}>"
+
+
+class Counter:
+    """A waitable monotone counter (CAF events are counting semaphores)."""
+
+    def __init__(self, label: str = "counter", initial: int = 0):
+        self.label = label
+        self.count = initial
+        self._waiters: list[Proc] = []
+        self._next_callbacks: list[Callable[[], None]] = []
+
+    def add(self, n: int = 1) -> None:
+        self.count += n
+        waiters, self._waiters = self._waiters, []
+        for proc in waiters:
+            proc.wake()
+        callbacks, self._next_callbacks = self._next_callbacks, []
+        for cb in callbacks:
+            cb()
+
+    def subscribe_next(self, cb: Callable[[], None]) -> None:
+        """Run ``cb`` once, on the next :meth:`add` (of any amount)."""
+        self._next_callbacks.append(cb)
+
+    def wait_geq(self, proc: Proc, threshold: int, reason: str | None = None) -> None:
+        """Block until ``count >= threshold`` (does not consume)."""
+        while self.count < threshold:
+            self._waiters.append(proc)
+            proc.block(reason or f"wait_geq({self.label}, {threshold})")
+            if proc in self._waiters:
+                self._waiters.remove(proc)
+
+    def take(self, proc: Proc, n: int = 1) -> None:
+        """Block until ``count >= n`` then subtract ``n`` (consuming wait)."""
+        self.wait_geq(proc, n)
+        self.count -= n
+
+
+class Channel:
+    """An unbounded FIFO mailbox with blocking, optionally filtered, receive."""
+
+    def __init__(self, label: str = "channel"):
+        self.label = label
+        self._items: deque[Any] = deque()
+        self._waiters: list[Proc] = []
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> None:
+        self._items.append(item)
+        waiters, self._waiters = self._waiters, []
+        for proc in waiters:
+            proc.wake()
+
+    def try_get(self, match: Callable[[Any], bool] | None = None) -> tuple[bool, Any]:
+        """Non-blocking receive of the first item satisfying ``match``."""
+        for i, item in enumerate(self._items):
+            if match is None or match(item):
+                del self._items[i]
+                return True, item
+        return False, None
+
+    def get(self, proc: Proc, match: Callable[[Any], bool] | None = None) -> Any:
+        """Blocking receive of the first (FIFO) item satisfying ``match``."""
+        while True:
+            ok, item = self.try_get(match)
+            if ok:
+                return item
+            self._waiters.append(proc)
+            proc.block(f"get({self.label})")
+            if proc in self._waiters:
+                self._waiters.remove(proc)

@@ -1,0 +1,21 @@
+"""Shared utilities: error types, deterministic RNG streams, table rendering."""
+
+from repro.util.errors import (
+    CafError,
+    DeadlockError,
+    MpiError,
+    ReproError,
+    SimulationError,
+)
+from repro.util.rng import rank_rng
+from repro.util.tables import format_table
+
+__all__ = [
+    "CafError",
+    "DeadlockError",
+    "MpiError",
+    "ReproError",
+    "SimulationError",
+    "format_table",
+    "rank_rng",
+]

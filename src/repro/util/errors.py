@@ -1,0 +1,43 @@
+"""Exception hierarchy for the repro package.
+
+All errors raised by the library derive from :class:`ReproError` so callers
+can catch library failures without catching programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event engine was used incorrectly or reached a bad state."""
+
+
+class DeadlockError(SimulationError):
+    """All live simulated processes are blocked and no future event exists.
+
+    Attributes
+    ----------
+    blocked:
+        Mapping of rank -> human-readable description of the call the rank
+        is blocked in (e.g. ``"event_wait(event#2)"``).
+    """
+
+    def __init__(self, blocked: dict[int, str]):
+        self.blocked = dict(blocked)
+        detail = "; ".join(f"rank {r}: {why}" for r, why in sorted(blocked.items()))
+        super().__init__(f"deadlock: all live images are blocked ({detail})")
+
+
+class MpiError(ReproError):
+    """An MPI routine was invoked with invalid arguments or in a bad state."""
+
+
+class GasnetError(ReproError):
+    """A GASNet routine was invoked with invalid arguments or in a bad state."""
+
+
+class CafError(ReproError):
+    """A CAF runtime operation was invoked incorrectly."""

@@ -1,0 +1,23 @@
+"""Deterministic random-number streams.
+
+Every stochastic choice in the simulator and the applications draws from a
+:class:`numpy.random.Generator` produced here, so a (seed, rank) pair fully
+determines a run.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def rank_rng(seed: int, rank: int, stream: str = "") -> np.random.Generator:
+    """Return an independent generator for ``(seed, rank, stream)``.
+
+    Uses ``SeedSequence.spawn``-style keying so different ranks and different
+    named streams on the same rank never overlap.
+    """
+    key = [seed & 0xFFFFFFFF, rank]
+    if stream:
+        # Fold the stream name into the entropy key deterministically.
+        key.extend(ord(c) for c in stream)
+    return np.random.default_rng(np.random.SeedSequence(key))

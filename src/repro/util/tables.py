@@ -1,0 +1,49 @@
+"""Plain-text table rendering for experiment reports.
+
+The experiment harness prints the same rows/series the paper reports; this
+module renders them in aligned, monospace-friendly form.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+
+def _render_cell(value: object, precision: int) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 10_000 or abs(value) < 10 ** (-precision):
+            return f"{value:.{precision}e}"
+        return f"{value:.{precision}f}"
+    # Newlines would break the one-line-per-row invariant.
+    return str(value).replace("\n", " ")
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    *,
+    title: str | None = None,
+    precision: int = 4,
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned text table."""
+    headers = [str(h).replace("\n", " ") for h in headers]
+    rendered = [[_render_cell(c, precision) for c in row] for row in rows]
+    for row in rendered:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} headers"
+            )
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

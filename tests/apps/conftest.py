@@ -1,0 +1,8 @@
+import pytest
+
+BACKENDS = ["mpi", "gasnet"]
+
+
+@pytest.fixture(params=BACKENDS)
+def backend(request):
+    return request.param

@@ -1,0 +1,64 @@
+"""End-to-end determinism: identical runs produce identical virtual times.
+
+The engine is deterministic by construction; these tests pin that property
+at the application level, where any hidden ordering dependence (dict
+iteration, set ordering, unseeded RNG) would surface as timing jitter.
+"""
+
+import pytest
+
+from repro.apps.cgpop import run_cgpop
+from repro.apps.fft import run_fft
+from repro.apps.hpl import run_hpl
+from repro.apps.randomaccess import run_randomaccess
+from repro.caf import run_caf
+from repro.platforms import FUSION
+
+CASES = [
+    ("randomaccess", run_randomaccess, dict(table_bits_per_image=6, updates_per_image=128, batches=2)),
+    ("fft", run_fft, dict(m=1 << 10)),
+    ("hpl", run_hpl, dict(n=64, block=16)),
+    ("cgpop", run_cgpop, dict(ny=16, nx=8, max_iter=20, tol=0.0)),
+]
+
+
+@pytest.mark.parametrize("name,app,kwargs", CASES, ids=[c[0] for c in CASES])
+@pytest.mark.parametrize("backend", ["mpi", "gasnet"])
+def test_repeated_runs_bitwise_identical(name, app, kwargs, backend):
+    runs = [
+        run_caf(app, 4, FUSION, backend=backend, **kwargs) for _ in range(2)
+    ]
+    assert runs[0].elapsed == runs[1].elapsed
+    assert runs[0].fabric.messages_sent == runs[1].fabric.messages_sent
+    assert runs[0].fabric.bytes_sent == runs[1].fabric.bytes_sent
+    assert runs[0].profiler.breakdown() == runs[1].profiler.breakdown()
+
+
+@pytest.mark.parametrize("backend", ["mpi", "gasnet"])
+def test_different_sim_seed_same_answers(backend):
+    """The simulator seed must not change application *results* (apps seed
+    their own RNGs), only incidental per-rank noise sources."""
+    a = run_caf(run_fft, 4, FUSION, backend=backend, m=1 << 10, sim_seed=1)
+    b = run_caf(run_fft, 4, FUSION, backend=backend, m=1 << 10, sim_seed=2)
+    import numpy as np
+
+    for r in range(4):
+        assert np.allclose(
+            a.cluster._shared["fft-output"][r],
+            b.cluster._shared["fft-output"][r],
+        )
+
+
+def test_backend_choice_changes_time_not_answers():
+    import numpy as np
+
+    runs = {
+        backend: run_caf(run_fft, 4, FUSION, backend=backend, m=1 << 10)
+        for backend in ("mpi", "gasnet")
+    }
+    for r in range(4):
+        assert np.allclose(
+            runs["mpi"].cluster._shared["fft-output"][r],
+            runs["gasnet"].cluster._shared["fft-output"][r],
+        )
+    assert runs["mpi"].elapsed != runs["gasnet"].elapsed

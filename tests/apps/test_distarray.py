@@ -1,0 +1,143 @@
+"""DistributedArray: remote load/store conversion (the §7 use case)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.distarray import DistributedArray
+from repro.caf import run_caf
+from repro.util.errors import CafError
+
+
+def test_fill_and_gather(backend):
+    def program(img):
+        arr = DistributedArray(img, 100)
+        arr.fill(float(img.rank))
+        img.sync_all()
+        return arr.gather().tolist()
+
+    run = run_caf(program, 4, backend=backend)
+    expected = []
+    block = 25
+    for r in range(4):
+        expected += [float(r)] * block
+    for r in run.results:
+        assert r == expected
+
+
+def test_remote_scalar_read_write(backend):
+    def program(img):
+        arr = DistributedArray(img, 64)
+        img.sync_all()
+        if img.rank == 0:
+            arr[63] = 4.5  # owned by the last image
+            assert arr[63] == 4.5
+        img.sync_all()
+        lo, hi = arr.local_range
+        return arr.local.tolist() if lo <= 63 < hi else None
+
+    run = run_caf(program, 4, backend=backend)
+    assert run.results[3][-1] == 4.5
+
+
+def test_slice_spanning_images(backend):
+    def program(img):
+        arr = DistributedArray(img, 40)
+        lo, hi = arr.local_range
+        arr.local[:] = np.arange(lo, hi, dtype=np.float64)
+        img.sync_all()
+        return arr[5:35].tolist()
+
+    run = run_caf(program, 4, backend=backend)
+    for r in run.results:
+        assert r == list(np.arange(5.0, 35.0))
+
+
+def test_strided_and_fancy_indexing(backend):
+    def program(img):
+        arr = DistributedArray(img, 32)
+        lo, hi = arr.local_range
+        arr.local[:] = np.arange(lo, hi, dtype=np.float64)
+        img.sync_all()
+        strided = arr[::7]
+        fancy = arr[np.array([31, 0, 16])]
+        return strided.tolist(), fancy.tolist()
+
+    run = run_caf(program, 4, backend=backend)
+    for strided, fancy in run.results:
+        assert strided == [0.0, 7.0, 14.0, 21.0, 28.0]
+        assert fancy == [31.0, 0.0, 16.0]
+
+
+def test_slice_assignment_across_images(backend):
+    def program(img):
+        arr = DistributedArray(img, 24)
+        img.sync_all()
+        if img.rank == 0:
+            arr[4:20] = np.arange(16, dtype=np.float64)
+        img.sync_all()
+        return arr.gather().tolist()
+
+    run = run_caf(program, 3, backend=backend)
+    expected = [0.0] * 4 + list(np.arange(16.0)) + [0.0] * 4
+    assert run.results[0] == expected
+
+
+def test_add_at_accumulates(backend):
+    def program(img):
+        arr = DistributedArray(img, 16)
+        img.sync_all()
+        # Images take turns (barrier-synchronized rounds, like GFMC phases).
+        for r in range(img.nranks):
+            if img.rank == r:
+                arr.add_at(np.array([3, 8, 3]), np.array([1.0, 2.0, 1.0]))
+            img.barrier()
+        img.sync_all()
+        return arr.gather()[np.array([3, 8])].tolist()
+
+    run = run_caf(program, 4, backend=backend)
+    assert run.results[0] == [8.0, 8.0]  # 2 per image at idx 3, 2 at idx 8
+
+
+def test_global_sum(backend):
+    def program(img):
+        arr = DistributedArray(img, 50)
+        arr.fill(1.0)
+        img.sync_all()
+        return arr.global_sum()
+
+    run = run_caf(program, 4, backend=backend)
+    # Tail image's logical block is short: only 50 real elements exist.
+    assert all(r == 50.0 for r in run.results)
+
+
+def test_uneven_distribution_tail(backend):
+    def program(img):
+        arr = DistributedArray(img, 10)  # block=4 over 3 images: 4,4,2
+        return arr.local_range, arr.local.size
+
+    run = run_caf(program, 3, backend=backend)
+    assert run.results == [((0, 4), 4), ((4, 8), 4), ((8, 10), 2)]
+
+
+def test_out_of_range_rejected(backend):
+    def program(img):
+        arr = DistributedArray(img, 8)
+        arr[8]
+
+    with pytest.raises(CafError, match="outside"):
+        run_caf(program, 2, backend=backend)
+
+
+def test_on_subteam(backend):
+    def program(img):
+        team = img.team_split(img.team_world, color=img.rank % 2)
+        arr = DistributedArray(img, 20, team=team)
+        arr.fill(float(img.rank % 2))
+        img.barrier(team)
+        total = arr.global_sum()
+        img.barrier()
+        return total
+
+    run = run_caf(program, 4, backend=backend)
+    assert run.results[0] == 0.0  # even team filled with 0
+    assert run.results[1] == 20.0  # odd team filled with 1

@@ -1,0 +1,60 @@
+"""HPL: the distributed factorization must reproduce L @ U = A."""
+
+import numpy as np
+import pytest
+
+from repro.apps.hpl import assemble_lu, make_matrix, run_hpl
+from repro.caf import run_caf
+from repro.util.errors import CafError
+
+
+@pytest.mark.parametrize("nranks", [1, 2, 3, 4])
+def test_lu_reconstructs_matrix(backend, nranks):
+    n, block = 96, 16
+    run = run_caf(run_hpl, nranks, backend=backend, n=n, block=block, seed=2)
+    lower, upper = assemble_lu(run.cluster._shared["hpl-factors"], n, block)
+    a = make_matrix(2, n)
+    assert np.allclose(lower @ upper, a, atol=1e-6 * n)
+
+
+def test_solve_linear_system(backend):
+    """End-to-end: use the distributed factors to solve Ax = b."""
+    n, block = 64, 8
+    run = run_caf(run_hpl, 4, backend=backend, n=n, block=block, seed=6)
+    lower, upper = assemble_lu(run.cluster._shared["hpl-factors"], n, block)
+    a = make_matrix(6, n)
+    rng = np.random.default_rng(1)
+    b = rng.standard_normal(n)
+    from scipy.linalg import solve_triangular
+
+    y = solve_triangular(lower, b, lower=True, unit_diagonal=True)
+    x = solve_triangular(upper, y)
+    assert np.allclose(a @ x, b, atol=1e-6)
+
+
+def test_tflops_metric(backend):
+    run = run_caf(run_hpl, 2, backend=backend, n=64, block=16)
+    for res in run.results:
+        assert res.tflops > 0
+        assert res.elapsed > 0
+
+
+def test_bad_block_size_rejected(backend):
+    with pytest.raises(CafError, match="divide"):
+        run_caf(run_hpl, 2, backend=backend, n=100, block=16)
+
+
+def test_backends_indistinguishable_on_hpl():
+    """Figures 9-10: HPL is compute-bound; runtimes within a few percent.
+
+    The paper's N is millions; at simulation scale we recreate the
+    compute-bound regime by slowing the modeled flop rate instead.
+    """
+    from repro.sim.network import MachineSpec
+
+    spec = MachineSpec(name="t", ranks_per_node=1, flops_per_sec=2e8)
+    kw = dict(n=128, block=16)
+    mpi = run_caf(run_hpl, 4, spec, backend="mpi", **kw)
+    gas = run_caf(run_hpl, 4, spec, backend="gasnet", **kw)
+    ratio = mpi.results[0].tflops / gas.results[0].tflops
+    assert 0.8 < ratio < 1.25

@@ -1,0 +1,64 @@
+"""Microbenchmark driver: correctness of the measurement plumbing."""
+
+import pytest
+
+from repro.apps.microbench import OPS, run_microbench
+from repro.caf import run_caf
+from repro.platforms import FUSION
+from repro.util.errors import CafError
+
+
+@pytest.mark.parametrize("op", OPS)
+def test_each_op_produces_positive_rate(backend, op):
+    run = run_caf(run_microbench, 4, FUSION, backend=backend, op=op, iterations=50)
+    res = run.results[0]
+    assert res.op == op
+    assert res.iterations == 50
+    assert res.ops_per_second > 0
+    assert res.elapsed > 0
+
+
+def test_bad_op_rejected(backend):
+    with pytest.raises(CafError, match="op must be"):
+        run_caf(run_microbench, 2, FUSION, backend=backend, op="teleport")
+
+
+def test_rates_deterministic(backend):
+    runs = [
+        run_caf(run_microbench, 4, FUSION, backend=backend, op="write", iterations=50)
+        for _ in range(2)
+    ]
+    assert runs[0].results[0].ops_per_second == runs[1].results[0].ops_per_second
+
+
+def test_single_rank_self_ops():
+    run = run_caf(run_microbench, 1, FUSION, backend="mpi", op="write", iterations=20)
+    assert run.results[0].ops_per_second > 0
+
+
+def test_gasnet_p2p_faster_than_mpi_on_fusion():
+    """The Figure 3 mechanism at the op level: GASNet RMA has lower
+    software overhead than MVAPICH2 RMA."""
+    rates = {}
+    for backend in ("mpi", "gasnet"):
+        run = run_caf(
+            run_microbench, 2, FUSION, backend=backend, op="write", iterations=100
+        )
+        rates[backend] = run.results[0].ops_per_second
+    assert rates["gasnet"] > rates["mpi"]
+
+
+def test_payload_size_slows_rate(backend):
+    small = run_caf(
+        run_microbench, 2, FUSION, backend=backend, op="write", iterations=50, nbytes=8
+    ).results[0].ops_per_second
+    big = run_caf(
+        run_microbench,
+        2,
+        FUSION,
+        backend=backend,
+        op="write",
+        iterations=50,
+        nbytes=1 << 16,
+    ).results[0].ops_per_second
+    assert big < small

@@ -1,0 +1,10 @@
+"""Shared fixtures for CAF-layer tests: everything runs on both backends."""
+
+import pytest
+
+BACKENDS = ["mpi", "gasnet"]
+
+
+@pytest.fixture(params=BACKENDS)
+def backend(request):
+    return request.param

@@ -1,0 +1,140 @@
+"""CAF 2.0 asynchronous collectives (§2.1) on both backends."""
+
+import numpy as np
+import pytest
+
+from repro.caf import run_caf
+from repro.mpi.constants import SUM
+
+
+def test_allreduce_async_with_data_event(backend):
+    def program(img):
+        ev = img.allocate_events(1)
+        send = np.array([float(img.rank + 1)])
+        recv = np.zeros(1)
+        img.team_allreduce_async(send, recv, SUM, data_event=(ev, 0))
+        ev.wait()
+        return recv[0]
+
+    run = run_caf(program, 4, backend=backend)
+    assert all(r == pytest.approx(10.0) for r in run.results)
+
+
+def test_broadcast_async_with_cofence(backend):
+    def program(img):
+        buf = np.arange(4, dtype=np.float64) if img.rank == 1 else np.zeros(4)
+        img.team_broadcast_async(buf, root=1)
+        img.cofence()  # local completion of implicitly-synchronized async ops
+        return buf.tolist()
+
+    run = run_caf(program, 4, backend=backend)
+    assert all(r == [0.0, 1.0, 2.0, 3.0] for r in run.results)
+
+
+def test_reduce_async(backend):
+    def program(img):
+        ev = img.allocate_events(1)
+        send = np.full(3, float(img.rank))
+        recv = np.zeros(3)
+        img.team_reduce_async(send, recv, SUM, root=0, data_event=(ev, 0))
+        ev.wait()
+        return recv.tolist() if img.rank == 0 else None
+
+    run = run_caf(program, 4, backend=backend)
+    assert run.results[0] == [6.0, 6.0, 6.0]
+
+
+def test_alltoall_async(backend):
+    def program(img):
+        ev = img.allocate_events(1)
+        send = np.array([[img.rank * 10 + j] for j in range(img.nranks)], dtype=np.float64)
+        recv = np.zeros_like(send)
+        img.team_alltoall_async(send, recv, op_event=(ev, 0))
+        ev.wait()
+        return recv[:, 0].tolist()
+
+    run = run_caf(program, 4, backend=backend)
+    for r in range(4):
+        assert run.results[r] == [src * 10 + r for src in range(4)]
+
+
+def test_allgather_async(backend):
+    def program(img):
+        ev = img.allocate_events(1)
+        send = np.array([float(img.rank)])
+        recv = np.zeros((img.nranks, 1))
+        img.team_allgather_async(send, recv, data_event=(ev, 0))
+        ev.wait()
+        return recv[:, 0].tolist()
+
+    run = run_caf(program, 3, backend=backend)
+    assert all(r == [0.0, 1.0, 2.0] for r in run.results)
+
+
+def test_async_collective_overlaps_computation(backend):
+    """The point of asynchronous collectives: communication time hides
+    behind local compute instead of adding to it."""
+
+    def program(img):
+        send = np.zeros((img.nranks, 256))
+        recv = np.zeros_like(send)
+        ev = img.allocate_events(1)
+        t0 = img.now
+        img.team_alltoall_async(send, recv, op_event=(ev, 0))
+        img.compute(0.01)  # plenty of time for the collective to finish under it
+        ev.wait()
+        overlapped = img.now - t0
+        t1 = img.now
+        img.team_alltoall(send, recv)
+        img.compute(0.01)
+        serial = img.now - t1
+        return overlapped, serial
+
+    run = run_caf(program, 4, backend=backend)
+    for overlapped, serial in run.results:
+        assert overlapped == pytest.approx(0.01, rel=0.05)
+        assert serial > overlapped
+
+
+def test_two_outstanding_async_collectives(backend):
+    def program(img):
+        ev = img.allocate_events(2)
+        a = np.array([1.0])
+        ra = np.zeros(1)
+        b = np.array([float(img.rank)])
+        rb = np.zeros(1)
+        img.team_allreduce_async(a, ra, SUM, data_event=(ev, 0))
+        img.team_allreduce_async(b, rb, SUM, data_event=(ev, 1))
+        ev.wait(slot=0)
+        ev.wait(slot=1)
+        return ra[0], rb[0]
+
+    run = run_caf(program, 4, backend=backend)
+    assert all(r == (4.0, 6.0) for r in run.results)
+
+
+def test_async_collective_on_subteam(backend):
+    def program(img):
+        team = img.team_split(img.team_world, color=img.rank % 2)
+        ev = img.allocate_events(1, team=team)
+        send = np.array([1.0])
+        recv = np.zeros(1)
+        img.team_allreduce_async(send, recv, SUM, team=team, data_event=(ev, 0))
+        ev.wait()
+        return recv[0]
+
+    run = run_caf(program, 6, backend=backend)
+    assert all(r == 3.0 for r in run.results)
+
+
+def test_finish_covers_async_collectives(backend):
+    def program(img):
+        send = np.array([2.0])
+        recv = np.zeros(1)
+        with img.finish(fast=True):
+            img.team_allreduce_async(send, recv, SUM)
+            img.cofence()
+        return recv[0]
+
+    run = run_caf(program, 4, backend=backend)
+    assert all(r == 8.0 for r in run.results)

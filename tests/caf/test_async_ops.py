@@ -1,0 +1,129 @@
+"""Asynchronous operations: copy_async with events, cofence (§2.1, §3.3)."""
+
+import numpy as np
+
+from repro.caf import run_caf
+
+
+def test_write_async_then_cofence_then_finish(backend):
+    def program(img):
+        co = img.allocate_coarray(16, np.float64)
+        with img.finish(fast=True):
+            target = (img.rank + 1) % img.nranks
+            co.write_async(target, np.full(16, float(img.rank)))
+            img.cofence()  # local completion: source buffer reusable
+        left = (img.rank - 1) % img.nranks
+        return co.local[0] == float(left)
+
+    run = run_caf(program, 4, backend=backend)
+    assert all(run.results)
+
+
+def test_write_async_src_event(backend):
+    def program(img):
+        co = img.allocate_coarray(4, np.float64)
+        ev = img.allocate_events(1)
+        done = img.allocate_events(1)
+        if img.rank == 0:
+            co.write_async(1, np.full(4, 9.0), src_event=(ev, 0))
+            ev.wait()  # source buffer reusable
+            done.notify(target=1)  # not a data fence by itself...
+        else:
+            done.wait()
+            return True
+
+    run = run_caf(program, 2, backend=backend)
+    assert run.results[1]
+
+
+def test_write_async_dest_event_posts_at_target(backend):
+    """Case 4 of §3.3: destination event posted on the target after data lands."""
+
+    def program(img):
+        co = img.allocate_coarray(8, np.float64)
+        ev = img.allocate_events(1)
+        if img.rank == 0:
+            co.write_async(1, np.arange(8, dtype=np.float64), dest_event=(ev, 0))
+        else:
+            ev.wait()  # posted remotely, at us
+            return co.local.tolist()
+
+    run = run_caf(program, 2, backend=backend)
+    assert run.results[1] == list(range(8))
+
+
+def test_read_async_with_cofence(backend):
+    def program(img):
+        co = img.allocate_coarray(4, np.float64)
+        co.local[:] = img.rank * 10.0
+        img.sync_all()
+        out = np.zeros(4)
+        co.read_async((img.rank + 1) % img.nranks, out)
+        img.cofence()
+        return out[0]
+
+    run = run_caf(program, 3, backend=backend)
+    assert run.results == [10.0, 20.0, 0.0]
+
+
+def test_read_async_dest_event(backend):
+    def program(img):
+        co = img.allocate_coarray(4, np.float64)
+        co.local[:] = float(img.rank + 1)
+        ev = img.allocate_events(1)
+        img.sync_all()
+        out = np.zeros(4)
+        co.read_async((img.rank + 1) % img.nranks, out, dest_event=(ev, 0))
+        ev.wait()
+        return out[0]
+
+    run = run_caf(program, 2, backend=backend)
+    assert run.results == [2.0, 1.0]
+
+
+def test_predicate_event_delays_copy(backend):
+    def program(img):
+        co = img.allocate_coarray(4, np.float64)
+        pred = img.allocate_events(1)
+        done = img.allocate_events(1)
+        if img.rank == 0:
+            # Queue a predicated write; it must not start yet.
+            co.write_async(1, np.full(4, 5.0), predicate=(pred, 0), dest_event=(done, 0))
+            img.compute(1.0)
+            pred._post_local(0)  # fire the predicate locally
+        else:
+            done.wait()
+            return co.local[0], img.now
+
+    run = run_caf(program, 2, backend=backend)
+    value, when = run.results[1]
+    assert value == 5.0
+    assert when >= 1.0  # data could not arrive before the predicate fired
+
+
+def test_many_async_writes_one_finish(backend):
+    def program(img):
+        co = img.allocate_coarray(img.nranks, np.float64)
+        with img.finish(fast=True):
+            for target in range(img.nranks):
+                co.write_async(target, np.array([float(img.rank)]), offset=img.rank)
+        return co.local.tolist()
+
+    run = run_caf(program, 4, backend=backend)
+    for r in run.results:
+        assert r == [0.0, 1.0, 2.0, 3.0]
+
+
+def test_cofence_allows_buffer_reuse_semantics(backend):
+    """After cofence the async op is locally complete on both backends."""
+
+    def program(img):
+        co = img.allocate_coarray(4, np.float64)
+        if img.rank == 0:
+            co.write_async(1, np.full(4, 1.0))
+            img.cofence()
+        img.sync_all()
+        return co.local[0]
+
+    run = run_caf(program, 2, backend=backend)
+    assert run.results[1] == 1.0

@@ -1,0 +1,86 @@
+"""Fortran 2008 SYNC IMAGES: pairwise synchronization."""
+
+import numpy as np
+import pytest
+
+from repro.caf import run_caf
+from repro.util.errors import CafError, DeadlockError
+
+
+def test_pairwise_sync_orders_writes(backend):
+    def program(img):
+        co = img.allocate_coarray(4, np.float64)
+        img.sync_all()
+        result = None
+        if img.rank == 0:
+            img.compute(1.0)
+            co.write_async(1, np.full(4, 7.0))
+            img.sync_images([1])  # quiet + token: write visible at 1
+        elif img.rank == 1:
+            img.sync_images([0])
+            result = (co.local.tolist(), img.now)
+        img.sync_all()
+        return result
+
+    run = run_caf(program, 3, backend=backend)  # rank 2 uninvolved
+    values, when = run.results[1]
+    assert values == [7.0] * 4
+    assert when >= 1.0
+
+
+def test_uninvolved_images_do_not_wait(backend):
+    def program(img):
+        img.sync_all()
+        if img.rank in (0, 1):
+            img.compute(5.0)
+            img.sync_images([1 - img.rank])
+        done_at = img.now
+        img.sync_all()
+        return done_at
+
+    run = run_caf(program, 4, backend=backend)
+    assert run.results[2] < 1.0  # never blocked on the pair
+    assert run.results[0] >= 5.0
+
+
+def test_repeated_syncs_count_correctly(backend):
+    def program(img):
+        other = 1 - img.rank
+        stamps = []
+        for i in range(3):
+            img.compute(0.5 if img.rank == 0 else 0.1)
+            img.sync_images([other])
+            stamps.append(img.now)
+        return stamps
+
+    run = run_caf(program, 2, backend=backend)
+    # Each round both images leave at (roughly) the slower image's pace.
+    for a, b in zip(run.results[0], run.results[1]):
+        assert abs(a - b) < 0.4
+    assert run.results[0][-1] >= 1.5
+
+
+def test_sync_with_self_is_trivial(backend):
+    def program(img):
+        img.sync_images([img.rank])
+        return True
+
+    run = run_caf(program, 2, backend=backend)
+    assert all(run.results)
+
+
+def test_unmatched_sync_deadlocks(backend):
+    def program(img):
+        if img.rank == 0:
+            img.sync_images([1])  # 1 never reciprocates
+
+    with pytest.raises(DeadlockError):
+        run_caf(program, 2, backend=backend)
+
+
+def test_bad_partner_rejected(backend):
+    def program(img):
+        img.sync_images([9])
+
+    with pytest.raises(CafError, match="out of range"):
+        run_caf(program, 2, backend=backend)

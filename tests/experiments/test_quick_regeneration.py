@@ -1,0 +1,43 @@
+"""Every registered experiment regenerates at quick scale and renders.
+
+This is the harness's own integration test: ids resolve, `run("quick")`
+produces a well-formed table, and the render round-trips through the
+formatter. (Shape assertions live in benchmarks/.)
+"""
+
+import pytest
+
+from repro.experiments.registry import EXPERIMENTS
+
+#: Experiments light enough for the unit-test tier; the rest are covered
+#: by the benchmark harness.
+QUICK_IDS = [
+    "table1",
+    "fig01",
+    "fig02",
+    "fig04",
+    "fig08",
+    "fig09",
+    "fig10",
+    "abl_event",
+    "abl_eager",
+    "abl_decomp",
+]
+
+
+@pytest.mark.parametrize("exp_id", QUICK_IDS)
+def test_experiment_regenerates_quick(exp_id):
+    result = EXPERIMENTS[exp_id].load()("quick")
+    assert result.exp_id == exp_id
+    assert result.rows, "experiment produced no rows"
+    for row in result.rows:
+        assert len(row) == len(result.headers)
+    text = result.render()
+    assert f"[{exp_id}]" in text
+    assert len(text.splitlines()) >= 3
+
+
+@pytest.mark.parametrize("exp_id", QUICK_IDS)
+def test_experiment_rejects_bad_scale(exp_id):
+    with pytest.raises(ValueError):
+        EXPERIMENTS[exp_id].load()("huge")

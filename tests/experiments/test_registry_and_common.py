@@ -1,0 +1,62 @@
+"""Experiment harness plumbing: registry, result rendering, CLI."""
+
+import pytest
+
+from repro.experiments.common import ExperimentResult, check_scale, ideal_scale
+from repro.experiments.registry import EXPERIMENTS, get_experiment
+
+
+def test_registry_covers_every_paper_artifact():
+    # Table 1, Figures 1-12, two microbenchmark datasets.
+    for required in ["table1"] + [f"fig{i:02d}" for i in range(1, 13)] + [
+        "micro_mira",
+        "micro_edison",
+    ]:
+        assert required in EXPERIMENTS, f"missing {required}"
+
+
+def test_registry_modules_all_import_and_expose_run():
+    for spec in EXPERIMENTS.values():
+        fn = spec.load()
+        assert callable(fn)
+
+
+def test_unknown_experiment_raises():
+    with pytest.raises(KeyError, match="unknown experiment"):
+        get_experiment("fig99")
+
+
+def test_check_scale():
+    assert check_scale("quick") == "quick"
+    with pytest.raises(ValueError):
+        check_scale("enormous")
+
+
+def test_ideal_scale_is_linear_from_first_point():
+    assert ideal_scale([4, 8, 16], 2.0) == [2.0, 4.0, 8.0]
+
+
+def test_result_render_contains_title_and_rows():
+    result = ExperimentResult(
+        exp_id="x", title="demo", headers=["a", "b"], rows=[[1, 2.5]], notes="note!"
+    )
+    text = result.render()
+    assert "[x] demo" in text
+    assert "note!" in text
+    assert "2.5" in text
+
+
+def test_cli_list(capsys):
+    from repro.experiments.__main__ import main
+
+    assert main(["--list"]) == 0
+    out = capsys.readouterr().out
+    assert "fig03" in out and "abl_rflush" in out
+
+
+def test_cli_runs_one_experiment(tmp_path, capsys):
+    from repro.experiments.__main__ import main
+
+    assert main(["table1", "--scale", "quick", "--out", str(tmp_path)]) == 0
+    assert (tmp_path / "table1.txt").exists()
+    assert "fusion" in (tmp_path / "table1.txt").read_text().lower()

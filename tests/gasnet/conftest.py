@@ -1,0 +1,27 @@
+"""Shared helpers for GASNet-layer tests."""
+
+import pytest
+
+from repro.gasnet.core import GasnetWorld
+from repro.sim.cluster import Cluster
+from repro.sim.network import MachineSpec
+
+SEGMENT_BYTES = 1 << 20
+
+
+def gasnet_run(program, nranks, *, spec=None, seed=1, segment=SEGMENT_BYTES, **kwargs):
+    """Run ``program(gasnet, ctx, **kwargs)`` on every rank under GASNet."""
+    spec = spec or MachineSpec(name="test")
+    cluster = Cluster(nranks, spec, seed=seed)
+
+    def wrapper(ctx, **kw):
+        g = GasnetWorld.get(ctx.cluster).attach(ctx, segment)
+        return program(g, ctx, **kw)
+
+    results = cluster.run(wrapper, program_kwargs=kwargs)
+    return cluster, results
+
+
+@pytest.fixture
+def run():
+    return gasnet_run

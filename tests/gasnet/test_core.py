@@ -1,0 +1,258 @@
+"""GASNet core semantics: AMs, polling progress, RDMA put/get, SRQ."""
+
+import numpy as np
+import pytest
+
+from repro.sim.network import MachineSpec
+from repro.util.errors import DeadlockError, GasnetError
+
+from tests.gasnet.conftest import gasnet_run
+
+
+def test_put_writes_remote_segment(run):
+    def program(g, ctx):
+        if ctx.rank == 0:
+            g.put(1, 100, np.arange(8, dtype=np.uint8))
+            g.am_request_short(1, 1, 0)  # tell rank 1 it can look
+        else:
+            done = []
+            g.register_handler(1, lambda token, x: done.append(x))
+            g.block_until(lambda: done, "waiting for signal")
+            return g.segment[100:108].tolist()
+
+    _, results = gasnet_run(program, 2)
+    assert results[1] == list(range(8))
+
+
+def test_blocking_put_is_remotely_complete_on_return(run):
+    def program(g, ctx):
+        if ctx.rank == 0:
+            g.put(1, 0, np.array([123], dtype=np.uint8))
+            # No further synchronization: remote memory must already be set.
+            assert g.segment_of(1)[0] == 123
+
+    gasnet_run(program, 2)
+
+
+def test_get_reads_remote_segment(run):
+    def program(g, ctx):
+        g.segment[:4] = ctx.rank + 10
+        # Everyone reads from rank 0. No sync needed: rank 0 wrote its own
+        # segment before any remote get can arrive... make it robust anyway:
+        buf = np.zeros(4, np.uint8)
+        g.get(buf, 0, 0)
+        return buf.tolist()
+
+    _, results = gasnet_run(program, 3)
+    assert results[0] == [10] * 4
+
+
+def test_put_nb_handle_completion(run):
+    def program(g, ctx):
+        if ctx.rank == 0:
+            h = g.put_nb(1, 0, np.full(16, 5, np.uint8))
+            assert not h.done
+            g.wait_syncnb(h)
+            assert h.done
+            assert g.segment_of(1)[0] == 5
+
+    gasnet_run(program, 2)
+
+
+def test_am_short_args_and_reply(run):
+    def program(g, ctx):
+        log = []
+        g.register_handler(1, lambda token, a, b: token.reply_short(2, a + b))
+        g.register_handler(2, lambda token, s: log.append((token.src, s)))
+        if ctx.rank == 0:
+            g.am_request_short(1, 1, 20, 22)
+            g.block_until(lambda: log, "waiting for reply")
+            return log[0]
+        # The target must re-enter GASNet for the request handler to run.
+        g.block_until(lambda: g.am_handled >= 1, "serving one request")
+
+    _, results = gasnet_run(program, 2)
+    assert results[0] == (1, 42)
+
+
+def test_am_medium_payload(run):
+    def program(g, ctx):
+        got = []
+
+        def handler(token, payload, tag):
+            got.append((tag, payload.view(np.float64).copy()))
+
+        g.register_handler(3, handler)
+        if ctx.rank == 0:
+            g.am_request_medium(1, 3, np.array([2.5, 3.5]), 9)
+        else:
+            g.block_until(lambda: got, "waiting for medium AM")
+            tag, data = got[0]
+            return tag, data.tolist()
+
+    _, results = gasnet_run(program, 2)
+    assert results[1] == (9, [2.5, 3.5])
+
+
+def test_am_long_lands_payload_in_segment(run):
+    def program(g, ctx):
+        got = []
+
+        def handler(token, offset, nbytes, tag):
+            got.append((offset, nbytes, tag))
+
+        g.register_handler(4, handler)
+        if ctx.rank == 0:
+            g.am_request_long(1, 4, np.arange(4, dtype=np.uint8), 64, 7)
+        else:
+            g.block_until(lambda: got, "waiting for long AM")
+            offset, nbytes, tag = got[0]
+            assert (offset, nbytes, tag) == (64, 4, 7)
+            return g.segment[64:68].tolist()
+
+    _, results = gasnet_run(program, 2)
+    assert results[1] == [0, 1, 2, 3]
+
+
+def test_am_handlers_only_run_when_target_polls(run):
+    def program(g, ctx):
+        hits = []
+        g.register_handler(1, lambda token: hits.append(ctx.now))
+        if ctx.rank == 0:
+            g.am_request_short(1, 1)
+        else:
+            ctx.compute(5.0)  # not in a GASNet call: no handler progress
+            assert not hits
+            g.poll()
+            assert hits and hits[0] >= 5.0
+            return hits[0]
+
+    _, results = gasnet_run(program, 2)
+    assert results[1] >= 5.0
+
+
+def test_blocked_outside_gasnet_never_handles_am():
+    """The Figure 2 hazard: an AM round-trip deadlocks if the target never
+    re-enters GASNet."""
+
+    def program(g, ctx):
+        acked = []
+        g.register_handler(1, lambda token: token.reply_short(2))
+        g.register_handler(2, lambda token: acked.append(1))
+        if ctx.rank == 0:
+            g.am_request_short(1, 1)
+            g.block_until(lambda: acked, "waiting for ack")
+        # rank 1 simply returns: never polls, never handles the request.
+
+    with pytest.raises(DeadlockError):
+        gasnet_run(program, 2)
+
+
+def test_am_ordering_preserved_per_pair(run):
+    def program(g, ctx):
+        got = []
+        g.register_handler(1, lambda token, i: got.append(i))
+        if ctx.rank == 0:
+            for i in range(10):
+                g.am_request_short(1, 1, i)
+        else:
+            g.block_until(lambda: len(got) == 10, "waiting for 10 AMs")
+            return got
+
+    _, results = gasnet_run(program, 2)
+    assert results[1] == list(range(10))
+
+
+def test_srq_threshold_slows_am_handling():
+    fast = MachineSpec(
+        name="t", ranks_per_node=1, gasnet_srq_threshold=None, gasnet_srq_penalty=1e-4
+    )
+    slow = MachineSpec(
+        name="t", ranks_per_node=1, gasnet_srq_threshold=2, gasnet_srq_penalty=1e-4
+    )
+
+    def program(g, ctx):
+        count = []
+        g.register_handler(1, lambda token, i: count.append(i))
+        if ctx.rank == 0:
+            t0 = ctx.now
+            for i in range(50):
+                g.am_request_short(1, 1, i)
+            g.put(1, 0, np.array([1], np.uint8))  # remotely-complete fence
+            return ctx.now - t0
+        g.block_until(lambda: len(count) == 50, "collecting")
+
+    _, r_fast = gasnet_run(program, 2, spec=fast)
+    _, r_slow = gasnet_run(program, 2, spec=slow)
+    assert r_slow[0] > r_fast[0] * 2
+
+
+def test_segment_bounds_checked(run):
+    def program(g, ctx):
+        g.put(0, 1 << 20, np.zeros(16, np.uint8))
+
+    with pytest.raises(GasnetError, match="outside rank"):
+        gasnet_run(program, 1)
+
+
+def test_double_attach_rejected(run):
+    def program(g, ctx):
+        from repro.gasnet.core import GasnetWorld
+
+        GasnetWorld.get(ctx.cluster).attach(ctx, 1024)
+
+    with pytest.raises(GasnetError, match="twice"):
+        gasnet_run(program, 1)
+
+
+def test_medium_payload_size_limit(run):
+    def program(g, ctx):
+        g.am_request_medium(0, 1, np.zeros(1 << 20, np.uint8))
+
+    with pytest.raises(GasnetError, match="AMMaxMedium"):
+        gasnet_run(program, 1)
+
+
+def test_too_many_am_args_rejected(run):
+    def program(g, ctx):
+        g.register_handler(1, lambda token, *a: None)
+        g.am_request_short(0, 1, *range(20))
+
+    with pytest.raises(GasnetError, match="AMMaxArgs"):
+        gasnet_run(program, 1)
+
+
+def test_memory_model_srq_vs_nosrq():
+    srq_spec = MachineSpec(name="t", gasnet_srq_threshold=2)
+    nosrq_spec = MachineSpec(name="t", gasnet_srq_threshold=None)
+
+    def program(g, ctx):
+        return ctx.memory.rank_mb(ctx.rank, prefix="gasnet/")
+
+    _, with_srq = gasnet_run(program, 4, spec=srq_spec)
+    _, without = gasnet_run(program, 4, spec=nosrq_spec)
+    assert without[0] > with_srq[0]  # SRQ saves memory
+
+
+def test_gasnet_and_mpi_memory_duplicate():
+    """Figure 1: initializing both runtimes doubles the footprint."""
+    from repro.mpi.world import MpiWorld
+    from repro.sim.cluster import Cluster
+
+    spec = MachineSpec(name="t")
+    cluster = Cluster(4, spec, seed=1)
+
+    def program(ctx):
+        from repro.gasnet.core import GasnetWorld
+
+        GasnetWorld.get(ctx.cluster).attach(ctx, 1 << 16)
+        MpiWorld.get(ctx.cluster).init(ctx)
+        both = ctx.memory.rank_mb(ctx.rank)
+        gasnet_only = ctx.memory.rank_mb(ctx.rank, prefix="gasnet/")
+        mpi_only = ctx.memory.rank_mb(ctx.rank, prefix="mpi/")
+        return gasnet_only, mpi_only, both
+
+    results = cluster.run(program)
+    gasnet_mb, mpi_mb, both_mb = results[0]
+    assert both_mb == pytest.approx(gasnet_mb + mpi_mb)
+    assert mpi_mb > gasnet_mb  # MPI's footprint dominates (paper Fig. 1)

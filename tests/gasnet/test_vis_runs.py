@@ -1,0 +1,63 @@
+"""GASNet VIS-style strided puts/gets."""
+
+import numpy as np
+import pytest
+
+from repro.util.errors import GasnetError
+
+from tests.gasnet.conftest import gasnet_run
+
+
+def test_put_runs_nb_scatters(run):
+    def program(g, ctx):
+        if ctx.rank == 0:
+            h = g.put_runs_nb(1, [(0, 3), (10, 3)], np.arange(6, dtype=np.uint8))
+            g.wait_syncnb(h)
+            assert g.segment_of(1)[:13].tolist() == [
+                0, 1, 2, 0, 0, 0, 0, 0, 0, 0, 3, 4, 5,
+            ]
+
+    gasnet_run(program, 2)
+
+
+def test_get_runs_nb_gathers(run):
+    def program(g, ctx):
+        g.segment[:16] = np.arange(16, dtype=np.uint8) + 100 * (ctx.rank % 2)
+        # Ensure both segments are initialized before anyone reads.
+        g.put(1 - ctx.rank, 100, np.array([1], np.uint8))
+        out = np.zeros(4, np.uint8)
+        h = g.get_runs_nb(out, 1 - ctx.rank, [(2, 2), (12, 2)])
+        g.wait_syncnb(h)
+        return out.tolist()
+
+    _, results = gasnet_run(program, 2)
+    assert results[0] == [102, 103, 112, 113]
+    assert results[1] == [2, 3, 12, 13]
+
+
+def test_put_runs_size_mismatch(run):
+    def program(g, ctx):
+        g.put_runs_nb(0, [(0, 4)], np.zeros(2, np.uint8))
+
+    with pytest.raises(GasnetError, match="runs cover"):
+        gasnet_run(program, 1)
+
+
+def test_put_runs_bounds_checked(run):
+    def program(g, ctx):
+        g.put_runs_nb(0, [(1 << 20, 4)], np.zeros(4, np.uint8))
+
+    with pytest.raises(GasnetError, match="outside rank"):
+        gasnet_run(program, 1)
+
+
+def test_runs_single_wire_message(run):
+    def program(g, ctx):
+        before = ctx.cluster.fabric.messages_sent
+        if ctx.rank == 0:
+            h = g.put_runs_nb(1, [(i * 8, 4) for i in range(8)], np.ones(32, np.uint8))
+            g.wait_syncnb(h)
+        return ctx.cluster.fabric.messages_sent - before
+
+    _, results = gasnet_run(program, 2)
+    assert results[0] == 1

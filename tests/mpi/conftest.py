@@ -1,0 +1,25 @@
+"""Shared fixtures/helpers for MPI-layer tests."""
+
+import pytest
+
+from repro.mpi.world import MpiWorld
+from repro.sim.cluster import Cluster
+from repro.sim.network import MachineSpec
+
+
+def mpi_run(program, nranks, *, spec=None, seed=1, **kwargs):
+    """Run ``program(mpi, ctx, **kwargs)`` on every rank under MPI."""
+    spec = spec or MachineSpec(name="test")
+    cluster = Cluster(nranks, spec, seed=seed)
+
+    def wrapper(ctx, **kw):
+        mpi = MpiWorld.get(ctx.cluster).init(ctx)
+        return program(mpi, ctx, **kw)
+
+    results = cluster.run(wrapper, program_kwargs=kwargs)
+    return cluster, results
+
+
+@pytest.fixture
+def run():
+    return mpi_run

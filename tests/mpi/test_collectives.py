@@ -1,0 +1,200 @@
+"""Collective correctness against NumPy references, at several sizes."""
+
+import numpy as np
+import pytest
+
+from repro.mpi import MAX, MIN, PROD, SUM
+
+from tests.mpi.conftest import mpi_run
+
+SIZES = [1, 2, 3, 4, 5, 8, 13, 16]
+
+
+@pytest.mark.parametrize("nranks", SIZES)
+def test_barrier_synchronizes_clocks(nranks):
+    def program(mpi, ctx):
+        ctx.compute(float(ctx.rank))  # ranks arrive at different times
+        mpi.COMM_WORLD.barrier()
+        return ctx.now
+
+    _, results = mpi_run(program, nranks)
+    # Nobody leaves the barrier before the slowest rank arrived.
+    assert min(results) >= nranks - 1
+
+
+@pytest.mark.parametrize("nranks", SIZES)
+def test_bcast_from_various_roots(nranks):
+    def program(mpi, ctx, root):
+        buf = (
+            np.arange(7, dtype=np.float64) * 3
+            if ctx.rank == root
+            else np.zeros(7)
+        )
+        mpi.COMM_WORLD.bcast(buf, root=root)
+        return buf.tolist()
+
+    for root in {0, nranks - 1, nranks // 2}:
+        _, results = mpi_run(program, nranks, root=root)
+        expected = (np.arange(7) * 3.0).tolist()
+        assert all(r == expected for r in results)
+
+
+@pytest.mark.parametrize("nranks", SIZES)
+def test_reduce_sum(nranks):
+    def program(mpi, ctx):
+        send = np.full(5, float(ctx.rank + 1))
+        recv = np.zeros(5)
+        mpi.COMM_WORLD.reduce(send, recv, SUM, root=0)
+        return recv[0] if ctx.rank == 0 else None
+
+    _, results = mpi_run(program, nranks)
+    assert results[0] == pytest.approx(nranks * (nranks + 1) / 2)
+
+
+@pytest.mark.parametrize("nranks", SIZES)
+@pytest.mark.parametrize("op,npop", [(SUM, np.sum), (MAX, np.max), (MIN, np.min), (PROD, np.prod)])
+def test_allreduce_matches_numpy(nranks, op, npop):
+    def program(mpi, ctx):
+        send = np.array([float(ctx.rank + 1), float(ctx.rank % 3)])
+        recv = np.zeros(2)
+        mpi.COMM_WORLD.allreduce(send, recv, op)
+        return recv.tolist()
+
+    _, results = mpi_run(program, nranks)
+    contributions = np.array(
+        [[r + 1.0, float(r % 3)] for r in range(nranks)]
+    )
+    expected = npop(contributions, axis=0).tolist()
+    for r in results:
+        assert r == pytest.approx(expected)
+
+
+@pytest.mark.parametrize("nranks", SIZES)
+def test_alltoall_is_global_transpose(nranks):
+    def program(mpi, ctx):
+        send = np.array(
+            [[ctx.rank * 100 + peer] for peer in range(ctx.nranks)], dtype=np.int64
+        )
+        recv = np.zeros_like(send)
+        mpi.COMM_WORLD.alltoall(send, recv)
+        return recv[:, 0].tolist()
+
+    _, results = mpi_run(program, nranks)
+    for r in range(nranks):
+        assert results[r] == [src * 100 + r for src in range(nranks)]
+
+
+@pytest.mark.parametrize("nranks", [2, 3, 4, 7])
+def test_alltoallv_uneven_chunks(nranks):
+    def program(mpi, ctx):
+        # Rank r sends r+peer+1 elements to peer.
+        send = [
+            np.full(ctx.rank + peer + 1, ctx.rank * 10 + peer, dtype=np.int64)
+            for peer in range(ctx.nranks)
+        ]
+        recv = [
+            np.zeros(src + ctx.rank + 1, dtype=np.int64) for src in range(ctx.nranks)
+        ]
+        mpi.COMM_WORLD.alltoallv(send, recv)
+        return [c.tolist() for c in recv]
+
+    _, results = mpi_run(program, nranks)
+    for r in range(nranks):
+        for src in range(nranks):
+            assert results[r][src] == [src * 10 + r] * (src + r + 1)
+
+
+@pytest.mark.parametrize("nranks", SIZES)
+def test_allgather_collects_all_blocks(nranks):
+    def program(mpi, ctx):
+        send = np.array([ctx.rank * 2.0, ctx.rank * 2.0 + 1])
+        recv = np.zeros((ctx.nranks, 2))
+        mpi.COMM_WORLD.allgather(send, recv)
+        return recv.tolist()
+
+    _, results = mpi_run(program, nranks)
+    expected = [[r * 2.0, r * 2.0 + 1] for r in range(nranks)]
+    for r in results:
+        assert r == expected
+
+
+@pytest.mark.parametrize("nranks", SIZES)
+def test_gather_and_scatter(nranks):
+    def program(mpi, ctx):
+        comm = mpi.COMM_WORLD
+        send = np.array([float(ctx.rank)])
+        recv = np.zeros((ctx.nranks, 1)) if ctx.rank == 0 else None
+        comm.gather(send, recv, root=0)
+        if ctx.rank == 0:
+            assert recv[:, 0].tolist() == [float(r) for r in range(ctx.nranks)]
+            outgoing = recv * 10
+        else:
+            outgoing = None
+        mine = np.zeros(1)
+        comm.scatter(outgoing, mine, root=0)
+        return mine[0]
+
+    _, results = mpi_run(program, nranks)
+    assert results == [r * 10.0 for r in range(nranks)]
+
+
+@pytest.mark.parametrize("nranks", [2, 4, 8])
+def test_reduce_scatter_block(nranks):
+    def program(mpi, ctx):
+        send = np.array([[float(ctx.rank + peer)] for peer in range(ctx.nranks)])
+        recv = np.zeros(1)
+        mpi.COMM_WORLD.reduce_scatter_block(send, recv, SUM)
+        return recv[0]
+
+    _, results = mpi_run(program, nranks)
+    for r in range(nranks):
+        assert results[r] == pytest.approx(sum(src + r for src in range(nranks)))
+
+
+def test_consecutive_collectives_do_not_cross_match():
+    def program(mpi, ctx):
+        comm = mpi.COMM_WORLD
+        a = np.array([1.0]) if ctx.rank == 0 else np.zeros(1)
+        b = np.array([2.0]) if ctx.rank == 0 else np.zeros(1)
+        comm.bcast(a, root=0)
+        comm.bcast(b, root=0)
+        return a[0], b[0]
+
+    _, results = mpi_run(program, 4)
+    assert all(r == (1.0, 2.0) for r in results)
+
+
+def test_collectives_do_not_consume_user_messages():
+    def program(mpi, ctx):
+        comm = mpi.COMM_WORLD
+        if ctx.rank == 0:
+            comm.send(np.array([9.0]), dest=1, tag=1)
+        comm.barrier()
+        if ctx.rank == 1:
+            buf = np.zeros(1)
+            comm.recv(buf, source=0, tag=1)
+            return buf[0]
+
+    _, results = mpi_run(program, 2)
+    assert results[1] == 9.0
+
+
+def test_large_alltoall_uses_rendezvous():
+    n = 1 << 14  # per-pair chunk: 128 KB > eager threshold
+
+    def program(mpi, ctx):
+        send = np.full((ctx.nranks, n), float(ctx.rank))
+        recv = np.zeros_like(send)
+        mpi.COMM_WORLD.alltoall(send, recv)
+        return float(recv[:, 0].sum())
+
+    _, results = mpi_run(program, 4)
+    assert all(r == pytest.approx(0 + 1 + 2 + 3) for r in results)
+
+
+def test_allreduce_shape_mismatch_raises():
+    def program(mpi, ctx):
+        mpi.COMM_WORLD.allreduce(np.zeros(3), np.zeros(4))
+
+    with pytest.raises(Exception, match="differ"):
+        mpi_run(program, 2)

@@ -1,0 +1,111 @@
+"""Communicator management: dup, split, isolation."""
+
+import numpy as np
+import pytest
+
+from repro.mpi import SUM
+
+from tests.mpi.conftest import mpi_run
+
+
+def test_split_by_parity():
+    def program(mpi, ctx):
+        sub = mpi.COMM_WORLD.split(color=ctx.rank % 2)
+        return sub.rank, sub.size
+
+    _, results = mpi_run(program, 6)
+    for world_rank, (sub_rank, sub_size) in enumerate(results):
+        assert sub_size == 3
+        assert sub_rank == world_rank // 2
+
+
+def test_split_key_orders_ranks():
+    def program(mpi, ctx):
+        # Reverse ordering within one color.
+        sub = mpi.COMM_WORLD.split(color=0, key=-ctx.rank)
+        return sub.rank
+
+    _, results = mpi_run(program, 4)
+    assert results == [3, 2, 1, 0]
+
+
+def test_split_undefined_color_returns_none():
+    def program(mpi, ctx):
+        sub = mpi.COMM_WORLD.split(color=0 if ctx.rank < 2 else -1)
+        if sub is None:
+            return None
+        return sub.size
+
+    _, results = mpi_run(program, 4)
+    assert results == [2, 2, None, None]
+
+
+def test_subcomm_collectives_are_isolated():
+    def program(mpi, ctx):
+        sub = mpi.COMM_WORLD.split(color=ctx.rank % 2)
+        send = np.array([1.0])
+        recv = np.zeros(1)
+        sub.allreduce(send, recv, SUM)
+        return recv[0]
+
+    _, results = mpi_run(program, 8)
+    assert all(r == pytest.approx(4.0) for r in results)
+
+
+def test_subcomm_p2p_rank_translation():
+    def program(mpi, ctx):
+        sub = mpi.COMM_WORLD.split(color=ctx.rank // 2)  # pairs
+        buf = np.zeros(1)
+        if sub.rank == 0:
+            sub.send(np.array([float(ctx.rank)]), dest=1)
+            return None
+        sub.recv(buf, source=0)
+        return buf[0]
+
+    _, results = mpi_run(program, 6)
+    assert results[1::2] == [0.0, 2.0, 4.0]
+
+
+def test_dup_isolates_traffic():
+    def program(mpi, ctx):
+        comm = mpi.COMM_WORLD
+        dup = comm.dup()
+        if ctx.rank == 0:
+            comm.send(np.array([1.0]), dest=1, tag=5)
+            dup.send(np.array([2.0]), dest=1, tag=5)
+        else:
+            buf_dup = np.zeros(1)
+            dup.recv(buf_dup, source=0, tag=5)
+            buf = np.zeros(1)
+            comm.recv(buf, source=0, tag=5)
+            return buf[0], buf_dup[0]
+
+    _, results = mpi_run(program, 2)
+    assert results[1] == (1.0, 2.0)
+
+
+def test_window_on_subcommunicator():
+    def program(mpi, ctx):
+        sub = mpi.COMM_WORLD.split(color=ctx.rank % 2)
+        win = mpi.win_allocate(shape=1, dtype=np.float64, comm=sub)
+        win.lock_all()
+        win.put(np.array([float(ctx.rank)]), target=(sub.rank + 1) % sub.size)
+        win.flush_all()
+        sub.barrier()
+        win.unlock_all()
+        return win.local[0]
+
+    _, results = mpi_run(program, 4)
+    # Even subcomm: world ranks 0,2; odd: 1,3. Neighbor writes its world rank.
+    assert results == [2.0, 3.0, 0.0, 1.0]
+
+
+def test_nested_splits():
+    def program(mpi, ctx):
+        half = mpi.COMM_WORLD.split(color=ctx.rank // 4)
+        quarter = half.split(color=half.rank // 2)
+        return quarter.size, quarter.rank
+
+    _, results = mpi_run(program, 8)
+    assert all(size == 2 for size, _ in results)
+    assert [rank for _, rank in results] == [0, 1, 0, 1, 0, 1, 0, 1]

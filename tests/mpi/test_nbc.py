@@ -1,0 +1,163 @@
+"""Nonblocking collectives (MPI-3): correctness and overlap semantics."""
+
+import numpy as np
+import pytest
+
+from repro.mpi import SUM, wait_all
+
+from tests.mpi.conftest import mpi_run
+
+
+def test_ibarrier_completes_after_all_enter(run):
+    def program(mpi, ctx):
+        ctx.compute(float(ctx.rank))
+        req = mpi.COMM_WORLD.ibarrier()
+        req.wait()
+        return ctx.now
+
+    _, results = mpi_run(program, 4)
+    assert min(results) >= 3.0
+
+
+def test_ibarrier_overlaps_computation(run):
+    """Work done while the barrier is outstanding must overlap: total time
+    is max(compute, barrier), not the sum."""
+
+    def program(mpi, ctx):
+        if ctx.rank == 0:
+            req = mpi.COMM_WORLD.ibarrier()
+            ctx.compute(5.0)  # overlapped with peers arriving
+            req.wait()
+            return ctx.now
+        ctx.compute(1.0)
+        mpi.COMM_WORLD.ibarrier().wait()
+        return ctx.now
+
+    _, results = mpi_run(program, 3)
+    assert results[0] == pytest.approx(5.0, rel=0.01)  # not 5 + barrier wait
+
+
+def test_ibcast_delivers(run):
+    def program(mpi, ctx):
+        buf = np.arange(6, dtype=np.float64) if ctx.rank == 2 else np.zeros(6)
+        req = mpi.COMM_WORLD.ibcast(buf, root=2)
+        req.wait()
+        return buf.tolist()
+
+    _, results = mpi_run(program, 4)
+    assert all(r == list(range(6)) for r in results)
+
+
+def test_iallreduce_matches_blocking(run):
+    def program(mpi, ctx):
+        send = np.array([float(ctx.rank + 1)])
+        recv_nb = np.zeros(1)
+        recv_b = np.zeros(1)
+        req = mpi.COMM_WORLD.iallreduce(send, recv_nb, SUM)
+        mpi.COMM_WORLD.allreduce(send, recv_b, SUM)
+        req.wait()
+        return recv_nb[0], recv_b[0]
+
+    _, results = mpi_run(program, 4)
+    for nb, b in results:
+        assert nb == b == pytest.approx(10.0)
+
+
+def test_ialltoall_transpose(run):
+    def program(mpi, ctx):
+        send = np.array([[ctx.rank * 10 + j] for j in range(ctx.nranks)], dtype=np.int64)
+        recv = np.zeros_like(send)
+        mpi.COMM_WORLD.ialltoall(send, recv).wait()
+        return recv[:, 0].tolist()
+
+    _, results = mpi_run(program, 4)
+    for r in range(4):
+        assert results[r] == [src * 10 + r for src in range(4)]
+
+
+def test_iallgather(run):
+    def program(mpi, ctx):
+        send = np.array([float(ctx.rank)])
+        recv = np.zeros((ctx.nranks, 1))
+        mpi.COMM_WORLD.iallgather(send, recv).wait()
+        return recv[:, 0].tolist()
+
+    _, results = mpi_run(program, 3)
+    assert all(r == [0.0, 1.0, 2.0] for r in results)
+
+
+def test_ireduce(run):
+    def program(mpi, ctx):
+        send = np.full(2, float(ctx.rank))
+        recv = np.zeros(2)
+        mpi.COMM_WORLD.ireduce(send, recv, SUM, root=1).wait()
+        return recv[0] if ctx.rank == 1 else None
+
+    _, results = mpi_run(program, 4)
+    assert results[1] == pytest.approx(6.0)
+
+
+def test_multiple_outstanding_nbcs_fifo(run):
+    """Several NBCs may be in flight; they complete in issue order."""
+
+    def program(mpi, ctx):
+        comm = mpi.COMM_WORLD
+        a = np.array([1.0])
+        ra = np.zeros(1)
+        b = np.array([2.0])
+        rb = np.zeros(1)
+        reqs = [comm.iallreduce(a, ra, SUM), comm.iallreduce(b, rb, SUM), comm.ibarrier()]
+        wait_all(reqs)
+        return ra[0], rb[0]
+
+    _, results = mpi_run(program, 4)
+    assert all(r == (4.0, 8.0) for r in results)
+
+
+def test_nbc_does_not_disturb_blocking_collectives(run):
+    def program(mpi, ctx):
+        comm = mpi.COMM_WORLD
+        send = np.array([1.0])
+        recv_nb = np.zeros(1)
+        req = comm.iallreduce(send, recv_nb, SUM)
+        # Interleave a blocking broadcast while the NBC is outstanding.
+        buf = np.array([7.0]) if ctx.rank == 0 else np.zeros(1)
+        comm.bcast(buf, root=0)
+        req.wait()
+        return buf[0], recv_nb[0]
+
+    _, results = mpi_run(program, 4)
+    assert all(r == (7.0, 4.0) for r in results)
+
+
+def test_nbc_on_subcommunicator(run):
+    def program(mpi, ctx):
+        sub = mpi.COMM_WORLD.split(color=ctx.rank % 2)
+        send = np.array([1.0])
+        recv = np.zeros(1)
+        sub.iallreduce(send, recv, SUM).wait()
+        return recv[0]
+
+    _, results = mpi_run(program, 6)
+    assert all(r == 3.0 for r in results)
+
+
+def test_nbc_on_different_comms_in_different_orders(run):
+    """NBCs on distinct communicators may be issued in different orders on
+    different ranks (each comm has its own agent)."""
+
+    def program(mpi, ctx):
+        comm = mpi.COMM_WORLD
+        dup = comm.dup()
+        r1 = np.zeros(1)
+        r2 = np.zeros(1)
+        send = np.array([1.0])
+        if ctx.rank % 2 == 0:
+            reqs = [comm.iallreduce(send, r1, SUM), dup.iallreduce(send, r2, SUM)]
+        else:
+            reqs = [dup.iallreduce(send, r2, SUM), comm.iallreduce(send, r1, SUM)]
+        wait_all(reqs)
+        return r1[0], r2[0]
+
+    _, results = mpi_run(program, 4)
+    assert all(r == (4.0, 4.0) for r in results)

@@ -1,0 +1,322 @@
+"""Point-to-point semantics: matching, wildcards, protocols, ordering."""
+
+import numpy as np
+import pytest
+
+from repro.mpi import ANY_SOURCE, ANY_TAG
+from repro.util.errors import DeadlockError, MpiError
+
+from tests.mpi.conftest import mpi_run
+
+
+def test_blocking_send_recv_roundtrip(run):
+    def program(mpi, ctx):
+        comm = mpi.COMM_WORLD
+        if ctx.rank == 0:
+            comm.send(np.arange(10, dtype=np.int64), dest=1, tag=5)
+            return None
+        buf = np.empty(10, np.int64)
+        status = comm.recv(buf, source=0, tag=5)
+        assert status.source == 0 and status.tag == 5
+        assert status.count == 80
+        return buf.tolist()
+
+    _, results = run(program, 2)
+    assert results[1] == list(range(10))
+
+
+def test_send_before_recv_parks_in_unexpected_queue(run):
+    def program(mpi, ctx):
+        comm = mpi.COMM_WORLD
+        if ctx.rank == 0:
+            comm.send(np.array([7.5]), dest=1, tag=1)
+        else:
+            ctx.compute(1.0)  # receiver is late: message waits unexpected
+            buf = np.zeros(1)
+            comm.recv(buf, source=0, tag=1)
+            return buf[0]
+
+    _, results = run(program, 2)
+    assert results[1] == 7.5
+
+
+def test_recv_before_send_blocks_until_arrival(run):
+    def program(mpi, ctx):
+        comm = mpi.COMM_WORLD
+        if ctx.rank == 0:
+            ctx.compute(2.0)
+            comm.send(np.array([1]), dest=1)
+        else:
+            buf = np.zeros(1, np.int64)
+            comm.recv(buf, source=0)
+            assert ctx.now >= 2.0
+            return int(buf[0])
+
+    _, results = run(program, 2)
+    assert results[1] == 1
+
+
+def test_any_source_any_tag(run):
+    def program(mpi, ctx):
+        comm = mpi.COMM_WORLD
+        if ctx.rank == 0:
+            got = []
+            buf = np.zeros(1, np.int64)
+            for _ in range(2):
+                st = comm.recv(buf, source=ANY_SOURCE, tag=ANY_TAG)
+                got.append((st.source, st.tag, int(buf[0])))
+            return sorted(got)
+        comm.send(np.array([ctx.rank * 100]), dest=0, tag=ctx.rank)
+        return None
+
+    _, results = run(program, 3)
+    assert results[0] == [(1, 1, 100), (2, 2, 200)]
+
+
+def test_tag_selectivity_leaves_other_messages(run):
+    def program(mpi, ctx):
+        comm = mpi.COMM_WORLD
+        if ctx.rank == 0:
+            comm.send(np.array([1]), dest=1, tag=10)
+            comm.send(np.array([2]), dest=1, tag=20)
+        else:
+            ctx.compute(1.0)  # let both arrive
+            buf = np.zeros(1, np.int64)
+            comm.recv(buf, source=0, tag=20)
+            assert buf[0] == 2
+            comm.recv(buf, source=0, tag=10)
+            assert buf[0] == 1
+
+    run(program, 2)
+
+
+def test_message_order_preserved_same_src_tag(run):
+    def program(mpi, ctx):
+        comm = mpi.COMM_WORLD
+        if ctx.rank == 0:
+            for i in range(8):
+                comm.send(np.array([i]), dest=1, tag=3)
+        else:
+            got = []
+            buf = np.zeros(1, np.int64)
+            for _ in range(8):
+                comm.recv(buf, source=0, tag=3)
+                got.append(int(buf[0]))
+            return got
+
+    _, results = run(program, 2)
+    assert results[1] == list(range(8))
+
+
+def test_rendezvous_large_message(run):
+    n = 1 << 16  # 512 KB of float64 > eager threshold
+
+    def program(mpi, ctx):
+        comm = mpi.COMM_WORLD
+        if ctx.rank == 0:
+            comm.send(np.arange(n, dtype=np.float64), dest=1)
+        else:
+            buf = np.zeros(n)
+            comm.recv(buf, source=0)
+            return float(buf.sum())
+
+    _, results = run(program, 2)
+    assert results[1] == pytest.approx(n * (n - 1) / 2)
+
+
+def test_rendezvous_sender_blocks_until_receiver_posts(run):
+    n = 1 << 16
+
+    def program(mpi, ctx):
+        comm = mpi.COMM_WORLD
+        if ctx.rank == 0:
+            comm.send(np.ones(n), dest=1)
+            return ctx.now
+        ctx.compute(5.0)
+        buf = np.zeros(n)
+        comm.recv(buf, source=0)
+        return ctx.now
+
+    _, results = run(program, 2)
+    assert results[0] > 5.0  # blocking send couldn't finish before recv posted
+
+
+def test_eager_send_completes_locally_before_recv(run):
+    def program(mpi, ctx):
+        comm = mpi.COMM_WORLD
+        if ctx.rank == 0:
+            comm.send(np.ones(4), dest=1)
+            t_send_done = ctx.now
+            assert t_send_done < 1.0  # did not wait for the late receiver
+        else:
+            ctx.compute(5.0)
+            buf = np.zeros(4)
+            comm.recv(buf, source=0)
+
+    run(program, 2)
+
+
+def test_isend_irecv_overlap(run):
+    def program(mpi, ctx):
+        comm = mpi.COMM_WORLD
+        other = 1 - ctx.rank
+        recv = np.zeros(8)
+        rreq = comm.irecv(recv, source=other)
+        sreq = comm.isend(np.full(8, float(ctx.rank)), dest=other)
+        sreq.wait()
+        rreq.wait()
+        return float(recv[0])
+
+    _, results = run(program, 2)
+    assert results == [1.0, 0.0]
+
+
+def test_isend_buffer_snapshot_at_call(run):
+    def program(mpi, ctx):
+        comm = mpi.COMM_WORLD
+        if ctx.rank == 0:
+            buf = np.array([42.0])
+            req = comm.isend(buf, dest=1)
+            buf[0] = -1.0  # must not affect the message
+            req.wait()
+        else:
+            buf = np.zeros(1)
+            comm.recv(buf, source=0)
+            return buf[0]
+
+    _, results = run(program, 2)
+    assert results[1] == 42.0
+
+
+def test_sendrecv_exchange_ring(run):
+    def program(mpi, ctx):
+        comm = mpi.COMM_WORLD
+        right = (ctx.rank + 1) % ctx.nranks
+        left = (ctx.rank - 1) % ctx.nranks
+        recv = np.zeros(1, np.int64)
+        comm.sendrecv(np.array([ctx.rank]), right, recv, left)
+        return int(recv[0])
+
+    _, results = run(program, 5)
+    assert results == [4, 0, 1, 2, 3]
+
+
+def test_probe_reports_size_without_consuming(run):
+    def program(mpi, ctx):
+        comm = mpi.COMM_WORLD
+        if ctx.rank == 0:
+            comm.send(np.arange(5, dtype=np.int32), dest=1, tag=9)
+        else:
+            st = comm.probe(source=0, tag=9)
+            assert st.count == 20
+            buf = np.zeros(st.get_count(4), np.int32)
+            comm.recv(buf, source=0, tag=9)
+            return buf.tolist()
+
+    _, results = run(program, 2)
+    assert results[1] == [0, 1, 2, 3, 4]
+
+
+def test_iprobe_nonblocking(run):
+    def program(mpi, ctx):
+        comm = mpi.COMM_WORLD
+        if ctx.rank == 1:
+            ok, _ = comm.iprobe(source=0)
+            assert not ok
+            ctx.compute(1.0)
+            ok, st = comm.iprobe(source=0)
+            assert ok and st.count == 8
+            buf = np.zeros(1)
+            comm.recv(buf, source=0)
+        else:
+            comm.send(np.array([3.0]), dest=1)
+
+    run(program, 2)
+
+
+def test_truncation_raises(run):
+    def program(mpi, ctx):
+        comm = mpi.COMM_WORLD
+        if ctx.rank == 0:
+            comm.send(np.zeros(10), dest=1)
+        else:
+            buf = np.zeros(1)
+            comm.recv(buf, source=0)
+
+    with pytest.raises(MpiError, match="truncation"):
+        mpi_run(program, 2)
+
+
+def test_unmatched_recv_deadlocks_with_diagnostic(run):
+    def program(mpi, ctx):
+        if ctx.rank == 0:
+            buf = np.zeros(1)
+            mpi.COMM_WORLD.recv(buf, source=1, tag=7)
+
+    with pytest.raises(DeadlockError):
+        mpi_run(program, 2)
+
+
+def test_self_send_recv(run):
+    def program(mpi, ctx):
+        comm = mpi.COMM_WORLD
+        req = comm.isend(np.array([ctx.rank + 0.5]), dest=ctx.rank, tag=2)
+        buf = np.zeros(1)
+        comm.recv(buf, source=ctx.rank, tag=2)
+        req.wait()
+        return buf[0]
+
+    _, results = run(program, 3)
+    assert results == [0.5, 1.5, 2.5]
+
+
+def test_bad_peer_rank_raises(run):
+    def program(mpi, ctx):
+        mpi.COMM_WORLD.send(np.zeros(1), dest=99)
+
+    with pytest.raises(MpiError, match="out of range"):
+        mpi_run(program, 2)
+
+
+def test_noncontiguous_buffer_rejected(run):
+    def program(mpi, ctx):
+        arr = np.zeros((4, 4))[:, 0]  # strided view
+        mpi.COMM_WORLD.send(arr, dest=0)
+
+    with pytest.raises(MpiError, match="contiguous"):
+        mpi_run(program, 1)
+
+
+def test_double_init_rejected(run):
+    def program(mpi, ctx):
+        from repro.mpi.world import MpiWorld
+
+        MpiWorld.get(ctx.cluster).init(ctx)
+
+    with pytest.raises(MpiError, match="twice"):
+        mpi_run(program, 1)
+
+
+def test_mixed_protocol_ordering_preserved(run):
+    """A small eager message sent after a big rendezvous one must not
+    overtake it when both match the same receive pattern."""
+    n = 1 << 16
+
+    def program(mpi, ctx):
+        comm = mpi.COMM_WORLD
+        if ctx.rank == 0:
+            r1 = comm.isend(np.full(n, 1.0), dest=1, tag=4)
+            r2 = comm.isend(np.array([2.0]), dest=1, tag=4)
+            r1.wait()
+            r2.wait()
+        else:
+            big = np.zeros(n)
+            small = np.zeros(1)
+            st1 = comm.recv(big, source=0, tag=4)
+            st2 = comm.recv(small, source=0, tag=4)
+            assert st1.count == n * 8
+            assert st2.count == 8
+            return big[0], small[0]
+
+    _, results = run(program, 2)
+    assert results[1] == (1.0, 2.0)

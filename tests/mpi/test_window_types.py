@@ -1,0 +1,308 @@
+"""MPI-3 window variants (§2.2): dynamic, shared, memory models, locks,
+and the §5 MPI_WIN_RFLUSH extension."""
+
+import numpy as np
+import pytest
+
+from repro.mpi import SUM
+from repro.sim.network import MachineSpec
+from repro.util.errors import MpiError
+
+from tests.mpi.conftest import mpi_run
+
+
+# -- dynamic windows ---------------------------------------------------------
+
+
+def test_dynamic_window_attach_and_put(run):
+    def program(mpi, ctx):
+        win = mpi.win_create_dynamic(dtype=np.float64)
+        win.lock_all()
+        base = win.attach(8)
+        # Publish the displacement two-sidedly, like real codes must.
+        bases = np.zeros((ctx.nranks, 1), np.int64)
+        mpi.COMM_WORLD.allgather(np.array([base], np.int64), bases)
+        target = (ctx.rank + 1) % ctx.nranks
+        win.put(np.full(4, float(ctx.rank)), target, offset=int(bases[target, 0]))
+        win.flush(target)
+        mpi.COMM_WORLD.barrier()
+        return win.region(base)[:4].tolist()
+
+    _, results = mpi_run(program, 3)
+    for rank, got in enumerate(results):
+        assert got == [float((rank - 1) % 3)] * 4
+
+
+def test_dynamic_window_detach_then_access_fails(run):
+    def program(mpi, ctx):
+        win = mpi.win_create_dynamic(dtype=np.float64)
+        win.lock_all()
+        base = win.attach(8)
+        mpi.COMM_WORLD.barrier()
+        if ctx.rank == 1:
+            win.detach(base)
+        mpi.COMM_WORLD.barrier()
+        if ctx.rank == 0:
+            win.put(np.ones(4), target=1, offset=0)
+
+    with pytest.raises(MpiError, match="no attached region"):
+        mpi_run(program, 2)
+
+
+def test_dynamic_window_multiple_regions(run):
+    def program(mpi, ctx):
+        win = mpi.win_create_dynamic(dtype=np.int64)
+        win.lock_all()
+        base_a = win.attach(4)
+        base_b = win.attach(4)
+        assert base_a != base_b
+        mpi.COMM_WORLD.barrier()
+        other = 1 - ctx.rank
+        # Regions are attached in the same order: displacements agree.
+        win.put(np.array([1, 1], np.int64), other, offset=base_a)
+        win.put(np.array([2, 2], np.int64), other, offset=base_b)
+        win.flush(other)
+        mpi.COMM_WORLD.barrier()
+        return win.region(base_a)[:2].tolist(), win.region(base_b)[:2].tolist()
+
+    _, results = mpi_run(program, 2)
+    assert results[0] == ([1, 1], [2, 2])
+
+
+def test_dynamic_window_has_no_local(run):
+    def program(mpi, ctx):
+        win = mpi.win_create_dynamic()
+        _ = win.local
+
+    with pytest.raises(MpiError, match="no implicit local segment"):
+        mpi_run(program, 1)
+
+
+# -- shared windows ---------------------------------------------------------
+
+
+def _shared_node_spec():
+    return MachineSpec(name="smp", ranks_per_node=64)
+
+
+def test_shared_window_direct_peer_stores(run):
+    def program(mpi, ctx):
+        win = mpi.win_allocate_shared(shape=4, dtype=np.float64)
+        mpi.COMM_WORLD.barrier()
+        if ctx.rank == 0:
+            # Direct load/store into a peer's segment: no RMA call at all.
+            win.shared_query(1)[:] = 7.5
+        mpi.COMM_WORLD.barrier()
+        return win.local.tolist()
+
+    _, results = mpi_run(program, 2, spec=_shared_node_spec())
+    assert results[1] == [7.5] * 4
+
+
+def test_shared_window_segments_contiguous(run):
+    def program(mpi, ctx):
+        win = mpi.win_allocate_shared(shape=4, dtype=np.float64)
+        win.local[:] = ctx.rank
+        mpi.COMM_WORLD.barrier()
+        if ctx.rank == 0:
+            whole = [win.shared_query(r)[0] for r in range(ctx.nranks)]
+            return whole
+
+    _, results = mpi_run(program, 3, spec=_shared_node_spec())
+    assert results[0] == [0.0, 1.0, 2.0]
+
+
+def test_shared_window_rejected_across_nodes(run):
+    def program(mpi, ctx):
+        mpi.win_allocate_shared(shape=4)
+
+    with pytest.raises(MpiError, match="shared-memory node"):
+        mpi_run(program, 2, spec=MachineSpec(name="multi", ranks_per_node=1))
+
+
+def test_shared_query_on_normal_window_rejected(run):
+    def program(mpi, ctx):
+        win = mpi.win_allocate(shape=4)
+        win.shared_query(0)
+
+    with pytest.raises(MpiError, match="non-shared"):
+        mpi_run(program, 1)
+
+
+# -- memory models ------------------------------------------------------------
+
+
+def test_separate_model_requires_sync_to_see_rma(run):
+    def program(mpi, ctx):
+        win = mpi.win_allocate(shape=4, dtype=np.float64, memory_model="separate")
+        win.lock_all()
+        mpi.COMM_WORLD.barrier()
+        if ctx.rank == 0:
+            win.put(np.full(4, 3.0), target=1)
+            win.flush(1)
+        mpi.COMM_WORLD.barrier()
+        if ctx.rank == 1:
+            before = win.local.copy()
+            win.sync()
+            after = win.local.copy()
+            return before.tolist(), after.tolist()
+
+    _, results = mpi_run(program, 2)
+    before, after = results[1]
+    assert before == [0.0] * 4  # private copy: RMA invisible pre-sync
+    assert after == [3.0] * 4
+
+
+def test_separate_model_local_stores_need_sync_for_rma_readers(run):
+    def program(mpi, ctx):
+        win = mpi.win_allocate(shape=2, dtype=np.float64, memory_model="separate")
+        win.lock_all()
+        if ctx.rank == 1:
+            win.local[:] = 9.0
+            win.sync()  # publish local stores
+        mpi.COMM_WORLD.barrier()
+        if ctx.rank == 0:
+            out = np.zeros(2)
+            win.rget(out, target=1).wait()
+            return out.tolist()
+
+    _, results = mpi_run(program, 2)
+    assert results[0] == [9.0, 9.0]
+
+
+def test_unified_model_sync_is_noop(run):
+    def program(mpi, ctx):
+        win = mpi.win_allocate(shape=2, dtype=np.float64)
+        t0 = ctx.now
+        win.sync()
+        return ctx.now - t0
+
+    _, results = mpi_run(program, 1)
+    assert results[0] == 0.0
+
+
+# -- per-target locks -----------------------------------------------------------
+
+
+def test_exclusive_lock_serializes(run):
+    def program(mpi, ctx):
+        win = mpi.win_allocate(shape=1, dtype=np.float64)
+        mpi.COMM_WORLD.barrier()
+        if ctx.rank > 0:
+            win.lock(0, exclusive=True)
+            held_at = ctx.now
+            old = win.local  # noqa: F841 - placeholder for critical work
+            win.put(np.array([float(ctx.rank)]), target=0)
+            ctx.compute(1.0)  # hold the lock for a while
+            win.unlock(0)
+            return held_at
+        return None
+
+    _, results = mpi_run(program, 3)
+    # Both lockers held it, and their critical sections did not overlap:
+    # acquisition times differ by at least the 1s hold.
+    t1, t2 = sorted(results[1:])
+    assert t2 >= t1 + 1.0
+
+
+def test_shared_locks_coexist(run):
+    def program(mpi, ctx):
+        win = mpi.win_allocate(shape=1, dtype=np.float64)
+        mpi.COMM_WORLD.barrier()
+        if ctx.rank > 0:
+            win.lock(0, exclusive=False)
+            at = ctx.now
+            ctx.compute(1.0)
+            win.unlock(0)
+            return at
+        return None
+
+    _, results = mpi_run(program, 3)
+    t1, t2 = sorted(results[1:])
+    assert t2 < t1 + 1.0  # overlapped: both acquired before the first released
+
+
+def test_unlock_without_lock_rejected(run):
+    def program(mpi, ctx):
+        win = mpi.win_allocate(shape=1)
+        win.unlock(0)
+
+    with pytest.raises(MpiError, match="without holding"):
+        mpi_run(program, 1)
+
+
+# -- MPI_WIN_RFLUSH (§5 extension) ----------------------------------------------
+
+
+def test_rflush_completes_after_remote_completion(run):
+    def program(mpi, ctx):
+        win = mpi.win_allocate(shape=4, dtype=np.float64)
+        win.lock_all()
+        mpi.COMM_WORLD.barrier()
+        if ctx.rank == 0:
+            win.put(np.full(4, 2.0), target=1)
+            req = win.rflush(1)
+            req.wait()
+            # Remote completion: data must be in target memory.
+            assert (win.state.buffers[1] == 2.0).all()
+        mpi.COMM_WORLD.barrier()
+        win.unlock_all()
+        return win.local.tolist()
+
+    _, results = mpi_run(program, 2)
+    assert results[1] == [2.0] * 4
+
+
+def test_rflush_all_constant_cost(run):
+    """The §5 argument: RFLUSH_ALL software cost must not scale with P."""
+    spec = MachineSpec(name="t", mpi_flush_all_per_target=1e-3, mpi_flush_all_idle=1e-6)
+
+    def program(mpi, ctx):
+        win = mpi.win_allocate(shape=1, dtype=np.float64)
+        win.lock_all()
+        mpi.COMM_WORLD.barrier()
+        win.put(np.array([1.0]), target=(ctx.rank + 1) % ctx.nranks)
+        t0 = ctx.now
+        req = win.rflush_all()
+        issue_cost = ctx.now - t0
+        req.wait()
+        win.unlock_all()
+        return issue_cost
+
+    _, small = mpi_run(program, 2, spec=spec)
+    _, large = mpi_run(program, 16, spec=spec)
+    assert large[0] == pytest.approx(small[0])  # constant, not linear in P
+    assert large[0] < 1e-4
+
+
+def test_rflush_overlaps_computation(run):
+    def program(mpi, ctx):
+        win = mpi.win_allocate(shape=1024, dtype=np.float64)
+        win.lock_all()
+        mpi.COMM_WORLD.barrier()
+        if ctx.rank == 0:
+            win.put(np.ones(1024), target=1)
+            req = win.rflush(1)
+            ctx.compute(1.0)  # overlap!
+            t0 = ctx.now
+            req.wait()
+            wait_extra = ctx.now - t0
+            assert wait_extra < 1e-6  # the flush finished under the compute
+        mpi.COMM_WORLD.barrier()
+        win.unlock_all()
+
+    mpi_run(program, 2)
+
+
+def test_rflush_with_accumulate_and_fetch(run):
+    def program(mpi, ctx):
+        win = mpi.win_allocate(shape=1, dtype=np.int64)
+        win.lock_all()
+        mpi.COMM_WORLD.barrier()
+        win.accumulate(np.ones(1, np.int64), target=0, op=SUM)
+        win.rflush_all().wait()
+        mpi.COMM_WORLD.barrier()
+        return int(win.local[0])
+
+    _, results = mpi_run(program, 4)
+    assert results[0] == 4

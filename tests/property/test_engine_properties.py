@@ -1,0 +1,83 @@
+"""Property-based tests for the discrete-event engine."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.engine import Engine
+
+SLEEPS = st.lists(
+    st.lists(st.floats(min_value=0.0, max_value=10.0, allow_nan=False), min_size=1, max_size=6),
+    min_size=1,
+    max_size=6,
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(sleep_plan=SLEEPS)
+def test_per_proc_time_is_sum_of_sleeps(sleep_plan):
+    eng = Engine()
+    results = []
+
+    def body(p, sleeps):
+        for s in sleeps:
+            p.sleep(s)
+        results.append(eng.now)
+
+    for sleeps in sleep_plan:
+        eng.spawn(lambda p, s=sleeps: body(p, s))
+    eng.run()
+    # Each proc finishes exactly at the sum of its sleeps; global clock ends
+    # at the max.
+    expected = sorted(sum(s) for s in sleep_plan)
+    assert sorted(results) == expected
+    assert eng.now == max(expected)
+
+
+@settings(max_examples=25, deadline=None)
+@given(sleep_plan=SLEEPS, data=st.randoms())
+def test_runs_are_deterministic(sleep_plan, data):
+    def run_once():
+        eng = Engine()
+        trace = []
+
+        def body(p, i, sleeps):
+            for s in sleeps:
+                p.sleep(s)
+                trace.append((i, eng.now))
+
+        for i, sleeps in enumerate(sleep_plan):
+            eng.spawn(lambda p, i=i, s=sleeps: body(p, i, s))
+        eng.run()
+        return trace
+
+    assert run_once() == run_once()
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n_items=st.integers(min_value=1, max_value=30),
+    n_consumers=st.integers(min_value=1, max_value=5),
+)
+def test_channel_conserves_items(n_items, n_consumers):
+    from repro.sim.sync import Channel
+
+    eng = Engine()
+    ch = Channel("c")
+    got = []
+
+    def producer(p):
+        for i in range(n_items):
+            p.sleep(0.1)
+            ch.put(i)
+
+    def consumer(p, share):
+        for _ in range(share):
+            got.append(ch.get(p))
+
+    shares = [n_items // n_consumers] * n_consumers
+    shares[0] += n_items - sum(shares)
+    eng.spawn(producer)
+    for share in shares:
+        eng.spawn(lambda p, s=share: consumer(p, s))
+    eng.run()
+    assert sorted(got) == list(range(n_items))

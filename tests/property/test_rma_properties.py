@@ -1,0 +1,93 @@
+"""Property-based tests for RMA atomics and coarray section runs."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mpi import SUM
+
+from tests.mpi.conftest import mpi_run
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    nranks=st.integers(min_value=2, max_value=6),
+    increments=st.lists(st.integers(min_value=1, max_value=20), min_size=1, max_size=5),
+)
+def test_concurrent_atomic_sums_never_lose_updates(nranks, increments):
+    """Every rank fires the same accumulate sequence at rank 0 with no
+    synchronization between ops; the final counter must be exact."""
+
+    def program(mpi, ctx):
+        win = mpi.win_allocate(shape=1, dtype=np.int64)
+        win.lock_all()
+        mpi.COMM_WORLD.barrier()
+        for inc in increments:
+            win.accumulate(np.array([inc], np.int64), target=0, op=SUM)
+        win.flush(0)
+        mpi.COMM_WORLD.barrier()
+        win.unlock_all()
+        return int(win.local[0])
+
+    _, results = mpi_run(program, nranks)
+    assert results[0] == nranks * sum(increments)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    nranks=st.integers(min_value=2, max_value=5),
+    seed=st.integers(min_value=0, max_value=1 << 16),
+)
+def test_fetch_and_op_returns_unique_prefix_sums(nranks, seed):
+    """Atomic fetch-and-add must hand out distinct, gap-free tickets."""
+
+    def program(mpi, ctx):
+        win = mpi.win_allocate(shape=1, dtype=np.int64)
+        win.lock_all()
+        mpi.COMM_WORLD.barrier()
+        got = np.zeros(1, np.int64)
+        win.fetch_and_op(np.ones(1, np.int64), got, target=0, op=SUM)
+        mpi.COMM_WORLD.barrier()
+        win.unlock_all()
+        return int(got[0])
+
+    _, results = mpi_run(program, nranks, seed=seed)
+    assert sorted(results) == list(range(nranks))
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    shape=st.tuples(
+        st.integers(min_value=1, max_value=8), st.integers(min_value=1, max_value=8)
+    ),
+    start0=st.integers(min_value=0, max_value=7),
+    stop0=st.integers(min_value=0, max_value=8),
+    step0=st.integers(min_value=1, max_value=3),
+    start1=st.integers(min_value=0, max_value=7),
+    stop1=st.integers(min_value=0, max_value=8),
+    step1=st.integers(min_value=1, max_value=3),
+)
+def test_section_runs_reconstruct_numpy_selection(
+    shape, start0, stop0, step0, start1, stop1, step1
+):
+    """The run decomposition must cover exactly the indices NumPy selects,
+    in order, with no overlaps."""
+    from repro.caf.coarray import Coarray
+
+    key = (slice(start0, stop0, step0), slice(start1, stop1, step1))
+
+    class _FakeCoarray:
+        pass
+
+    fake = _FakeCoarray()
+    fake.shape = shape
+    fake.nelems = int(np.prod(shape))
+    runs, out_shape = Coarray._section_runs(fake, key)
+
+    expected = np.arange(fake.nelems).reshape(shape)[key]
+    assert out_shape == expected.shape
+    flattened = [i for off, length in runs for i in range(off, off + length)]
+    assert flattened == expected.reshape(-1).tolist()
+    # Runs are maximal: adjacent runs are never contiguous.
+    for (o1, l1), (o2, _l2) in zip(runs, runs[1:]):
+        assert o1 + l1 != o2

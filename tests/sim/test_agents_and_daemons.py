@@ -1,0 +1,94 @@
+"""Dynamic spawning, daemon processes, and WorkerAgent semantics."""
+
+import pytest
+
+from repro.sim.agent import WorkerAgent
+from repro.sim.cluster import run_program
+from repro.sim.engine import Engine
+from repro.util.errors import DeadlockError, SimulationError
+
+
+def test_dynamic_spawn_mid_run():
+    eng = Engine()
+    trace = []
+
+    def child(p):
+        trace.append(("child", eng.now))
+
+    def parent(p):
+        p.sleep(2.0)
+        eng.spawn(child)
+        p.sleep(1.0)
+
+    eng.spawn(parent)
+    eng.run()
+    assert trace == [("child", 2.0)]
+
+
+def test_daemon_does_not_hold_run_open():
+    eng = Engine()
+
+    def daemon_body(p):
+        p.block("waiting for work that never comes")
+
+    def main_body(p):
+        p.sleep(1.0)
+
+    eng.spawn(main_body)
+    eng.spawn(daemon_body, daemon=True)
+    eng.run()  # must complete despite the blocked daemon
+    assert eng.now == 1.0
+
+
+def test_nondaemon_blocked_still_deadlocks():
+    eng = Engine()
+    eng.spawn(lambda p: p.block("stuck"))
+    eng.spawn(lambda p: p.block("parked"), daemon=True)
+    with pytest.raises(DeadlockError) as ei:
+        eng.run()
+    assert list(ei.value.blocked.values()) == ["stuck"]
+
+
+def test_spawn_after_finish_rejected():
+    eng = Engine()
+    eng.spawn(lambda p: None)
+    eng.run()
+    with pytest.raises(SimulationError, match="finished"):
+        eng.spawn(lambda p: None)
+
+
+def test_worker_agent_runs_items_fifo_on_own_timeline():
+    order = []
+
+    def program(ctx):
+        agent = WorkerAgent(ctx, name="worker")
+
+        def job(tag, dur):
+            def body(agent_ctx):
+                agent_ctx.proc.sleep(dur)
+                order.append((tag, ctx.engine.now))
+                return tag
+
+            return body
+
+        ev1 = agent.submit(job("a", 1.0))
+        ev2 = agent.submit(job("b", 0.5))
+        ctx.compute(0.25)  # main thread overlaps with agent work
+        ev1.wait(ctx.proc)
+        ev2.wait(ctx.proc)
+        return ev1.value, ev2.value, agent.items_executed
+
+    _, results = run_program(program, 1)
+    assert results[0] == ("a", "b", 2)
+    # FIFO: a finishes at t=1.0, then b at t=1.5 — despite main computing.
+    assert order == [("a", 1.0), ("b", 1.5)]
+
+
+def test_worker_agent_result_payload():
+    def program(ctx):
+        agent = WorkerAgent(ctx, name="w")
+        done = agent.submit(lambda agent_ctx: {"answer": 42})
+        return done.wait(ctx.proc)
+
+    _, results = run_program(program, 1)
+    assert results[0] == {"answer": 42}

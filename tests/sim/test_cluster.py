@@ -1,0 +1,112 @@
+"""Unit tests for Cluster / RankCtx."""
+
+import pytest
+
+from repro.sim.cluster import Cluster, run_program
+from repro.sim.network import MachineSpec
+from repro.util.errors import SimulationError
+
+
+def test_run_program_returns_per_rank_results():
+    cluster, results = run_program(lambda ctx: ctx.rank * 10, 4)
+    assert results == [0, 10, 20, 30]
+    assert cluster.nranks == 4
+
+
+def test_ctx_identity_fields():
+    def program(ctx):
+        assert 0 <= ctx.rank < ctx.nranks
+        assert ctx.spec.name == "generic"
+        return ctx.nranks
+
+    _, results = run_program(program, 3)
+    assert results == [3, 3, 3]
+
+
+def test_compute_seconds_advances_clock_and_profiles():
+    def program(ctx):
+        ctx.compute(2.0)
+        return ctx.now
+
+    cluster, results = run_program(program, 2)
+    assert results == [2.0, 2.0]
+    assert cluster.profiler.rank_total(0, "computation") == pytest.approx(2.0)
+    assert cluster.elapsed == pytest.approx(2.0)
+
+
+def test_compute_flops_uses_machine_rate():
+    spec = MachineSpec(name="m", flops_per_sec=1e9)
+
+    def program(ctx):
+        ctx.compute(flops=2e9)
+        return ctx.now
+
+    _, results = run_program(program, 1, spec)
+    assert results == [pytest.approx(2.0)]
+
+
+def test_compute_requires_exactly_one_arg():
+    def program(ctx):
+        ctx.compute()
+
+    with pytest.raises(SimulationError):
+        run_program(program, 1)
+
+    def program2(ctx):
+        ctx.compute(1.0, flops=1.0)
+
+    with pytest.raises(SimulationError):
+        run_program(program2, 1)
+
+
+def test_compute_custom_category():
+    def program(ctx):
+        ctx.compute(1.0, category="dgemm")
+
+    cluster, _ = run_program(program, 1)
+    assert cluster.profiler.rank_total(0, "dgemm") == pytest.approx(1.0)
+
+
+def test_rngs_differ_per_rank_but_reproducible():
+    def program(ctx):
+        return float(ctx.rng.random())
+
+    _, r1 = run_program(lambda ctx: float(ctx.rng.random()), 3, seed=7)
+    _, r2 = run_program(program, 3, seed=7)
+    assert r1 == r2
+    assert len(set(r1)) == 3
+
+
+def test_shared_singleton_created_once():
+    cluster = Cluster(2, MachineSpec(name="m"))
+    created = []
+
+    def factory():
+        created.append(1)
+        return object()
+
+    a = cluster.shared("key", factory)
+    b = cluster.shared("key", factory)
+    assert a is b
+    assert created == [1]
+
+
+def test_program_kwargs_passed_through():
+    def program(ctx, scale=1):
+        return ctx.rank * scale
+
+    _, results = run_program(program, 3, scale=100)
+    assert results == [0, 100, 200]
+
+
+def test_zero_ranks_rejected():
+    with pytest.raises(SimulationError):
+        Cluster(0, MachineSpec(name="m"))
+
+
+def test_cluster_makespan_is_max_rank_time():
+    def program(ctx):
+        ctx.compute(float(ctx.rank))
+
+    cluster, _ = run_program(program, 4)
+    assert cluster.elapsed == pytest.approx(3.0)

@@ -1,0 +1,113 @@
+"""Unit tests for the exclusive-time category profiler."""
+
+import pytest
+
+from repro.sim.engine import Engine
+from repro.sim.profiler import Profiler
+
+
+def run_profiled(body):
+    eng = Engine()
+    prof = Profiler(eng, 1)
+    eng.spawn(lambda p: body(p, prof))
+    eng.run()
+    return prof
+
+
+def test_simple_region_accumulates_time():
+    def body(p, prof):
+        with prof.region(0, "compute"):
+            p.sleep(2.0)
+
+    prof = run_profiled(body)
+    assert prof.rank_total(0, "compute") == pytest.approx(2.0)
+    assert prof.counts[0]["compute"] == 1
+
+
+def test_time_outside_regions_not_attributed():
+    def body(p, prof):
+        p.sleep(5.0)
+        with prof.region(0, "compute"):
+            p.sleep(1.0)
+        p.sleep(5.0)
+
+    prof = run_profiled(body)
+    assert prof.rank_total(0, "compute") == pytest.approx(1.0)
+
+
+def test_nested_region_is_exclusive():
+    def body(p, prof):
+        with prof.region(0, "outer"):
+            p.sleep(1.0)
+            with prof.region(0, "inner"):
+                p.sleep(3.0)
+            p.sleep(1.0)
+
+    prof = run_profiled(body)
+    assert prof.rank_total(0, "outer") == pytest.approx(2.0)
+    assert prof.rank_total(0, "inner") == pytest.approx(3.0)
+
+
+def test_same_category_nested_reentrant():
+    def body(p, prof):
+        with prof.region(0, "c"):
+            p.sleep(1.0)
+            with prof.region(0, "c"):
+                p.sleep(1.0)
+            p.sleep(1.0)
+
+    prof = run_profiled(body)
+    assert prof.rank_total(0, "c") == pytest.approx(3.0)
+    assert prof.counts[0]["c"] == 2
+
+
+def test_repeated_regions_accumulate():
+    def body(p, prof):
+        for _ in range(4):
+            with prof.region(0, "step"):
+                p.sleep(0.5)
+
+    prof = run_profiled(body)
+    assert prof.rank_total(0, "step") == pytest.approx(2.0)
+    assert prof.counts[0]["step"] == 4
+
+
+def test_region_exited_on_exception():
+    def body(p, prof):
+        try:
+            with prof.region(0, "risky"):
+                p.sleep(1.0)
+                raise RuntimeError("expected")
+        except RuntimeError:
+            pass
+        p.sleep(9.0)  # must not be attributed to "risky"
+
+    prof = run_profiled(body)
+    assert prof.rank_total(0, "risky") == pytest.approx(1.0)
+
+
+def test_multi_rank_totals_and_mean():
+    eng = Engine()
+    prof = Profiler(eng, 2)
+
+    def body(p, rank):
+        with prof.region(rank, "work"):
+            p.sleep(1.0 + rank)
+
+    eng.spawn(lambda p: body(p, 0))
+    eng.spawn(lambda p: body(p, 1))
+    eng.run()
+    assert prof.total("work") == pytest.approx(3.0)
+    assert prof.mean("work") == pytest.approx(1.5)
+    assert prof.categories() == ["work"]
+
+
+def test_breakdown_reports_all_categories():
+    def body(p, prof):
+        with prof.region(0, "a"):
+            p.sleep(1.0)
+        with prof.region(0, "b"):
+            p.sleep(2.0)
+
+    prof = run_profiled(body)
+    assert prof.breakdown() == {"a": pytest.approx(1.0), "b": pytest.approx(2.0)}

@@ -1,0 +1,90 @@
+"""Event tracing: opt-in timeline of transfers and profiled regions."""
+
+import numpy as np
+import pytest
+
+from repro.caf import run_caf
+from repro.sim.trace import TraceEvent, Tracer
+
+
+def test_disabled_tracer_records_nothing():
+    t = Tracer()
+    t.record("transfer", 0, 0.0, 1.0, nbytes=10)
+    assert t.events == []
+
+
+def test_enable_disable_cycle():
+    t = Tracer()
+    t.enable()
+    t.record("x", 0, 0.0, 1.0)
+    t.disable()
+    t.record("x", 0, 1.0, 2.0)
+    assert len(t.events) == 1
+
+
+def test_event_duration_and_queries():
+    t = Tracer()
+    t.enable()
+    t.record("transfer", 0, 1.0, 3.0, dst=1, nbytes=100)
+    t.record("transfer", 1, 2.0, 4.0, dst=0, nbytes=50)
+    t.record("region", 0, 0.0, 5.0, category="compute")
+    assert t.summary() == {"transfer": 2, "region": 1}
+    assert t.bytes_transferred() == 150
+    assert len(t.for_rank(0)) == 2
+    assert t.of_kind("region")[0].duration == 5.0
+
+
+def test_to_text_renders_sorted_limited():
+    t = Tracer()
+    t.enable()
+    for i in range(5):
+        t.record("op", 0, float(4 - i), float(5 - i), n=i)
+    text = t.to_text(limit=3)
+    assert "5 events" in text and "showing 3" in text
+    lines = text.splitlines()
+    assert len(lines) == 3 + 3  # title + header + rule + 3 rows
+
+
+@pytest.mark.parametrize("backend", ["mpi", "gasnet"])
+def test_caf_run_with_tracing_captures_transfers(backend):
+    def program(img):
+        co = img.allocate_coarray(16, np.float64)
+        img.sync_all()
+        co.write((img.rank + 1) % img.nranks, np.ones(16))
+        img.sync_all()
+
+    run = run_caf(program, 4, backend=backend, trace=True)
+    transfers = run.tracer.of_kind("transfer")
+    assert transfers, "traced run must record fabric transfers"
+    assert run.tracer.bytes_transferred() > 4 * 16 * 8  # at least the payloads
+    # Every transfer's interval is well-formed and within the run.
+    for ev in transfers:
+        assert 0 <= ev.t0 <= ev.t1 <= run.elapsed
+
+
+def test_caf_run_with_tracing_captures_regions():
+    def program(img):
+        co = img.allocate_coarray(4, np.float64)
+        img.sync_all()
+        co.write((img.rank + 1) % img.nranks, np.ones(4))
+        img.sync_all()
+
+    run = run_caf(program, 2, backend="mpi", trace=True)
+    regions = run.tracer.of_kind("region")
+    cats = {e.detail["category"] for e in regions}
+    assert "coarray_write" in cats
+    assert "barrier" in cats
+
+
+def test_untraced_run_is_default():
+    def program(img):
+        img.sync_all()
+
+    run = run_caf(program, 2)
+    assert run.tracer.events == []
+
+
+def test_trace_event_frozen():
+    ev = TraceEvent("k", 0, 0.0, 1.0, {"a": 1})
+    with pytest.raises(AttributeError):
+        ev.kind = "other"

@@ -1,0 +1,33 @@
+"""Top-level package surface."""
+
+
+def test_root_exports():
+    import repro
+
+    assert callable(repro.run_caf)
+    assert repro.FUSION.name == "fusion"
+    assert set(repro.PLATFORMS) == {"fusion", "edison", "mira", "laptop"}
+    assert repro.__version__
+
+
+def test_subpackages_importable():
+    import importlib
+
+    for mod in [
+        "repro.sim", "repro.mpi", "repro.gasnet", "repro.caf",
+        "repro.apps", "repro.platforms", "repro.experiments", "repro.util",
+    ]:
+        importlib.import_module(mod)
+
+
+def test_version_matches_metadata():
+    import repro
+
+    try:
+        from importlib.metadata import version
+    except ImportError:  # pragma: no cover
+        return
+    try:
+        assert version("repro") == repro.__version__
+    except Exception:
+        pass  # metadata absent in some install modes
