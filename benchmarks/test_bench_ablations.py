@@ -1,8 +1,9 @@
-"""Bench: the four design-choice ablations (§3.4, §3.5, §5)."""
+"""Bench: the design-choice ablations (§3.4, §3.5, §5) plus fault tolerance."""
 
 from repro.experiments.ablation_decomp import run as run_decomp
 from repro.experiments.ablation_eager import run as run_eager
 from repro.experiments.ablation_event_impl import run as run_event
+from repro.experiments.ablation_faults import run as run_faults
 from repro.experiments.ablation_finish import run as run_finish
 from repro.experiments.ablation_rflush import run as run_rflush
 
@@ -40,6 +41,20 @@ def test_bench_ablation_eager(regen):
     assert f[str((256, 1024))] < f[str((256, 0))]
     # Large messages: rendezvous avoids the copy.
     assert f[str((65536, 0))] < f[str((65536, 65536))]
+
+
+def test_bench_ablation_faults(regen):
+    result = regen(run_faults)
+    for backend in ("mpi", "gasnet"):
+        f = result.findings[backend]
+        # Exactly-once correctness survives message loss on both backends...
+        assert all(f["verified"])
+        # ...because the transport actually retried (faulty runs only),
+        assert f["retransmits"][0] == 0 and f["retransmits"][-1] > 0
+        assert f["dropped"][-1] > 0
+        # ...and the retries cost measurable virtual time.
+        assert f["overhead"][0] == 1.0
+        assert f["overhead"][-1] > 1.0
 
 
 def test_bench_ablation_decomp(regen):

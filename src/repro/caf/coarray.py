@@ -46,6 +46,7 @@ class Coarray:
             raise CafError(
                 f"image index {target} out of range [0, {self.team.size})"
             )
+        self.img._check_alive(self.team, target)
         if offset < 0 or offset + count > self.nelems:
             raise CafError(
                 f"coarray access [{offset}, {offset + count}) outside "
@@ -107,6 +108,7 @@ class Coarray:
         ).reshape(-1)
         if not 0 <= target < self.team.size:
             raise CafError(f"image index {target} out of range [0, {self.team.size})")
+        self.img._check_alive(self.team, target)
         if not runs:
             return
         with self.img.profile("coarray_write"):
@@ -117,6 +119,7 @@ class Coarray:
         runs, shape = self._section_runs(key)
         if not 0 <= target < self.team.size:
             raise CafError(f"image index {target} out of range [0, {self.team.size})")
+        self.img._check_alive(self.team, target)
         out = np.empty(int(np.prod(shape)) if shape else 1, self.dtype)
         if runs:
             with self.img.profile("coarray_read"):

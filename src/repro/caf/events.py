@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
-from repro.util.errors import CafError
+from repro.util.errors import CafError, CafTimeoutError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.caf.image import Image
@@ -47,6 +47,7 @@ class EventArray:
         self._check_slot(slot)
         if not 0 <= target < self.team.size:
             raise CafError(f"image index {target} out of range [0, {self.team.size})")
+        self.img._check_alive(self.team, target)
         with self.img.profile("event_notify"):
             self.img.backend.event_notify(self.storage, target, slot)
 
@@ -63,11 +64,42 @@ class EventArray:
 
     # -- waiting --------------------------------------------------------------
 
-    def wait(self, slot: int = 0, count: int = 1) -> None:
-        """event_wait: block until ``count`` notifications; consumes them."""
+    def wait(self, slot: int = 0, count: int = 1, *, timeout: float | None = None) -> None:
+        """event_wait: block until ``count`` notifications; consumes them.
+
+        ``timeout`` (virtual seconds) bounds the wait: if the posts do not
+        arrive in time — e.g. the notifier crashed — the call raises
+        :class:`CafTimeoutError` instead of hanging, consuming nothing.
+        """
         self._check_slot(slot)
+        if timeout is None:
+            with self.img.profile("event_wait"):
+                self.img.backend.event_wait(self.storage, slot, count)
+            return
+        if timeout < 0:
+            raise CafError(f"event_wait timeout must be >= 0, got {timeout!r}")
+        backend = self.img.backend
+        expired = [False]
+
+        def fire() -> None:
+            expired[0] = True
+            backend.kick()  # wake the progress engine so the predicate reruns
+
+        self.img.ctx.engine.call_in(timeout, fire)
         with self.img.profile("event_wait"):
-            self.img.backend.event_wait(self.storage, slot, count)
+            backend.progress_wait(
+                lambda: expired[0]
+                or backend.event_count(self.storage, slot) >= count,
+                f"event_wait(slot={slot}, timeout={timeout})",
+            )
+        have = backend.event_count(self.storage, slot)
+        if have >= count:
+            backend.event_consume(self.storage, slot, count)
+            return
+        raise CafTimeoutError(
+            f"event_wait(slot={slot}) timed out after {timeout}s "
+            f"with {have}/{count} notifications"
+        )
 
     def trywait(self, slot: int = 0, count: int = 1) -> bool:
         """event_trywait: nonblocking; consumes and returns True if posted."""

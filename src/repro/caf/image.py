@@ -17,7 +17,7 @@ from repro.caf.coarray import Coarray
 from repro.caf.events import EventArray
 from repro.caf.finish import FinishBlock
 from repro.caf.teams import Team, split_team
-from repro.util.errors import CafError
+from repro.util.errors import CafError, ImageFailedError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.sim.cluster import RankCtx
@@ -58,6 +58,27 @@ class Image:
     @property
     def nranks(self) -> int:
         return self.ctx.nranks
+
+    # -- failure awareness ----------------------------------------------------
+
+    def failed_images(self, team: Team | None = None) -> list[int]:
+        """Team indices of images known to have crashed (CAF analogue of
+        ULFM's failure query; fed by injected :class:`FaultPlan` crashes)."""
+        team = team or self.team_world
+        failed = self.cluster.failed_ranks
+        return [i for i in range(team.size) if team.world_rank(i) in failed]
+
+    def _check_alive(self, team: Team, index: int) -> None:
+        """Raise :class:`ImageFailedError` when an operation names a dead image.
+
+        Called from API entry points only — never from delivery callbacks,
+        which must tolerate a peer dying with traffic in flight.
+        """
+        w = team.world_rank(index)
+        if w in self.cluster.failed_ranks:
+            raise ImageFailedError(
+                w, f"image {index} of team {team.team_id} (world rank {w}) has failed"
+            )
 
     # -- allocation -------------------------------------------------------------
 
@@ -131,6 +152,7 @@ class Image:
         for p in partners:
             if not 0 <= p < self.nranks:
                 raise CafError(f"sync_images partner {p} out of range [0, {self.nranks})")
+            self._check_alive(self.team_world, p)
         self.backend.quiet()
         board = self.cluster.shared("caf-sync-images", dict)
         if not hasattr(self, "_sync_consumed"):
@@ -250,6 +272,7 @@ class Image:
         team = team or self.team_world
         if not 0 <= target < team.size:
             raise CafError(f"spawn target {target} out of range [0, {team.size})")
+        self._check_alive(team, target)
         with self.profile("spawn"):
             self.backend.ship_function(team, target, (fn, args))
 

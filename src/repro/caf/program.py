@@ -29,6 +29,7 @@ from repro.caf.backends.gasnet_backend import GasnetBackend
 from repro.caf.backends.mpi_backend import MpiBackend
 from repro.caf.image import Image
 from repro.sim.cluster import Cluster
+from repro.sim.faults import FaultPlan
 from repro.sim.memory import MemoryMeter
 from repro.sim.network import MachineSpec, NetFabric
 from repro.sim.profiler import Profiler
@@ -76,6 +77,9 @@ def run_caf(
     backend_options: dict[str, Any] | None = None,
     sim_seed: int = 12345,
     trace: bool = False,
+    faults: FaultPlan | None = None,
+    reliable: bool = False,
+    deadline: float | None = None,
     **program_kwargs: Any,
 ) -> CafRun:
     """Run ``program(img, **program_kwargs)`` on ``nranks`` images.
@@ -83,11 +87,17 @@ def run_caf(
     ``sim_seed`` seeds the per-rank simulator RNGs (``img.ctx.rng``); any
     other keyword — including one named ``seed`` — is forwarded verbatim to
     the program.
+
+    ``faults`` installs a deterministic :class:`FaultPlan` on the fabric
+    (message drops / duplicates / delays plus scheduled image crashes);
+    ``reliable=True`` arms the ack/retransmit transport so lossy runs still
+    deliver exactly once; ``deadline`` arms the engine watchdog, turning a
+    fault-induced hang into :class:`~repro.util.errors.SimTimeoutError`.
     """
     if backend not in BACKENDS:
         raise CafError(f"unknown backend {backend!r}; choose from {sorted(BACKENDS)}")
     spec = spec or MachineSpec(name="generic")
-    cluster = Cluster(nranks, spec, seed=sim_seed)
+    cluster = Cluster(nranks, spec, seed=sim_seed, faults=faults, reliable=reliable)
     if trace:
         cluster.tracer.enable()
     backend_cls = BACKENDS[backend]
@@ -98,7 +108,7 @@ def run_caf(
         ctx.cluster.shared("caf-images", dict)[ctx.rank] = img
         return program(img, **kwargs)
 
-    results = cluster.run(wrapper, program_kwargs=dict(program_kwargs))
+    results = cluster.run(wrapper, program_kwargs=dict(program_kwargs), deadline=deadline)
     return CafRun(
         cluster=cluster,
         results=results,

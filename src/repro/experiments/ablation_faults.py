@@ -1,0 +1,98 @@
+"""Ablation: fault injection vs the reliable-delivery transport.
+
+The runtime the paper builds assumes a reliable interconnect; this
+ablation drops that assumption. A seeded :class:`FaultPlan` makes the
+simulated fabric drop a fraction of all messages, and the runtime opts
+into the ack/retransmit transport (``reliable=True``). RandomAccess is
+the probe because its correctness is exactly-once delivery: every update
+XORs into a table, so a lost *or duplicated* landing-zone write corrupts
+the final tables in a way the serial reference detects.
+
+Measured per drop rate and backend: GUPS, the retry traffic the
+transport generated, the virtual-time overhead relative to the fault-free
+baseline, and whether the final tables still match the reference.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.randomaccess import reference_tables, run_randomaccess
+from repro.caf.program import run_caf
+from repro.experiments.common import ExperimentResult, check_scale
+from repro.platforms import FUSION
+from repro.sim.faults import FaultPlan
+
+EXP_ID = "abl_faults"
+TITLE = "RandomAccess under injected message loss with reliable delivery"
+
+_NRANKS = 8
+_RA_KWARGS = dict(table_bits_per_image=9, updates_per_image=1024, batches=8)
+_RA_SEED = 42  # run_randomaccess default update-stream seed
+_FAULT_SEED = 2014
+
+
+def _verified(run) -> bool:
+    ref = reference_tables(
+        _RA_SEED, _NRANKS, _RA_KWARGS["table_bits_per_image"],
+        _RA_KWARGS["updates_per_image"],
+    )
+    tables = run.cluster._shared["ra-tables"]
+    return all(np.array_equal(tables[r], ref[r]) for r in range(_NRANKS))
+
+
+def run(scale: str = "default") -> ExperimentResult:
+    check_scale(scale)
+    drop_rates = [0.0, 0.01] if scale == "quick" else [0.0, 0.005, 0.01, 0.02]
+    rows = []
+    findings = {"drop_rates": list(drop_rates)}
+    for backend in ("mpi", "gasnet"):
+        baseline_elapsed = None
+        findings[backend] = {
+            "gups": [], "retransmits": [], "dropped": [],
+            "overhead": [], "verified": [],
+        }
+        for rate in drop_rates:
+            faults = FaultPlan(seed=_FAULT_SEED, drop_rate=rate) if rate else None
+            result = run_caf(
+                run_randomaccess,
+                _NRANKS,
+                FUSION,
+                backend=backend,
+                faults=faults,
+                reliable=rate > 0,
+                **_RA_KWARGS,
+            )
+            if baseline_elapsed is None:
+                baseline_elapsed = result.elapsed
+            overhead = result.elapsed / baseline_elapsed
+            rel = result.fabric.reliable
+            retransmits = rel.retransmits if rel is not None else 0
+            ok = _verified(result)
+            gups = result.results[0].gups
+            rows.append(
+                [backend, rate, gups, result.fabric.dropped, retransmits,
+                 overhead, "yes" if ok else "NO"]
+            )
+            f = findings[backend]
+            f["gups"].append(gups)
+            f["retransmits"].append(retransmits)
+            f["dropped"].append(result.fabric.dropped)
+            f["overhead"].append(overhead)
+            f["verified"].append(ok)
+    return ExperimentResult(
+        exp_id=EXP_ID,
+        title=TITLE,
+        headers=[
+            "backend", "drop rate", "GUPS", "msgs dropped", "retransmits",
+            "time vs fault-free", "tables verified",
+        ],
+        rows=rows,
+        notes=(
+            "Every faulty configuration must still verify: the transport's "
+            "sequence-number dedup plus ack/retransmit restores exactly-once "
+            "delivery, at the price of the retry traffic and the timeout "
+            "stalls visible in the overhead column."
+        ),
+        findings=findings,
+    )

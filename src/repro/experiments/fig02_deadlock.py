@@ -49,8 +49,16 @@ def run(scale: str = "default") -> ExperimentResult:
             detail = f"rank 1 sees {result.results[1]}"
         except DeadlockError as exc:
             outcome = "DEADLOCK"
+            # The diagnostics must name each rank's blocking call site:
+            # image 0 stuck waiting for its AM write to be acknowledged,
+            # image 1 stuck inside the MPI library (the Figure 2 hazard).
+            assert set(exc.blocked) == {0, 1}, exc.blocked
+            assert "am_write" in exc.blocked[0], exc.blocked
+            assert "wait(" in exc.blocked[1], exc.blocked
+            assert exc.last_progress is not None and set(exc.last_progress) == {0, 1}
             detail = "; ".join(
-                f"rank {r}: {why}" for r, why in sorted(exc.blocked.items())
+                f"rank {r}: {why} (last progress t={exc.last_progress[r]:.3g})"
+                for r, why in sorted(exc.blocked.items())
             )
         rows.append([label, outcome, detail])
         findings[label] = outcome

@@ -45,6 +45,7 @@ EXPERIMENTS: dict[str, ExperimentSpec] = {
         ExperimentSpec("abl_rflush", f"{_M}.ablation_rflush", "Hypothetical MPI_WIN_RFLUSH / constant-cost FLUSH_ALL (§5)"),
         ExperimentSpec("abl_eager", f"{_M}.ablation_eager", "Eager/rendezvous threshold sweep"),
         ExperimentSpec("abl_decomp", f"{_M}.ablation_decomp", "CGPOP 1-D strips vs 2-D blocks"),
+        ExperimentSpec("abl_faults", f"{_M}.ablation_faults", "Injected message loss vs reliable-delivery transport"),
     ]
 }
 

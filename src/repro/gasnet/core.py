@@ -144,7 +144,19 @@ class GasnetRank:
         assert seg is not None
         return seg
 
+    def _check_rank(self, rank: int) -> None:
+        if not 0 <= rank < self.nranks:
+            raise GasnetError(f"rank {rank} out of range [0, {self.nranks})")
+
+    def _check_alive(self, rank: int) -> None:
+        """Entry-point check: initiating communication with a crashed rank
+        fails eagerly. Only called from API entry points (never from
+        delivery callbacks, which must survive a peer dying mid-flight)."""
+        if rank in self.ctx.cluster.failed_ranks:
+            raise GasnetError(f"rank {rank} has failed (node crash)")
+
     def segment_of(self, rank: int) -> np.ndarray:
+        self._check_rank(rank)
         seg = self.world.segments[rank]
         if seg is None:
             raise GasnetError(f"rank {rank} has not attached a segment")
@@ -208,6 +220,8 @@ class GasnetRank:
     ) -> None:
         if len(args) > AM_MAX_ARGS:
             raise GasnetError(f"AM carries {len(args)} args > AMMaxArgs={AM_MAX_ARGS}")
+        self._check_rank(dest)
+        self._check_alive(dest)
         spec = self.ctx.spec
         if not is_reply:
             # Replies have a guaranteed slot; only requests consume credits.
@@ -240,7 +254,9 @@ class GasnetRank:
             target.am_queue.append(qam)
             target.activity.add()
 
-        self.ctx.fabric.transfer(src, dest, wire, on_delivered, rx_extra=self._rx_extra())
+        self.ctx.fabric.send(
+            src, dest, wire, on_delivered, rx_extra=self._rx_extra(), reliable=True
+        )
 
     def am_request_short(self, dest: int, handler_idx: int, *args: int) -> None:
         """AMRequestShort: a few integer arguments, no payload."""
@@ -364,6 +380,7 @@ class GasnetRank:
         (data commits at delivery; the origin learns of it one ack later)."""
         arr = np.ascontiguousarray(data).reshape(-1).view(np.uint8).copy()
         self._check_range(dest, dest_offset, arr.nbytes)
+        self._check_alive(dest)
         spec = self.ctx.spec
         self.ctx.proc.sleep(spec.gasnet_put_overhead)
         handle = Handle(kind=f"put(dest={dest})")
@@ -386,8 +403,9 @@ class GasnetRank:
                 dest_rank.activity.add()
             engine.call_in(ack, lambda: (handle.event.fire(), me.activity.add()))
 
-        self.ctx.fabric.transfer(
-            self.rank, dest, arr.nbytes + 32, on_delivered, rx_extra=self._rx_extra()
+        self.ctx.fabric.send(
+            self.rank, dest, arr.nbytes + 32, on_delivered,
+            rx_extra=self._rx_extra(), reliable=True,
         )
         return handle
 
@@ -398,6 +416,7 @@ class GasnetRank:
             raise GasnetError("get destination must be C-contiguous")
         nbytes = out.nbytes
         self._check_range(src, src_offset, nbytes)
+        self._check_alive(src)
         spec = self.ctx.spec
         self.ctx.proc.sleep(spec.gasnet_get_overhead)
         handle = Handle(kind=f"get(src={src})")
@@ -412,9 +431,14 @@ class GasnetRank:
                 handle.event.fire()
                 me.activity.add()
 
-            fabric.transfer(src, self.rank, nbytes + 32, at_origin, rx_extra=me._rx_extra())
+            fabric.send(
+                src, self.rank, nbytes + 32, at_origin,
+                rx_extra=me._rx_extra(), reliable=True,
+            )
 
-        fabric.transfer(self.rank, src, 32, at_source, rx_extra=self._rx_extra())
+        fabric.send(
+            self.rank, src, 32, at_source, rx_extra=self._rx_extra(), reliable=True
+        )
         return handle
 
     def put_runs_nb(self, dest: int, runs: list[tuple[int, int]], data) -> Handle:
@@ -427,6 +451,7 @@ class GasnetRank:
             raise GasnetError(f"put_runs data is {arr.nbytes} bytes, runs cover {total}")
         for off, n in runs:
             self._check_range(dest, int(off), int(n))
+        self._check_alive(dest)
         spec = self.ctx.spec
         # Pack cost at the origin, then a single wire message.
         self.ctx.proc.sleep(spec.gasnet_put_overhead + spec.copy_time(arr.nbytes))
@@ -451,8 +476,9 @@ class GasnetRank:
                 dest_rank.activity.add()
             engine.call_in(ack, lambda: (handle.event.fire(), me.activity.add()))
 
-        self.ctx.fabric.transfer(
-            self.rank, dest, arr.nbytes + 32, on_delivered, rx_extra=self._rx_extra()
+        self.ctx.fabric.send(
+            self.rank, dest, arr.nbytes + 32, on_delivered,
+            rx_extra=self._rx_extra(), reliable=True,
         )
         return handle
 
@@ -465,6 +491,7 @@ class GasnetRank:
             raise GasnetError(f"get_runs buffer is {out.nbytes} bytes, runs cover {total}")
         for off, n in runs:
             self._check_range(src, int(off), int(n))
+        self._check_alive(src)
         spec = self.ctx.spec
         self.ctx.proc.sleep(spec.gasnet_get_overhead)
         handle = Handle(kind=f"get_runs(src={src})")
@@ -482,9 +509,14 @@ class GasnetRank:
                 handle.event.fire()
                 me.activity.add()
 
-            fabric.transfer(src, self.rank, total + 32, at_origin, rx_extra=me._rx_extra())
+            fabric.send(
+                src, self.rank, total + 32, at_origin,
+                rx_extra=me._rx_extra(), reliable=True,
+            )
 
-        fabric.transfer(self.rank, src, 32, at_source, rx_extra=self._rx_extra())
+        fabric.send(
+            self.rank, src, 32, at_source, rx_extra=self._rx_extra(), reliable=True
+        )
         return handle
 
     def wait_syncnb(self, handle: Handle) -> None:

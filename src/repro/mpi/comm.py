@@ -18,7 +18,7 @@ from repro.mpi.constants import ANY_SOURCE, ANY_TAG
 from repro.mpi.p2p import Matching
 from repro.mpi.request import Request
 from repro.mpi.status import Status
-from repro.util.errors import MpiError
+from repro.util.errors import MpiError, MpiProcFailedError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.mpi.world import MpiRank, MpiWorld
@@ -69,6 +69,50 @@ class Comm:
     def check_peer(self, peer: int) -> None:
         if not 0 <= peer < self.size:
             raise MpiError(f"peer rank {peer} out of range [0, {self.size})")
+        self.check_alive(peer)
+
+    # -- ULFM-style failure handling ---------------------------------------
+
+    def check_alive(self, peer: int) -> None:
+        """Raise :class:`MpiProcFailedError` if ``peer`` has crashed.
+
+        Modeled on ULFM's MPI_ERR_PROC_FAILED: operations that name a dead
+        process fail eagerly instead of hanging.
+        """
+        w = self.state.group[peer]
+        if w in self.ctx.cluster.failed_ranks:
+            raise MpiProcFailedError(
+                w, f"peer {peer} (world rank {w}) has failed"
+            )
+
+    def failed_ranks(self) -> list[int]:
+        """Comm ranks of group members known to have crashed
+        (ULFM's MPIX_Comm_failure_ack/get_acked query)."""
+        failed = self.ctx.cluster.failed_ranks
+        return [r for r, w in enumerate(self.state.group) if w in failed]
+
+    def shrink(self) -> "Comm":
+        """ULFM's MPIX_COMM_SHRINK: a new communicator over the survivors.
+
+        Every surviving rank must call this. Dead ranks cannot participate
+        in a collective, so agreement runs through the cluster's shared
+        board (the simulation-level stand-in for ULFM's fault-tolerant
+        agreement protocol) rather than a barrier.
+        """
+        if self.rank in self.failed_ranks():  # pragma: no cover - defensive
+            raise MpiError("shrink() called by a failed rank")
+        failed = self.ctx.cluster.failed_ranks
+        survivors = tuple(w for w in self.state.group if w not in failed)
+        key = ("mpi-shrink", self.state.context_id, survivors)
+
+        def build() -> _CommState:
+            return _CommState(
+                self.state.world, survivors, self.state.world.next_context_id()
+            )
+
+        new_state = self.ctx.cluster.shared(key, build)
+        my_world = self.state.group[self.rank]
+        return Comm(new_state, self.mpirank, survivors.index(my_world))
 
     # -- point-to-point (user context) -------------------------------------
 

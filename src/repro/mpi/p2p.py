@@ -144,9 +144,11 @@ def _start_rendezvous_data(comm: "Comm", posted: _PostedRecv, env: _Envelope) ->
             _complete_recv(comm, posted, env, rv.payload)
             rv.send_request._complete()
 
-        fabric.transfer(rv.src_world, dst_world, env.nbytes, on_payload_delivered)
+        fabric.send(
+            rv.src_world, dst_world, env.nbytes, on_payload_delivered, reliable=True
+        )
 
-    fabric.transfer(dst_world, rv.src_world, _ENVELOPE_BYTES, on_cts_at_sender)
+    fabric.send(dst_world, rv.src_world, _ENVELOPE_BYTES, on_cts_at_sender, reliable=True)
 
 
 def deliver(comm: "Comm", dst: int, env: _Envelope, matching: Matching) -> None:
@@ -184,22 +186,24 @@ def isend(comm: "Comm", matching: Matching, buf, dest: int, tag: int) -> Request
         # Copy into the library's eager buffer, inject, complete locally.
         ctx.proc.sleep(spec.mpi_p2p_overhead + spec.copy_time(nbytes))
         env = _Envelope(src=comm.rank, tag=tag, nbytes=nbytes, data=data, rendezvous=None)
-        ctx.fabric.transfer(
+        ctx.fabric.send(
             src_world,
             dst_world,
             nbytes + _ENVELOPE_BYTES,
             lambda: deliver(comm, dest, env, matching),
+            reliable=True,
         )
         req._complete()
     else:
         ctx.proc.sleep(spec.mpi_p2p_overhead)
         rv = _Rendezvous(payload=data, send_request=req, src_world=src_world)
         env = _Envelope(src=comm.rank, tag=tag, nbytes=nbytes, data=None, rendezvous=rv)
-        ctx.fabric.transfer(
+        ctx.fabric.send(
             src_world,
             dst_world,
             _ENVELOPE_BYTES,
             lambda: deliver(comm, dest, env, matching),
+            reliable=True,
         )
     return req
 

@@ -33,7 +33,6 @@ import numpy as np
 
 from repro.mpi.constants import NO_OP, REPLACE, Op
 from repro.mpi.request import Request
-from repro.sim.memory import MB
 from repro.sim.sync import SimEvent
 from repro.util.errors import MpiError
 
@@ -254,6 +253,7 @@ class Window:
             raise MpiError("window has been freed")
         if not 0 <= target < self.group_size:
             raise MpiError(f"target {target} out of range [0, {self.group_size})")
+        self.comm.check_alive(target)  # ULFM: RMA to a dead rank fails eagerly
         if count > 0:
             self.state.resolve(target, offset, count)  # bounds / region check
 
@@ -324,11 +324,12 @@ class Window:
             else:
                 commit()
 
-        self.ctx.fabric.transfer(
+        self.ctx.fabric.send(
             self._world(origin),
             self._world(target),
             snapshot.nbytes + _RMA_ENVELOPE_BYTES,
             on_delivered,
+            reliable=True,
         )
         if snapshot.nbytes <= spec.mpi_eager_threshold:
             # Small transfers are buffered by the library: locally complete now.
@@ -368,8 +369,9 @@ class Window:
                     self._op_done_at_target(origin, target)
                     req._complete()
 
-                fabric.transfer(
-                    self._world(target), self._world(origin), nbytes, at_origin
+                fabric.send(
+                    self._world(target), self._world(origin), nbytes, at_origin,
+                    reliable=True,
                 )
 
             if target_delay:
@@ -377,8 +379,9 @@ class Window:
             else:
                 respond()
 
-        fabric.transfer(
-            self._world(origin), self._world(target), _RMA_ENVELOPE_BYTES, at_target
+        fabric.send(
+            self._world(origin), self._world(target), _RMA_ENVELOPE_BYTES, at_target,
+            reliable=True,
         )
         return req
 
@@ -411,11 +414,12 @@ class Window:
             else:
                 commit()
 
-        self.ctx.fabric.transfer(
+        self.ctx.fabric.send(
             self._world(origin),
             self._world(target),
             snapshot.nbytes + _RMA_ENVELOPE_BYTES,
             on_delivered,
+            reliable=True,
         )
         if snapshot.nbytes <= spec.mpi_eager_threshold:
             req._complete()
@@ -452,8 +456,9 @@ class Window:
                     self._op_done_at_target(origin, target)
                     req._complete()
 
-                fabric.transfer(
-                    self._world(target), self._world(origin), old.nbytes, at_origin
+                fabric.send(
+                    self._world(target), self._world(origin), old.nbytes, at_origin,
+                    reliable=True,
                 )
 
             if target_delay:
@@ -461,11 +466,12 @@ class Window:
             else:
                 commit()
 
-        fabric.transfer(
+        fabric.send(
             self._world(origin),
             self._world(target),
             snapshot.nbytes + _RMA_ENVELOPE_BYTES,
             at_target,
+            reliable=True,
         )
         return req
 
@@ -497,8 +503,9 @@ class Window:
                     self._op_done_at_target(origin, target)
                     req._complete()
 
-                fabric.transfer(
-                    self._world(target), self._world(origin), old.nbytes, at_origin
+                fabric.send(
+                    self._world(target), self._world(origin), old.nbytes, at_origin,
+                    reliable=True,
                 )
 
             if target_delay:
@@ -506,8 +513,12 @@ class Window:
             else:
                 commit()
 
-        fabric.transfer(
-            self._world(origin), self._world(target), 2 * dtype.itemsize + _RMA_ENVELOPE_BYTES, at_target
+        fabric.send(
+            self._world(origin),
+            self._world(target),
+            2 * dtype.itemsize + _RMA_ENVELOPE_BYTES,
+            at_target,
+            reliable=True,
         )
         req.wait()
         return result_arr[0]
@@ -565,11 +576,12 @@ class Window:
             else:
                 commit()
 
-        self.ctx.fabric.transfer(
+        self.ctx.fabric.send(
             self._world(origin),
             self._world(target),
             snapshot.nbytes + _RMA_ENVELOPE_BYTES,
             on_delivered,
+            reliable=True,
         )
 
     def get_runs(self, dest, target: int, runs: list[tuple[int, int]]) -> Request:
@@ -604,8 +616,9 @@ class Window:
                     self._op_done_at_target(origin, target)
                     req._complete()
 
-                fabric.transfer(
-                    self._world(target), self._world(origin), nbytes, at_origin
+                fabric.send(
+                    self._world(target), self._world(origin), nbytes, at_origin,
+                    reliable=True,
                 )
 
             if target_delay:
@@ -613,8 +626,9 @@ class Window:
             else:
                 respond()
 
-        fabric.transfer(
-            self._world(origin), self._world(target), _RMA_ENVELOPE_BYTES, at_target
+        fabric.send(
+            self._world(origin), self._world(target), _RMA_ENVELOPE_BYTES, at_target,
+            reliable=True,
         )
         return req
 

@@ -13,9 +13,11 @@ from collections.abc import Callable
 from typing import Any
 
 from repro.sim.engine import Engine, Proc
+from repro.sim.faults import FaultPlan
 from repro.sim.memory import MemoryMeter
 from repro.sim.network import MachineSpec, NetFabric
 from repro.sim.profiler import Profiler
+from repro.sim.reliable import ReliableTransport
 from repro.sim.trace import Tracer
 from repro.util.errors import SimulationError
 from repro.util.rng import rank_rng
@@ -66,7 +68,15 @@ class RankCtx:
 class Cluster:
     """A fixed-size simulated machine plus the services layers share."""
 
-    def __init__(self, nranks: int, spec: MachineSpec, *, seed: int = 12345):
+    def __init__(
+        self,
+        nranks: int,
+        spec: MachineSpec,
+        *,
+        seed: int = 12345,
+        faults: FaultPlan | None = None,
+        reliable: bool = False,
+    ):
         if nranks <= 0:
             raise SimulationError(f"nranks must be positive, got {nranks}")
         self.nranks = nranks
@@ -80,6 +90,21 @@ class Cluster:
         self.ctxs: list[RankCtx] = []
         self._shared: dict[Any, Any] = {}
         self.elapsed = 0.0  # virtual makespan after run()
+        #: World ranks whose image has crashed (via an injected fault).
+        #: Failure-notification layers (ULFM-style MPI errors, CAF
+        #: ``failed_images``) read this set.
+        self.failed_ranks: set[int] = set()
+        self.fabric.failed_ranks = self.failed_ranks  # shared: dead NICs go silent
+        self.faults = faults
+        if faults is not None:
+            for rank, _when in faults.crashes:
+                if not 0 <= rank < nranks:
+                    raise SimulationError(
+                        f"crash rank {rank} out of range [0, {nranks})"
+                    )
+            self.fabric.faults = faults
+        if reliable:
+            self.fabric.reliable = ReliableTransport(self.fabric)
 
     def shared(self, key: Any, factory: Callable[[], Any]) -> Any:
         """Get-or-create a cross-rank singleton (e.g. the MPI world)."""
@@ -87,13 +112,24 @@ class Cluster:
             self._shared[key] = factory()
         return self._shared[key]
 
+    def _crash_rank(self, rank: int) -> None:
+        """Scheduler-context delivery of an injected image crash."""
+        if rank in self.failed_ranks:
+            return
+        self.failed_ranks.add(rank)
+        self.ctxs[rank].proc._crash()
+
     def run(
         self,
         program: Callable[..., Any],
         *,
         program_kwargs: dict[str, Any] | None = None,
+        deadline: float | None = None,
     ) -> list[Any]:
-        """Run ``program(ctx, **kwargs)`` on every rank; returns per-rank results."""
+        """Run ``program(ctx, **kwargs)`` on every rank; returns per-rank results.
+
+        ``deadline`` arms the engine watchdog (see :meth:`Engine.run`).
+        """
         kwargs = program_kwargs or {}
 
         def make_target(rank: int) -> Callable[[Proc], Any]:
@@ -108,7 +144,10 @@ class Cluster:
             proc = self.engine.spawn(make_target(rank), name=f"rank{rank}")
             rank_procs.append(proc)
             self.ctxs.append(RankCtx(self, rank, proc))
-        self.engine.run()
+        if self.faults is not None:
+            for rank, when in self.faults.crashes:
+                self.engine.call_at(when, lambda r=rank: self._crash_rank(r))
+        self.engine.run(deadline=deadline)
         self.elapsed = self.engine.now
         # Only the rank programs' results — libraries may have spawned
         # daemon agents whose results are not the application's.

@@ -32,7 +32,7 @@ import threading
 from collections.abc import Callable
 from typing import Any
 
-from repro.util.errors import DeadlockError, SimulationError
+from repro.util.errors import DeadlockError, SimTimeoutError, SimulationError
 
 
 class _Killed(BaseException):
@@ -73,6 +73,13 @@ class Proc:
         self.daemon = daemon
         self.state = Proc.NEW
         self.block_reason = "not started"
+        #: Virtual time this process last resumed execution — the watchdog
+        #: and deadlock diagnostics report it so a hung rank can be told
+        #: apart from a slow one.
+        self.last_progress = 0.0
+        #: Set by :meth:`_crash`: the process was killed mid-run by an
+        #: injected image-crash event (not normal teardown).
+        self.crashed = False
         self.result: Any = None
         self._target = target
         self._sem = threading.Semaphore(0)
@@ -94,6 +101,7 @@ class Proc:
         if self.state == Proc.DONE or gen != self._gen:
             return
         self.state = Proc.RUNNING
+        self.last_progress = self.engine.now
         self.engine._current = self
         self._sem.release()
         self.engine._control.acquire()
@@ -105,6 +113,23 @@ class Proc:
         self._killed = True
         self._sem.release()
         self._thread.join()
+
+    def _crash(self) -> None:
+        """Kill this process mid-run (an injected image crash).
+
+        Must be called from scheduler context while the process is parked
+        (blocked or awaiting a resume), which injected crash events always
+        are. The dying thread's ``finally`` releases the engine's control
+        semaphore once as it unwinds; nobody is waiting on that release, so
+        re-acquire it here to keep the scheduler handshake balanced.
+        """
+        if self.state == Proc.DONE:
+            return
+        self.crashed = True
+        self._killed = True
+        self._sem.release()
+        self._thread.join()
+        self.engine._control.acquire()
 
     # -- process side ---------------------------------------------------
 
@@ -119,7 +144,10 @@ class Proc:
         except _Killed:
             pass
         except BaseException as exc:  # noqa: BLE001 - reported to scheduler
-            if self.engine._failure is None:
+            # A crashed process may explode in user ``finally`` blocks while
+            # unwinding; those secondary failures are part of the injected
+            # crash, not program bugs, so only live processes report.
+            if not self._killed and self.engine._failure is None:
                 self.engine._failure = exc
         finally:
             self.state = Proc.DONE
@@ -154,6 +182,10 @@ class Proc:
         again before the resume event fires, the stale resume is ignored
         (the waker must wake it again through the new wait structure).
         """
+        if self.state == Proc.DONE and self._killed:
+            # A crashed (or torn-down) process may still sit in waiter
+            # lists; dropping the wake lets survivors carry on.
+            return
         if self.state != Proc.BLOCKED:
             raise SimulationError(f"wake() on non-blocked {self!r}")
         self._wake_payload = payload
@@ -240,39 +272,70 @@ class Engine:
 
     # -- main loop ------------------------------------------------------
 
-    def run(self) -> None:
+    def run(self, *, deadline: float | None = None) -> None:
         """Run until all processes finish. Must be called from the creating thread.
+
+        ``deadline`` is a virtual-time watchdog: if the next event lies
+        beyond it while non-daemon processes remain unfinished, the run
+        aborts with :class:`SimTimeoutError` instead of spinning through
+        (say) an unbounded retransmission schedule. Daemon-only activity
+        past the deadline is not a hang; the run ends quietly.
 
         Raises
         ------
         DeadlockError
             If the event heap empties while unfinished processes remain.
+        SimTimeoutError
+            If ``deadline`` is reached with unfinished processes.
         Exception
             Re-raises the first exception raised inside any process.
         """
         if self._ran:
             raise SimulationError("engine can only run once")
+        if deadline is not None and deadline < 0:
+            raise SimulationError(f"deadline must be non-negative, got {deadline}")
         self._ran = True
         for proc in self.procs:
             proc._start()
         try:
             while self._heap:
                 when, _seq, fn = heapq.heappop(self._heap)
+                if deadline is not None and when > deadline:
+                    blocked = self._blocked_report()
+                    if not blocked:
+                        break  # only daemon housekeeping remains
+                    self.now = deadline
+                    raise SimTimeoutError(
+                        deadline, blocked, last_progress=self._progress_report()
+                    )
                 self.now = when
                 fn()
                 if self._failure is not None:
                     raise self._failure
-            blocked = {
-                p.pid: p.block_reason
-                for p in self.procs
-                if p.state != Proc.DONE and not p.daemon
-            }
+            blocked = self._blocked_report()
             if blocked:
-                raise DeadlockError(blocked)
+                raise DeadlockError(
+                    blocked, now=self.now, last_progress=self._progress_report()
+                )
         finally:
             self._finished = True
             for proc in self.procs:
                 proc._kill()
+
+    def _blocked_report(self) -> dict[int, str]:
+        """Per-rank call-site of every unfinished, non-daemon process."""
+        return {
+            p.pid: p.block_reason
+            for p in self.procs
+            if p.state != Proc.DONE and not p.daemon
+        }
+
+    def _progress_report(self) -> dict[int, float]:
+        return {
+            p.pid: p.last_progress
+            for p in self.procs
+            if p.state != Proc.DONE and not p.daemon
+        }
 
     def unfinished(self) -> list[Proc]:
         return [p for p in self.procs if p.state != Proc.DONE]

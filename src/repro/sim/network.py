@@ -17,12 +17,17 @@ schedule-aware algorithms (MPI's pairwise exchange) do not.
 from __future__ import annotations
 
 import dataclasses
+import math
 from collections.abc import Callable
 from dataclasses import dataclass
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 from repro.sim.engine import Engine
 from repro.util.errors import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.faults import FaultPlan
+    from repro.sim.reliable import ReliableTransport
 
 
 @dataclass(frozen=True)
@@ -119,6 +124,23 @@ class NetFabric:
         self._pair_last: dict[tuple[int, int], float] = {}
         self.messages_sent = 0
         self.bytes_sent = 0
+        #: Optional :class:`repro.sim.faults.FaultPlan` consulted once per
+        #: transfer. None (the default) skips fault logic entirely, so a
+        #: fault-free run is byte-identical with or without this feature.
+        self.faults: FaultPlan | None = None
+        #: Optional :class:`repro.sim.reliable.ReliableTransport`; installed
+        #: by ``Cluster(reliable=True)`` and used by :meth:`send`.
+        self.reliable: ReliableTransport | None = None
+        # Fault counters (what the plan actually did to this fabric's traffic).
+        self.dropped = 0
+        self.corrupted = 0
+        self.duplicated = 0
+        self.delayed = 0
+        #: Ranks whose node has crashed. Shared (same set object) with
+        #: ``Cluster.failed_ranks``: a dead NIC neither transmits nor
+        #: delivers, so frames touching a dead rank are blackholed.
+        self.failed_ranks: set[int] = set()
+        self.blackholed = 0
 
     def _check_rank(self, rank: int) -> None:
         if not 0 <= rank < self.nranks:
@@ -138,11 +160,27 @@ class NetFabric:
         ``rx_extra`` adds per-message occupancy at the destination NIC
         (seconds) — used to model GASNet's Shared Receive Queue slowdown,
         which throttles incast throughput at scale (paper Figure 3).
+
+        When a :class:`~repro.sim.faults.FaultPlan` is installed the message
+        may be dropped or corrupted (callback never runs; returns ``inf``),
+        duplicated (callback runs twice) or delayed past the FIFO order.
         """
         self._check_rank(src)
         self._check_rank(dst)
         if nbytes < 0:
             raise SimulationError(f"negative transfer size {nbytes}")
+        if rx_extra < 0:
+            raise SimulationError(f"negative rx_extra {rx_extra!r}")
+        if self.engine._finished:
+            raise SimulationError(
+                f"transfer({src}->{dst}) on a fabric whose engine has finished"
+            )
+        if src in self.failed_ranks or dst in self.failed_ranks:
+            # A crashed node's NIC is silent: in-flight and future frames
+            # touching it vanish. This is what leaves a retransmitting
+            # survivor hanging — the case the engine watchdog exists for.
+            self.blackholed += 1
+            return math.inf
         now = self.engine.now
         self.messages_sent += 1
         self.bytes_sent += nbytes
@@ -170,9 +208,60 @@ class NetFabric:
         pair = (src, dst)
         deliver = max(deliver, self._pair_last.get(pair, 0.0))
         self._pair_last[pair] = deliver
+
+        decision = None
+        if self.faults is not None and self.faults.active:
+            decision = self.faults.draw(src, dst, nbytes)
+            if decision.discard:
+                # The frame burned wire and NIC time but never arrives; a
+                # corrupt frame is one a checksummed link detects and
+                # discards at the receiver (payloads are never silently
+                # damaged — see repro.sim.faults).
+                if decision.corrupt:
+                    self.corrupted += 1
+                else:
+                    self.dropped += 1
+                if self.tracer is not None and self.tracer.enabled:
+                    self.tracer.record(
+                        "transfer", src, now, deliver, dst=dst, nbytes=nbytes,
+                        fault="corrupt" if decision.corrupt else "drop",
+                    )
+                return math.inf
+            if decision.extra_delay > 0.0:
+                # Added after the FIFO clamp on purpose: later messages can
+                # overtake this one, producing genuine reordering.
+                self.delayed += 1
+                deliver += decision.extra_delay
+
         if self.tracer is not None and self.tracer.enabled:
             self.tracer.record(
                 "transfer", src, now, deliver, dst=dst, nbytes=nbytes
             )
         self.engine.call_at(deliver, on_delivered)
+        if decision is not None and decision.duplicate:
+            self.duplicated += 1
+            self.engine.call_at(deliver + decision.duplicate_lag, on_delivered)
         return deliver
+
+    def send(
+        self,
+        src: int,
+        dst: int,
+        nbytes: int,
+        on_delivered: Callable[[], None],
+        *,
+        rx_extra: float = 0.0,
+        reliable: bool = False,
+    ) -> float:
+        """Transfer, optionally via the reliable transport.
+
+        Communication layers call this with ``reliable=True`` for traffic
+        that must survive injected faults; when no transport is installed
+        (the default) it degrades to a plain :meth:`transfer`, so the
+        fault-free fast path is unchanged.
+        """
+        if reliable and self.reliable is not None:
+            return self.reliable.send(
+                src, dst, nbytes, on_delivered, rx_extra=rx_extra
+            )
+        return self.transfer(src, dst, nbytes, on_delivered, rx_extra=rx_extra)

@@ -7,6 +7,18 @@ can catch library failures without catching programming errors.
 from __future__ import annotations
 
 
+def _blocked_detail(
+    blocked: dict[int, str], last_progress: dict[int, float] | None
+) -> str:
+    parts = []
+    for r, why in sorted(blocked.items()):
+        if last_progress is not None and r in last_progress:
+            parts.append(f"rank {r}: {why} (last progress t={last_progress[r]:.9g})")
+        else:
+            parts.append(f"rank {r}: {why}")
+    return "; ".join(parts)
+
+
 class ReproError(Exception):
     """Base class for every error raised by the repro library."""
 
@@ -23,16 +35,70 @@ class DeadlockError(SimulationError):
     blocked:
         Mapping of rank -> human-readable description of the call the rank
         is blocked in (e.g. ``"event_wait(event#2)"``).
+    now:
+        Virtual time at which the engine detected quiescence (None for
+        hand-constructed instances).
+    last_progress:
+        Mapping of rank -> virtual time that rank last resumed execution.
     """
 
-    def __init__(self, blocked: dict[int, str]):
+    def __init__(
+        self,
+        blocked: dict[int, str],
+        *,
+        now: float | None = None,
+        last_progress: dict[int, float] | None = None,
+    ):
         self.blocked = dict(blocked)
-        detail = "; ".join(f"rank {r}: {why}" for r, why in sorted(blocked.items()))
-        super().__init__(f"deadlock: all live images are blocked ({detail})")
+        self.now = now
+        self.last_progress = dict(last_progress) if last_progress else {}
+        detail = _blocked_detail(self.blocked, self.last_progress or None)
+        at = f" at t={now:.9g}" if now is not None else ""
+        super().__init__(f"deadlock{at}: all live images are blocked ({detail})")
+
+
+class SimTimeoutError(SimulationError):
+    """``Engine.run(deadline=...)`` hit the watchdog deadline.
+
+    Carries the same per-rank diagnostics as :class:`DeadlockError`: which
+    call each unfinished rank is blocked in, and when it last made
+    progress. Raised when injected faults (dropped messages, crashed
+    images) stall the program but retransmission timers keep the event
+    heap non-empty, so plain deadlock detection never fires.
+    """
+
+    def __init__(
+        self,
+        deadline: float,
+        blocked: dict[int, str],
+        *,
+        last_progress: dict[int, float] | None = None,
+    ):
+        self.deadline = deadline
+        self.blocked = dict(blocked)
+        self.last_progress = dict(last_progress) if last_progress else {}
+        detail = _blocked_detail(self.blocked, self.last_progress or None)
+        super().__init__(
+            f"virtual-time deadline {deadline:.9g}s exceeded; "
+            f"unfinished: {detail or 'none (daemon events only)'}"
+        )
 
 
 class MpiError(ReproError):
     """An MPI routine was invoked with invalid arguments or in a bad state."""
+
+
+class MpiProcFailedError(MpiError):
+    """ULFM-style MPI_ERR_PROC_FAILED: the operation touched a dead rank.
+
+    ``failed_rank`` is the *world* rank of the failed process.
+    """
+
+    def __init__(self, failed_rank: int, message: str | None = None):
+        self.failed_rank = failed_rank
+        super().__init__(
+            message or f"operation involves failed process (world rank {failed_rank})"
+        )
 
 
 class GasnetError(ReproError):
@@ -41,3 +107,18 @@ class GasnetError(ReproError):
 
 class CafError(ReproError):
     """A CAF runtime operation was invoked incorrectly."""
+
+
+class ImageFailedError(CafError):
+    """A CAF operation named an image that has crashed.
+
+    ``failed_image`` is the world rank of the dead image.
+    """
+
+    def __init__(self, failed_image: int, message: str | None = None):
+        self.failed_image = failed_image
+        super().__init__(message or f"image {failed_image} has failed")
+
+
+class CafTimeoutError(CafError):
+    """A CAF wait with ``timeout=`` expired before its condition held."""

@@ -1,6 +1,5 @@
 """RandomAccess: routing correctness against the serial reference."""
 
-import numpy as np
 import pytest
 
 from repro.apps.randomaccess import (

@@ -1,0 +1,114 @@
+"""Image crashes surfacing at the CAF level, on both backends."""
+
+import numpy as np
+import pytest
+
+from repro.caf import run_caf
+from repro.sim.faults import FaultPlan
+from repro.util.errors import CafError, CafTimeoutError, ImageFailedError
+
+CRASH_AT = 2e-3
+VICTIM = 3
+
+
+def _crash_run(program, backend, nranks=4):
+    return run_caf(
+        program,
+        nranks,
+        backend=backend,
+        faults=FaultPlan(seed=1, crashes=[(VICTIM, CRASH_AT)]),
+    )
+
+
+def test_crash_surfaces_everywhere(backend):
+    """Survivors observe the dead image through every CAF surface: the
+    failure query, eager errors on operations naming it, and a bounded
+    event wait instead of a hang."""
+
+    def program(img):
+        co = img.allocate_coarray(4, np.float64)
+        ev = img.allocate_events(2)
+        img.sync_all()
+        if img.rank == VICTIM:
+            img.compute(seconds=1.0)  # killed long before this finishes
+            return "unreachable"
+        img.compute(seconds=3 * CRASH_AT)  # let the crash land
+        out = {"failed": img.failed_images()}
+        for label, op in [
+            ("write", lambda: co.write(VICTIM, np.ones(4))),
+            ("read", lambda: co.read(VICTIM)),
+            ("notify", lambda: ev.notify(VICTIM)),
+            ("spawn", lambda: img.spawn(VICTIM, lambda im: None)),
+            ("sync_images", lambda: img.sync_images([VICTIM])),
+        ]:
+            with pytest.raises(ImageFailedError) as exc_info:
+                op()
+            out[label] = exc_info.value.failed_image
+        # The dead image was this slot's notifier: the wait times out
+        # instead of hanging the survivor forever.
+        try:
+            ev.wait(slot=0, timeout=1e-3)
+            out["wait"] = "posted"
+        except CafTimeoutError:
+            out["wait"] = "timeout"
+        return out
+
+    result = _crash_run(program, backend)
+    assert result.cluster.failed_ranks == {VICTIM}
+    assert result.results[VICTIM] is None  # crashed before returning
+    for rank, out in enumerate(result.results):
+        if rank == VICTIM:
+            continue
+        assert out["failed"] == [VICTIM]
+        for label in ("write", "read", "notify", "spawn", "sync_images"):
+            assert out[label] == VICTIM  # error identifies the failed rank
+        assert out["wait"] == "timeout"
+
+
+def test_event_wait_timeout_consumes_nothing(backend):
+    def program(img):
+        ev = img.allocate_events(1)
+        img.sync_all()
+        try:
+            ev.wait(slot=0, count=2, timeout=1e-4)
+        except CafTimeoutError:
+            pass
+        # A post arriving after the timeout is still there to consume.
+        if img.rank == 0:
+            ev.notify(1)
+        img.sync_all()
+        if img.rank == 1:
+            ev.wait(slot=0, count=1, timeout=1.0)  # already posted: no timeout
+            assert ev.count(0) == 0  # ...and the post was consumed
+        return True
+
+    run = run_caf(program, 2, backend=backend)
+    assert all(run.results)
+
+
+def test_event_wait_timeout_satisfied_before_expiry(backend):
+    def program(img):
+        ev = img.allocate_events(1)
+        img.sync_all()
+        if img.rank == 0:
+            img.compute(seconds=1e-4)
+            ev.notify(1)
+        elif img.rank == 1:
+            ev.wait(slot=0, timeout=10.0)  # arrives well before the timeout
+        img.sync_all()
+        return img.now
+
+    run = run_caf(program, 2, backend=backend)
+    # Nobody waited out the 10-second timer: the run ends at wire speed.
+    assert all(t < 0.1 for t in run.results)
+
+
+def test_negative_timeout_rejected(backend):
+    def program(img):
+        ev = img.allocate_events(1)
+        img.sync_all()
+        with pytest.raises(CafError):
+            ev.wait(slot=0, timeout=-1.0)
+        return True
+
+    assert all(run_caf(program, 2, backend=backend).results)

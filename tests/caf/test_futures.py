@@ -1,7 +1,6 @@
 """Function-shipping futures."""
 
 import numpy as np
-import pytest
 
 from repro.caf import run_caf
 from repro.util.errors import CafError

@@ -22,6 +22,7 @@ QUICK_IDS = [
     "abl_event",
     "abl_eager",
     "abl_decomp",
+    "abl_faults",
 ]
 
 

@@ -1,0 +1,107 @@
+"""ULFM-style failure handling: MpiProcFailedError, failed_ranks, shrink."""
+
+import numpy as np
+import pytest
+
+from repro.mpi.world import MpiWorld
+from repro.sim.cluster import Cluster
+from repro.sim.faults import FaultPlan
+from repro.sim.network import MachineSpec
+from repro.util.errors import MpiError, MpiProcFailedError
+
+CRASH_AT = 2e-3
+VICTIM = 3
+
+
+def crash_run(program, nranks=4):
+    cluster = Cluster(
+        nranks,
+        MachineSpec(name="test"),
+        faults=FaultPlan(seed=1, crashes=[(VICTIM, CRASH_AT)]),
+    )
+
+    def wrapper(ctx):
+        mpi = MpiWorld.get(ctx.cluster).init(ctx)
+        return program(mpi, ctx)
+
+    return cluster, cluster.run(wrapper)
+
+
+def test_operations_on_failed_rank_raise_proc_failed():
+    def program(mpi, ctx):
+        comm = mpi.COMM_WORLD
+        comm.barrier()
+        if ctx.rank == VICTIM:
+            ctx.proc.sleep(1.0)
+            return "unreachable"
+        ctx.proc.sleep(3 * CRASH_AT)
+        out = {"failed": comm.failed_ranks()}
+        buf = np.zeros(4)
+        for label, op in [
+            ("send", lambda: comm.send(np.ones(4), VICTIM)),
+            ("recv", lambda: comm.recv(buf, VICTIM)),
+            ("isend", lambda: comm.isend(np.ones(4), VICTIM)),
+        ]:
+            with pytest.raises(MpiProcFailedError) as exc_info:
+                op()
+            out[label] = exc_info.value.failed_rank
+        return out
+
+    cluster, results = crash_run(program)
+    assert cluster.failed_ranks == {VICTIM}
+    for rank, out in enumerate(results):
+        if rank == VICTIM:
+            continue
+        assert out["failed"] == [VICTIM]
+        assert out["send"] == out["recv"] == out["isend"] == VICTIM
+
+
+def test_proc_failed_is_an_mpi_error():
+    assert issubclass(MpiProcFailedError, MpiError)
+    exc = MpiProcFailedError(5)
+    assert exc.failed_rank == 5
+    assert "5" in str(exc)
+
+
+def test_rma_on_failed_rank_raises_eagerly():
+    def program(mpi, ctx):
+        win = mpi.win_allocate(shape=4, dtype=np.float64)
+        win.lock_all()
+        mpi.COMM_WORLD.barrier()
+        if ctx.rank == VICTIM:
+            ctx.proc.sleep(1.0)
+            return None
+        ctx.proc.sleep(3 * CRASH_AT)
+        with pytest.raises(MpiProcFailedError) as exc_info:
+            win.put(np.ones(4), VICTIM)
+        with pytest.raises(MpiProcFailedError):
+            win.get(np.zeros(4), VICTIM)
+        return exc_info.value.failed_rank
+
+    _, results = crash_run(program)
+    assert all(r == VICTIM for i, r in enumerate(results) if i != VICTIM)
+
+
+def test_shrink_yields_a_working_survivor_comm():
+    def program(mpi, ctx):
+        comm = mpi.COMM_WORLD
+        comm.barrier()
+        if ctx.rank == VICTIM:
+            ctx.proc.sleep(1.0)
+            return None
+        ctx.proc.sleep(3 * CRASH_AT)
+        small = comm.shrink()
+        assert small.size == comm.size - 1
+        assert small.failed_ranks() == []
+        # The shrunken communicator is fully functional: a collective
+        # over the survivors completes and computes the right value.
+        send = np.array([float(comm.rank)])
+        recv = np.zeros(1)
+        small.allreduce(send, recv)
+        return (small.rank, recv[0])
+
+    _, results = crash_run(program)
+    survivors = [r for i, r in enumerate(results) if i != VICTIM]
+    expected_sum = sum(i for i in range(4) if i != VICTIM)
+    assert sorted(rank for rank, _ in survivors) == [0, 1, 2]
+    assert all(total == expected_sum for _, total in survivors)

@@ -1,0 +1,187 @@
+"""Fault injection: plan validation, determinism, and fabric semantics."""
+
+import math
+
+import pytest
+
+from repro.sim.cluster import Cluster
+from repro.sim.engine import Engine
+from repro.sim.faults import FaultDecision, FaultPlan
+from repro.sim.network import MachineSpec, NetFabric
+from repro.util.errors import SimulationError
+
+
+def make_spec(**kw):
+    defaults = dict(
+        name="test",
+        latency=1e-6,
+        bandwidth=1e9,
+        header_bytes=0,
+        tx_msg_overhead=0.0,
+        rx_msg_overhead=0.0,
+        loopback_latency=1e-7,
+        ranks_per_node=1,
+        mem_copy_bw=1e10,
+    )
+    defaults.update(kw)
+    return MachineSpec(**defaults)
+
+
+# -- plan validation ----------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        dict(drop_rate=-0.1),
+        dict(drop_rate=1.5),
+        dict(corrupt_rate=2.0),
+        dict(drop_rate=0.6, dup_rate=0.6),  # rates sum past 1
+        dict(delay_jitter=-1e-6),
+        dict(dup_lag=-1e-6),
+        dict(crashes=[(0, -1.0)]),
+        dict(crashes=[(-1, 0.5)]),
+    ],
+)
+def test_bad_plans_rejected(kwargs):
+    with pytest.raises(SimulationError):
+        FaultPlan(seed=1, **kwargs)
+
+
+def test_crash_rank_out_of_range_rejected_by_cluster():
+    plan = FaultPlan(seed=1, crashes=[(7, 1e-3)])
+    with pytest.raises(SimulationError):
+        Cluster(4, make_spec(), faults=plan)
+
+
+def test_inactive_plan_draws_clean_without_consuming_rng():
+    plan = FaultPlan(seed=3)
+    assert not plan.active
+    decisions = [plan.draw(0, 1, 100) for _ in range(5)]
+    assert all(d == FaultDecision() for d in decisions)
+    assert plan.drawn == 5
+
+
+# -- determinism --------------------------------------------------------------
+
+
+def test_same_seed_same_decision_sequence():
+    def draws():
+        plan = FaultPlan(seed=42, drop_rate=0.2, dup_rate=0.2, delay_rate=0.2)
+        return [plan.draw(0, 1, 64) for _ in range(200)]
+
+    seq1, seq2 = draws(), draws()
+    assert seq1 == seq2
+    # ...and the sequence actually exercises every fault kind at these rates.
+    assert any(d.drop for d in seq1)
+    assert any(d.duplicate for d in seq1)
+    assert any(d.extra_delay > 0 for d in seq1)
+
+
+def test_reset_rewinds_the_stream():
+    plan = FaultPlan(seed=7, drop_rate=0.5)
+    first = [plan.draw(0, 1, 8) for _ in range(50)]
+    plan.reset()
+    assert plan.drawn == 0
+    assert [plan.draw(0, 1, 8) for _ in range(50)] == first
+
+
+def test_different_seeds_differ():
+    p1 = FaultPlan(seed=1, drop_rate=0.5)
+    p2 = FaultPlan(seed=2, drop_rate=0.5)
+    pairs = [(p1.draw(0, 1, 8), p2.draw(0, 1, 8)) for _ in range(100)]
+    assert any(a != b for a, b in pairs)
+
+
+# -- fabric integration -------------------------------------------------------
+
+
+def _run_transfers(plan, n, nbytes=1000):
+    eng = Engine()
+    fabric = NetFabric(eng, 2, make_spec())
+    fabric.faults = plan
+    delivered = []
+
+    def body(p):
+        for i in range(n):
+            fabric.transfer(0, 1, nbytes, lambda i=i: delivered.append((i, eng.now)))
+        p.sleep(10.0)
+
+    eng.spawn(body)
+    eng.run()
+    return fabric, delivered
+
+
+def test_dropped_messages_never_deliver_and_return_inf():
+    plan = FaultPlan(seed=5, drop_rate=1.0)
+    eng = Engine()
+    fabric = NetFabric(eng, 2, make_spec())
+    fabric.faults = plan
+    times = []
+
+    def body(p):
+        times.append(fabric.transfer(0, 1, 100, lambda: times.append("delivered")))
+        p.sleep(1.0)
+
+    eng.spawn(body)
+    eng.run()
+    assert times == [math.inf]
+    assert fabric.dropped == 1
+
+
+def test_duplicate_messages_deliver_twice():
+    plan = FaultPlan(seed=5, dup_rate=1.0)
+    fabric, delivered = _run_transfers(plan, 3)
+    assert fabric.duplicated == 3
+    assert len(delivered) == 6
+    # Each message's two copies arrive at distinct times.
+    for i in range(3):
+        t = [when for j, when in delivered if j == i]
+        assert len(t) == 2 and t[0] < t[1]
+
+
+def test_delayed_messages_arrive_later_than_clean_ones():
+    clean_fabric, clean = _run_transfers(None, 1)
+    plan = FaultPlan(seed=5, delay_rate=1.0, delay_jitter=1e-3)
+    fabric, delayed = _run_transfers(plan, 1)
+    assert fabric.delayed == 1
+    assert delayed[0][1] > clean[0][1]
+
+
+def test_corruption_counts_separately_but_discards():
+    plan = FaultPlan(seed=5, corrupt_rate=1.0)
+    fabric, delivered = _run_transfers(plan, 4)
+    assert delivered == []
+    assert fabric.corrupted == 4
+    assert fabric.dropped == 0
+
+
+def test_fault_free_run_is_bit_identical_with_and_without_plan():
+    """faults=None and an all-zero plan must cost exactly the same."""
+    _, clean = _run_transfers(None, 5)
+    _, planned = _run_transfers(FaultPlan(seed=9), 5)
+    assert clean == planned
+
+
+# -- scheduled crashes through the cluster ------------------------------------
+
+
+def test_scheduled_crash_stops_a_rank_and_records_it():
+    log = []
+
+    def program(ctx):
+        for step in range(10):
+            ctx.proc.sleep(1e-3)
+            log.append((ctx.rank, step))
+        return ctx.rank
+
+    cluster = Cluster(
+        2, make_spec(), faults=FaultPlan(seed=1, crashes=[(1, 3.5e-3)])
+    )
+    results = cluster.run(program)
+    assert cluster.failed_ranks == {1}
+    assert results[0] == 0
+    assert results[1] is None  # crashed before returning
+    rank1_steps = [s for r, s in log if r == 1]
+    assert rank1_steps == [0, 1, 2]  # died mid-run, after t=3.5ms
+    assert [s for r, s in log if r == 0] == list(range(10))
