@@ -198,7 +198,16 @@ class GasnetBackend(RuntimeBackend):
 
     def local_view(self, storage: _CoarrayStorage) -> np.ndarray:
         start, nbytes = storage.byte_range(storage.team.my_index, 0, storage.nelems)
-        return self.gasnet.segment[start : start + nbytes].view(storage.dtype)
+        seg = self.gasnet.segment
+        view = seg[start : start + nbytes].view(storage.dtype)
+        san = self.ctx.cluster.sanitizer
+        if san is not None:
+            from repro.sanitizer.view import tracked_view
+
+            return tracked_view(
+                view, san, ("seg", self.ctx.rank), self.ctx.rank, base=seg
+            )
+        return view
 
     def coarray_write(self, storage: _CoarrayStorage, target: int, offset: int, data: np.ndarray) -> None:
         target_world = storage.team.world_rank(target)
@@ -225,6 +234,14 @@ class GasnetBackend(RuntimeBackend):
             seg = self.gasnet.segment_of(target_world)
             raw = np.ascontiguousarray(data).reshape(-1).view(np.uint8)
             seg[start : start + raw.nbytes] = raw
+            san = self.ctx.cluster.sanitizer
+            if san is not None:
+                # Handler runs on the target after merging the sender clock,
+                # so this write is ordered like a local store there.
+                san.record_local(
+                    target_world, ("seg", target_world),
+                    [(start, start + raw.nbytes)], "am-write",
+                )
 
             def ack() -> None:
                 acks[0] += 1
@@ -291,6 +308,12 @@ class GasnetBackend(RuntimeBackend):
                 seg = self.gasnet.segment_of(target_world)
                 raw = np.ascontiguousarray(data).reshape(-1).view(np.uint8)
                 seg[start : start + raw.nbytes] = raw
+                san = self.ctx.cluster.sanitizer
+                if san is not None:
+                    san.record_local(
+                        target_world, ("seg", target_world),
+                        [(start, start + raw.nbytes)], "am-write",
+                    )
                 backends = self.ctx.cluster.shared("caf-gasnet-backends", dict)
                 backends[target_world]._event_registry[event_id].post(slot)
                 handle.remote.fire()
@@ -343,6 +366,10 @@ class GasnetBackend(RuntimeBackend):
         self._outstanding_gets = []
         self.gasnet.wait_syncnb_all(outstanding)
         target_world = storage.team.world_rank(target)
+        san = self.ctx.cluster.sanitizer
+        if san is not None:
+            # Handles synced above: our snapshot dominates every completed op.
+            san.event_notified(self.ctx.rank, (storage.event_id, target_world, slot))
         self.gasnet.am_request_short(
             target_world, H_EVENT_POST, storage.event_id, slot
         )

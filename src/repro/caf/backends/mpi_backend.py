@@ -241,6 +241,17 @@ class MpiBackend(RuntimeBackend):
                 tbe = self._backends[target_world]
                 tb = win.state.buffers[target]
                 tb[offset : offset + data_copy.size] = data_copy
+                san = self.ctx.cluster.sanitizer
+                if san is not None:
+                    # AM handler runs on the target after the sender-clock
+                    # merge, so this lands like an ordered local store.
+                    item = tb.itemsize
+                    san.record_local(
+                        target_world,
+                        ("win", win.win_id, target_world),
+                        [(offset * item, (offset + data_copy.size) * item)],
+                        "am-write",
+                    )
                 tbe._event_registry[event_id].post(slot)
                 handle.remote.fire()
 
@@ -290,6 +301,11 @@ class MpiBackend(RuntimeBackend):
         if self.event_impl == "atomics":
             win = self.mpi.win_allocate(shape=nslots, dtype=np.int64, comm=team.handle)
             win.lock_all()
+            san = self.ctx.cluster.sanitizer
+            if san is not None:
+                # Runtime-internal counter storage: the busy-poll reads and
+                # accumulate notifies are synchronization, not data accesses.
+                san.exempt_window(win.win_id)
             storage: EventStorage = _AtomicEventStorage(
                 self, event_id, team, nslots, win
             )
@@ -330,6 +346,11 @@ class MpiBackend(RuntimeBackend):
     def event_notify(self, storage: EventStorage, target: int, slot: int) -> None:
         self._release_barrier()
         target_world = storage.team.world_rank(target)
+        san = self.ctx.cluster.sanitizer
+        if san is not None:
+            # The release barrier above makes everything we did so far
+            # happen-before the matching consumed wait on the target.
+            san.event_notified(self.ctx.rank, (storage.event_id, target_world, slot))
         if isinstance(storage, _AtomicEventStorage):
             # §3.4 approach 1: MPI_FETCH_AND_OP-style one-sided increment.
             storage.win.accumulate(

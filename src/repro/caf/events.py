@@ -62,6 +62,14 @@ class EventArray:
         for cb in self._subscribers.pop(slot, []):
             cb()
 
+    def _san_consumed(self, slot: int, count: int) -> None:
+        """Sanitized runs: a consumed wait is the happens-before edge from
+        every matching notify (the notifier's clock merges into ours)."""
+        san = self.img.ctx.cluster.sanitizer
+        if san is not None:
+            me = self.img.ctx.rank
+            san.event_consumed(me, (self.storage.event_id, me, slot), count)
+
     # -- waiting --------------------------------------------------------------
 
     def wait(self, slot: int = 0, count: int = 1, *, timeout: float | None = None) -> None:
@@ -75,6 +83,7 @@ class EventArray:
         if timeout is None:
             with self.img.profile("event_wait"):
                 self.img.backend.event_wait(self.storage, slot, count)
+            self._san_consumed(slot, count)
             return
         if timeout < 0:
             raise CafError(f"event_wait timeout must be >= 0, got {timeout!r}")
@@ -95,6 +104,7 @@ class EventArray:
         have = backend.event_count(self.storage, slot)
         if have >= count:
             backend.event_consume(self.storage, slot, count)
+            self._san_consumed(slot, count)
             return
         raise CafTimeoutError(
             f"event_wait(slot={slot}) timed out after {timeout}s "
@@ -108,6 +118,7 @@ class EventArray:
         backend.poll()
         if backend.event_count(self.storage, slot) >= count:
             backend.event_consume(self.storage, slot, count)
+            self._san_consumed(slot, count)
             return True
         return False
 

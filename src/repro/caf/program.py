@@ -67,6 +67,12 @@ class CafRun:
     def tracer(self):
         return self.cluster.tracer
 
+    @property
+    def sanitizer(self):
+        """The run's :class:`~repro.sanitizer.Sanitizer` (None unless
+        ``sanitize=True``); its ``report`` holds the diagnostics."""
+        return self.cluster.sanitizer
+
 
 def run_caf(
     program: Callable[..., Any],
@@ -80,6 +86,7 @@ def run_caf(
     faults: FaultPlan | None = None,
     reliable: bool = False,
     deadline: float | None = None,
+    sanitize: bool = False,
     **program_kwargs: Any,
 ) -> CafRun:
     """Run ``program(img, **program_kwargs)`` on ``nranks`` images.
@@ -93,11 +100,18 @@ def run_caf(
     ``reliable=True`` arms the ack/retransmit transport so lossy runs still
     deliver exactly once; ``deadline`` arms the engine watchdog, turning a
     fault-induced hang into :class:`~repro.util.errors.SimTimeoutError`.
+
+    ``sanitize=True`` runs the program under the happens-before checker
+    (see :mod:`repro.sanitizer`); diagnostics land on
+    ``run.sanitizer.report`` and the virtual timeline is unchanged.
     """
     if backend not in BACKENDS:
         raise CafError(f"unknown backend {backend!r}; choose from {sorted(BACKENDS)}")
     spec = spec or MachineSpec(name="generic")
-    cluster = Cluster(nranks, spec, seed=sim_seed, faults=faults, reliable=reliable)
+    cluster = Cluster(
+        nranks, spec, seed=sim_seed, faults=faults, reliable=reliable,
+        sanitize=sanitize,
+    )
     if trace:
         cluster.tracer.enable()
     backend_cls = BACKENDS[backend]

@@ -19,11 +19,36 @@ segment tops). Completion signalling is conduit-dependent
 
 from __future__ import annotations
 
+import functools
+
 import numpy as np
 
 from repro.gasnet.core import GasnetRank
 from repro.gasnet.segment import SegmentAllocator
 from repro.util.errors import GasnetError
+
+
+def _collective(fn):
+    """Sanitizer bracket for a team collective.
+
+    The body's puts and flag-spins follow the collective's own internal
+    protocol (arena landing zones, monotone markers, drain rounds), so
+    per-access checking would only flag its deliberate flag races: record
+    nothing inside. The collective's *semantics* — every member's history
+    happened-before every exit — become one conservative clock merge.
+    """
+
+    @functools.wraps(fn)
+    def wrapper(self, *args, **kwargs):
+        san = self.gasnet.ctx.cluster.sanitizer
+        if san is None:
+            return fn(self, *args, **kwargs)
+        with san.exempt():
+            out = fn(self, *args, **kwargs)
+        san.on_collective(self.gasnet.rank, self.members)
+        return out
+
+    return wrapper
 
 #: AM handler index space reserved for team signal handlers.
 TEAM_SIGNAL_HANDLER_BASE = 1 << 16
@@ -166,6 +191,7 @@ class TeamExchange:
 
     # -- collectives ------------------------------------------------------------------
 
+    @_collective
     def barrier(self) -> None:
         """Dissemination barrier from short AMs.
 
@@ -186,6 +212,7 @@ class TeamExchange:
             k <<= 1
             round_no += 1
 
+    @_collective
     def broadcast(self, buf, root_index: int = 0) -> None:
         """Binomial broadcast: puts into the arena + AM signals."""
         seq = self._next_seq()
@@ -221,6 +248,7 @@ class TeamExchange:
         self.barrier()
         self._arena_release(marker)
 
+    @_collective
     def reduce(self, sendbuf, recvbuf, op, root_index: int = 0) -> None:
         """Gather-to-root into landing slots, then combine at the root.
 
@@ -262,11 +290,13 @@ class TeamExchange:
             self._wait_signals(seq, 1, round_no=1)
         self._arena_release(marker)
 
+    @_collective
     def allreduce(self, sendbuf, recvbuf, op, root_index: int = 0) -> None:
         recv = np.asarray(recvbuf)
         self.reduce(sendbuf, recv, op, root_index)
         self.broadcast(recv, root_index)
 
+    @_collective
     def allgather(self, sendbuf, recvbuf) -> None:
         """Everyone puts its block into everyone's landing zone (naive)."""
         send = np.ascontiguousarray(np.asarray(sendbuf)).reshape(-1)
@@ -294,6 +324,7 @@ class TeamExchange:
         self._finish_exchange(seq)
         self._arena_release(marker)
 
+    @_collective
     def alltoall(self, sendbuf, recvbuf) -> None:
         """Naive all-to-all: put chunk j to peer j in ascending rank order.
 

@@ -39,6 +39,8 @@ class Handle:
 
     kind: str
     event: SimEvent = field(default_factory=lambda: SimEvent("gasnet-handle"))
+    #: Sanitizer shadow records released when this handle is synced.
+    records: list = field(default_factory=list)
 
     @property
     def done(self) -> bool:
@@ -68,6 +70,9 @@ class _QueuedAM:
     dest_offset: int | None  # long AM landing offset (data already in segment)
     nbytes: int
     is_reply: bool = False  # replies do not return a flow-control credit
+    #: Sender's vector-clock snapshot (sanitized runs): the handler run at
+    #: the target is a happens-before edge from the injection.
+    clock: tuple | None = None
 
 
 class GasnetWorld:
@@ -243,6 +248,9 @@ class GasnetRank:
             nbytes=nbytes,
             is_reply=is_reply,
         )
+        san = self.ctx.cluster.sanitizer
+        if san is not None:
+            qam.clock = san.snapshot(self.rank)
 
         def on_delivered() -> None:
             if qam.dest_offset is not None and qam.payload is not None:
@@ -319,6 +327,11 @@ class GasnetRank:
             handler = self.handlers.get(qam.handler_idx)
             if handler is None:
                 raise GasnetError(f"no handler registered at index {qam.handler_idx}")
+            san = self.ctx.cluster.sanitizer
+            if san is not None:
+                # Running the handler is the synchronization edge: the
+                # sender's history happened-before this (logical) rank.
+                san.merge(self.rank, qam.clock)
             token = Token(src=qam.src, gasnet=self)
             if qam.dest_offset is not None:
                 handler(token, qam.dest_offset, qam.nbytes, *qam.args)
@@ -373,6 +386,31 @@ class GasnetRank:
                 continue  # more AMs this caller may handle arrived mid-poll
             self.activity.wait_geq(self.ctx.proc, seen + 1, reason=reason)
 
+    # -- sanitizer plumbing ------------------------------------------------
+
+    def _san_track(
+        self, handle: Handle, owner: int, ranges, op: str, *, is_write: bool
+    ) -> None:
+        """Record an RDMA access against ``owner``'s segment; the record
+        releases when the handle is synced (wait_syncnb[_all])."""
+        san = self.ctx.cluster.sanitizer
+        if san is None:
+            return
+        rec = san.record_remote(
+            self.rank, ("seg", owner), ranges, op, is_write=is_write
+        )
+        if rec is not None:
+            handle.records.append(rec)
+
+    def _san_release(self, handles) -> None:
+        san = self.ctx.cluster.sanitizer
+        if san is None:
+            return
+        for handle in handles:
+            if handle.records:
+                san.release_records(handle.records)
+                handle.records = []
+
     # -- one-sided RDMA ---------------------------------------------------------
 
     def put_nb(self, dest: int, dest_offset: int, data) -> Handle:
@@ -384,6 +422,10 @@ class GasnetRank:
         spec = self.ctx.spec
         self.ctx.proc.sleep(spec.gasnet_put_overhead)
         handle = Handle(kind=f"put(dest={dest})")
+        self._san_track(
+            handle, dest, [(dest_offset, dest_offset + arr.nbytes)],
+            "put_nb", is_write=True,
+        )
         seg = self.segment_of(dest)
         me = self
         src = self.rank
@@ -420,6 +462,10 @@ class GasnetRank:
         spec = self.ctx.spec
         self.ctx.proc.sleep(spec.gasnet_get_overhead)
         handle = Handle(kind=f"get(src={src})")
+        self._san_track(
+            handle, src, [(src_offset, src_offset + nbytes)],
+            "get_nb", is_write=False,
+        )
         fabric = self.ctx.fabric
         me = self
 
@@ -457,6 +503,10 @@ class GasnetRank:
         self.ctx.proc.sleep(spec.gasnet_put_overhead + spec.copy_time(arr.nbytes))
         snapshot = arr.copy()
         handle = Handle(kind=f"put_runs(dest={dest})")
+        self._san_track(
+            handle, dest, [(int(off), int(off) + int(n)) for off, n in runs],
+            "put_runs_nb", is_write=True,
+        )
         seg = self.segment_of(dest)
         me = self
         src = self.rank
@@ -495,6 +545,10 @@ class GasnetRank:
         spec = self.ctx.spec
         self.ctx.proc.sleep(spec.gasnet_get_overhead)
         handle = Handle(kind=f"get_runs(src={src})")
+        self._san_track(
+            handle, src, [(int(off), int(off) + int(n)) for off, n in runs],
+            "get_runs_nb", is_write=False,
+        )
         fabric = self.ctx.fabric
         me = self
 
@@ -522,11 +576,13 @@ class GasnetRank:
     def wait_syncnb(self, handle: Handle) -> None:
         """gasnet_wait_syncnb: block (with AM progress) until the handle fires."""
         self.block_until(lambda: handle.done, f"wait_syncnb({handle.kind})")
+        self._san_release((handle,))
 
     def wait_syncnb_all(self, handles: list[Handle]) -> None:
         self.block_until(
             lambda: all(h.done for h in handles), "wait_syncnb_all"
         )
+        self._san_release(handles)
 
     def put(self, dest: int, dest_offset: int, data) -> None:
         """gasnet_put (blocking): returns when remotely complete."""

@@ -62,6 +62,9 @@ class _Envelope:
     data: np.ndarray | None  # eager payload (byte snapshot); None for RTS
     rendezvous: "_Rendezvous | None"
     seq: int = field(default_factory=lambda: next(_seq))
+    #: Sender's vector-clock snapshot (sanitized runs only): a completed
+    #: receive is a happens-before edge from send to receiver.
+    clock: tuple | None = None
 
 
 @dataclass
@@ -86,6 +89,9 @@ class _PostedRecv:
     buf: np.ndarray  # flat byte view of the user buffer
     request: Request
     seq: int = field(default_factory=lambda: next(_seq))
+    #: World rank of the receiver (recorded at post time — completion may
+    #: run under the *sender's* comm object, whose rank is not ours).
+    dst_world: int = -1
 
     def matches(self, env: _Envelope) -> bool:
         return _filters_match(self.src, self.tag, env)
@@ -124,6 +130,9 @@ def _complete_recv(comm: "Comm", posted: _PostedRecv, env: _Envelope, data: np.n
 
     def finish() -> None:
         posted.buf[: env.nbytes] = data[: env.nbytes]
+        san = comm.ctx.cluster.sanitizer
+        if san is not None and env.clock is not None and posted.dst_world >= 0:
+            san.merge(posted.dst_world, env.clock)
         posted.request.status.source = env.src
         posted.request.status.tag = env.tag
         posted.request.status.count = env.nbytes
@@ -181,11 +190,14 @@ def isend(comm: "Comm", matching: Matching, buf, dest: int, tag: int) -> Request
     src_world = comm.world_rank(comm.rank)
     dst_world = comm.world_rank(dest)
 
+    san = ctx.cluster.sanitizer
     eager = nbytes <= spec.mpi_eager_threshold
     if eager:
         # Copy into the library's eager buffer, inject, complete locally.
         ctx.proc.sleep(spec.mpi_p2p_overhead + spec.copy_time(nbytes))
         env = _Envelope(src=comm.rank, tag=tag, nbytes=nbytes, data=data, rendezvous=None)
+        if san is not None:
+            env.clock = san.snapshot(src_world)
         ctx.fabric.send(
             src_world,
             dst_world,
@@ -198,6 +210,8 @@ def isend(comm: "Comm", matching: Matching, buf, dest: int, tag: int) -> Request
         ctx.proc.sleep(spec.mpi_p2p_overhead)
         rv = _Rendezvous(payload=data, send_request=req, src_world=src_world)
         env = _Envelope(src=comm.rank, tag=tag, nbytes=nbytes, data=None, rendezvous=rv)
+        if san is not None:
+            env.clock = san.snapshot(src_world)
         ctx.fabric.send(
             src_world,
             dst_world,
@@ -216,7 +230,10 @@ def irecv(comm: "Comm", matching: Matching, buf, source: int, tag: int) -> Reque
         comm.check_peer(source)
     view = _as_bytes_view(buf if buf is not None else np.empty(0, np.uint8))
     req = Request(f"irecv(src={source},tag={tag})", ctx.proc)
-    posted = _PostedRecv(src=source, tag=tag, buf=view, request=req)
+    posted = _PostedRecv(
+        src=source, tag=tag, buf=view, request=req,
+        dst_world=comm.world_rank(comm.rank),
+    )
     ctx.proc.sleep(spec.mpi_p2p_overhead)
     # Search the unexpected queue in arrival order.
     queue = matching.unexpected[comm.rank]

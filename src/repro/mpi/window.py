@@ -149,12 +149,26 @@ class Window:
         if self.state.dynamic:
             raise MpiError("dynamic windows have no implicit local segment; "
                            "use the array passed to attach()")
+        san = self.ctx.cluster.sanitizer
         if self.state.memory_model == "separate":
             private = self.state.private_copies[self.rank]
             assert private is not None
+            if san is not None:
+                mask = self.state.rma_dirty_mask[self.rank]
+                if mask is not None and mask.any():
+                    san.win_sync_violation(
+                        self._world(self.rank),
+                        self.win_id,
+                        [(0, private.nbytes)],
+                    )
             return private
         buf = self.state.buffers[self.rank]
         assert buf is not None
+        if san is not None and not san.is_exempt_window(self.win_id):
+            from repro.sanitizer.view import tracked_view
+
+            world = self._world(self.rank)
+            return tracked_view(buf, san, ("win", self.win_id, world), world)
         return buf
 
     def sync(self) -> None:
@@ -294,6 +308,54 @@ class Window:
     def _world(self, comm_rank: int) -> int:
         return self.state.group[comm_rank]
 
+    # -- sanitizer plumbing (no-ops unless the cluster sanitizes) ----------
+
+    def _san_access(
+        self,
+        target: int,
+        elem_ranges,
+        op: str,
+        *,
+        is_write: bool,
+        atomic: bool = False,
+    ):
+        """Record one RMA access with the sanitizer; returns the shadow
+        record (released later at this op's synchronization point) or None.
+
+        Also checks the passive-target epoch contract: an op needs
+        lock_all, a lock on the target, or an open fence on the window.
+        """
+        san = self.ctx.cluster.sanitizer
+        if san is None:
+            return None
+        state = self.state
+        in_epoch = (
+            state.lock_all_held[self.rank]
+            or self.rank in state.locks[target]["holders"]
+            or self.win_id in san.fence_windows
+        )
+        target_world = self._world(target)
+        if not in_epoch:
+            san.epoch_violation(self._world(self.rank), op, self.win_id, target_world)
+        itemsize = self._dtype().itemsize
+        ranges = [(lo * itemsize, hi * itemsize) for lo, hi in elem_ranges]
+        return san.record_remote(
+            self._world(self.rank),
+            ("win", self.win_id, target_world),
+            ranges,
+            op,
+            is_write=is_write,
+            atomic=atomic,
+        )
+
+    def _san_release_on(self, req: Request, rec) -> None:
+        """Release ``rec`` when ``req`` completes (round-trip ops, whose
+        request completion *is* remote completion)."""
+        if rec is None:
+            return
+        san = self.ctx.cluster.sanitizer
+        req._event.subscribe(lambda: san.release_records((rec,)))
+
     # -- one-sided data movement ------------------------------------------------
 
     def put(self, data, target: int, offset: int = 0) -> None:
@@ -307,6 +369,9 @@ class Window:
         spec = self.ctx.spec
         self.ctx.proc.sleep(self._origin_overhead(spec.mpi_rma_overhead))
         self._op_started(target)
+        self._san_access(
+            target, [(offset, offset + arr.size)], "rput", is_write=True
+        )
         snapshot = arr.copy()
         req = Request(f"rput(win={self.win_id},target={target})", self.ctx.proc)
         origin = self.rank
@@ -353,7 +418,11 @@ class Window:
         spec = self.ctx.spec
         self.ctx.proc.sleep(self._origin_overhead(spec.mpi_rma_overhead))
         self._op_started(target)
+        rec = self._san_access(
+            target, [(offset, offset + count)], "rget", is_write=False
+        )
         req = Request(f"rget(win={self.win_id},target={target})", self.ctx.proc)
+        self._san_release_on(req, rec)
         origin = self.rank
         fabric = self.ctx.fabric
         engine = self.ctx.engine
@@ -397,6 +466,13 @@ class Window:
         spec = self.ctx.spec
         self.ctx.proc.sleep(self._origin_overhead(spec.mpi_atomic_overhead))
         self._op_started(target)
+        self._san_access(
+            target,
+            [(offset, offset + arr.size)],
+            "raccumulate",
+            is_write=True,
+            atomic=True,
+        )
         snapshot = arr.copy()
         req = Request(f"raccumulate(win={self.win_id},target={target})", self.ctx.proc)
         origin = self.rank
@@ -440,8 +516,16 @@ class Window:
         spec = self.ctx.spec
         self.ctx.proc.sleep(self._origin_overhead(spec.mpi_atomic_overhead))
         self._op_started(target)
+        rec = self._san_access(
+            target,
+            [(offset, offset + arr.size)],
+            "fetch_and_op",
+            is_write=True,
+            atomic=True,
+        )
         snapshot = arr.copy()
         req = Request(f"fetch_op(win={self.win_id},target={target})", self.ctx.proc)
+        self._san_release_on(req, rec)
         origin = self.rank
         fabric = self.ctx.fabric
         engine = self.ctx.engine
@@ -485,7 +569,12 @@ class Window:
         spec = self.ctx.spec
         self.ctx.proc.sleep(self._origin_overhead(spec.mpi_atomic_overhead))
         self._op_started(target)
+        rec = self._san_access(
+            target, [(offset, offset + 1)], "compare_and_swap",
+            is_write=True, atomic=True,
+        )
         req = Request(f"cas(win={self.win_id},target={target})", self.ctx.proc)
+        self._san_release_on(req, rec)
         origin = self.rank
         fabric = self.ctx.fabric
         engine = self.ctx.engine
@@ -555,6 +644,12 @@ class Window:
             self._origin_overhead(spec.mpi_rma_overhead) + spec.copy_time(arr.nbytes)
         )
         self._op_started(target)
+        self._san_access(
+            target,
+            [(int(off), int(off) + int(length)) for off, length in runs],
+            "put_runs",
+            is_write=True,
+        )
         snapshot = arr.copy()
         origin = self.rank
         engine = self.ctx.engine
@@ -596,7 +691,14 @@ class Window:
         spec = self.ctx.spec
         self.ctx.proc.sleep(self._origin_overhead(spec.mpi_rma_overhead))
         self._op_started(target)
+        rec = self._san_access(
+            target,
+            [(int(off), int(off) + int(length)) for off, length in runs],
+            "get_runs",
+            is_write=False,
+        )
         req = Request(f"get_runs(win={self.win_id},target={target})", self.ctx.proc)
+        self._san_release_on(req, rec)
         origin = self.rank
         fabric = self.ctx.fabric
         engine = self.ctx.engine
@@ -683,6 +785,13 @@ class Window:
         self._check_target(target, 0, 0)
         self.ctx.proc.sleep(self.ctx.spec.mpi_flush_overhead)
         req = Request(f"rflush(win={self.win_id},t={target})", self.ctx.proc)
+        san = self.ctx.cluster.sanitizer
+        if san is not None:
+            open_recs = san.open_window_records(
+                self.win_id, self._world(self.rank), self._world(target)
+            )
+            if open_recs:
+                req._event.subscribe(lambda: san.release_records(open_recs))
         self._when_quiet([target], req)
         return req
 
@@ -692,6 +801,11 @@ class Window:
         self.ctx.proc.sleep(self.ctx.spec.mpi_flush_all_idle)
         self.state.dirty[self.rank] = False
         req = Request(f"rflush_all(win={self.win_id})", self.ctx.proc)
+        san = self.ctx.cluster.sanitizer
+        if san is not None:
+            open_recs = san.open_window_records(self.win_id, self._world(self.rank))
+            if open_recs:
+                req._event.subscribe(lambda: san.release_records(open_recs))
         self._when_quiet(range(self.group_size), req)
         return req
 
@@ -720,6 +834,11 @@ class Window:
         self._check_target(target, 0, 0)
         self.ctx.proc.sleep(self.ctx.spec.mpi_flush_overhead)
         self._wait_target_quiet(target)
+        san = self.ctx.cluster.sanitizer
+        if san is not None:
+            san.release_window(
+                self.win_id, self._world(self.rank), self._world(target)
+            )
 
     def flush_all(self) -> None:
         """MPI_WIN_FLUSH_ALL — linear in group size when the epoch is active.
@@ -736,6 +855,9 @@ class Window:
             self.ctx.proc.sleep(spec.mpi_flush_all_idle)
         for target in range(self.group_size):
             self._wait_target_quiet(target)
+        san = self.ctx.cluster.sanitizer
+        if san is not None:
+            san.release_window(self.win_id, self._world(self.rank))
 
     def flush_local(self, target: int) -> None:
         """MPI_WIN_FLUSH_LOCAL: origin buffers reusable (ops may still be in
@@ -757,6 +879,11 @@ class Window:
 
     def fence(self) -> None:
         """MPI_WIN_FENCE (active target): flush + barrier."""
+        san = self.ctx.cluster.sanitizer
+        if san is not None:
+            # The window is fence-synchronized from here on: accesses in
+            # fence epochs are legal without passive-target locks.
+            san.fence_windows.add(self.win_id)
         self.flush_all()
         self.comm.barrier()
 
@@ -768,10 +895,12 @@ class Window:
             for base in list(self.state.regions[self.rank]):
                 self.detach(base)
         else:
+            buf = self.state.buffers[self.rank]
+            assert buf is not None
             self.ctx.memory.free(
                 self.ctx.rank,
                 f"mpi/win{self.win_id}",
-                self.local.nbytes,
+                buf.nbytes,
             )
         if self.rank == 0:
             self.state.freed = True

@@ -1,0 +1,134 @@
+"""Diagnostics, the per-run report, and call-site extraction.
+
+A :class:`Diagnostic` is one flagged contract violation; the
+:class:`SanitizerReport` collects them for a run, deduplicating repeats
+of the same (kind, region, site-pair) so a racy loop produces one entry
+with a count rather than thousands.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from dataclasses import dataclass, field
+
+#: Path fragments identifying runtime-internal frames that a diagnostic
+#: should never point at. Application code (``repro/apps``) and tests are
+#: deliberately *not* listed.
+_RUNTIME_PARTS = (
+    "repro/sim/",
+    "repro/mpi/",
+    "repro/gasnet/",
+    "repro/caf/",
+    "repro/sanitizer/",
+)
+
+
+def call_site() -> str:
+    """The innermost *application* frame, as ``file.py:NN in func``.
+
+    Walks outward past runtime and stdlib frames so a report points at the
+    user's ``A.write(...)`` line, not at the window implementation.
+    """
+    frame = sys._getframe(1)
+    fallback = None
+    while frame is not None:
+        fname = frame.f_code.co_filename.replace("\\", "/")
+        label = f"{os.path.basename(fname)}:{frame.f_lineno} in {frame.f_code.co_name}"
+        if fallback is None:
+            fallback = label
+        runtime = any(part in fname for part in _RUNTIME_PARTS)
+        stdlib = fname.endswith("/threading.py") or fname.startswith("<")
+        if not runtime and not stdlib:
+            return label
+        frame = frame.f_back
+    return fallback or "<unknown>"
+
+
+def region_str(region: tuple) -> str:
+    """Human name for a shadow-state region key."""
+    if region[0] == "win":
+        return f"window {region[1]} memory at rank {region[2]}"
+    if region[0] == "seg":
+        return f"segment of rank {region[1]}"
+    return repr(region)
+
+
+@dataclass
+class Diagnostic:
+    """One flagged violation.
+
+    ``kind`` is one of ``race`` (conflicting accesses with no
+    happens-before edge), ``overlap`` (overlapping in-flight puts),
+    ``unflushed-read`` (reading a put target before the put's flush),
+    ``epoch`` (RMA outside a passive-target epoch), ``win-sync`` (missing
+    WIN_SYNC in the separate memory model), or ``lost-notify`` (an
+    event_notify no wait ever consumed).
+    """
+
+    kind: str
+    message: str
+    rank: int
+    time: float
+    region: tuple | None = None
+    ranges: tuple = ()
+    site: str = ""
+    other_site: str = ""
+    other_rank: int | None = None
+    count: int = 1
+
+    def format(self) -> str:
+        lines = [f"[{self.kind}] rank {self.rank} @ t={self.time:.9f}: {self.message}"]
+        if self.region is not None:
+            lines.append(f"    region: {region_str(self.region)}")
+        if self.ranges:
+            spans = ", ".join(f"[{a}, {b})" for a, b in self.ranges)
+            lines.append(f"    bytes:  {spans}")
+        if self.site:
+            lines.append(f"    access: {self.site}")
+        if self.other_site:
+            who = "" if self.other_rank is None else f" (rank {self.other_rank})"
+            lines.append(f"    other:  {self.other_site}{who}")
+        if self.count > 1:
+            lines.append(f"    repeats: x{self.count}")
+        return "\n".join(lines)
+
+
+@dataclass
+class SanitizerReport:
+    """All diagnostics from one sanitized run, plus instrumentation stats."""
+
+    nranks: int
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+    stats: dict = field(default_factory=dict)
+    _dedup: dict = field(default_factory=dict, repr=False)
+
+    def add(self, diag: Diagnostic) -> None:
+        key = (diag.kind, diag.region, diag.site, diag.other_site)
+        prior = self._dedup.get(key)
+        if prior is not None:
+            prior.count += 1
+            return
+        self._dedup[key] = diag
+        self.diagnostics.append(diag)
+
+    @property
+    def clean(self) -> bool:
+        return not self.diagnostics
+
+    def kinds(self) -> set[str]:
+        return {d.kind for d in self.diagnostics}
+
+    def to_text(self) -> str:
+        if self.clean:
+            return f"sanitizer: clean ({self.nranks} ranks, no violations)"
+        head = (
+            f"sanitizer: {len(self.diagnostics)} distinct violation(s) "
+            f"across {self.nranks} ranks"
+        )
+        return "\n".join([head] + [d.format() for d in self.diagnostics])
+
+
+#: Reports from completed sanitized runs (newest last). The CLI and the
+#: force-enable test path read results from here.
+COLLECTED: list[SanitizerReport] = []

@@ -1,0 +1,115 @@
+"""Byte-range shadow state: access records and the conflict classifier.
+
+Every tracked memory region (an MPI window's exposure at one rank, or a
+GASNet segment) keeps a list of :class:`AccessRecord`. A record is born
+when the operation is *initiated* (with the origin's vector-clock
+snapshot) and released at the operation's synchronization point — flush /
+unlock for MPI puts, request completion for gets, ``wait_syncnb`` for
+GASNet handles, instantly for direct local loads/stores. Classification
+of a new access against an old record follows the MPI-3 RMA / CAF memory
+model (Gerstenberger et al.; paper §3.2/§5):
+
+* two atomics never conflict; two reads never conflict;
+* a *released* record conflicts unless its release happened-before the
+  new access (release clock dominated by the new access's init clock) or
+  both came from the same origin (program order);
+* an *in-flight* record conflicts as an ``overlap`` when both are remote
+  writes, as an ``unflushed-read`` when the old write had no flush before
+  the new read, and as a plain ``race`` otherwise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class AccessRecord:
+    """One access to a region: who, where (byte ranges), ordering state."""
+
+    origin: int  # world rank that issued the access
+    is_write: bool
+    atomic: bool
+    remote: bool  # RMA/AM-mediated (True) vs a direct local load/store
+    op: str  # e.g. "rput", "get_runs", "local-store"
+    ranges: tuple  # ((lo, hi), ...) half-open byte ranges
+    init_clock: tuple
+    site: str
+    time: float
+    released: bool = False
+    release_clock: tuple | None = None
+
+
+def ranges_intersect(a: tuple, b: tuple) -> tuple:
+    """Pairwise intersections of two half-open byte-range lists."""
+    out = []
+    for lo1, hi1 in a:
+        for lo2, hi2 in b:
+            lo, hi = max(lo1, lo2), min(hi1, hi2)
+            if lo < hi:
+                out.append((lo, hi))
+    return tuple(out)
+
+
+def dominates(earlier: tuple, later: tuple) -> bool:
+    """True when ``earlier`` <= ``later`` componentwise (happened-before)."""
+    return all(a <= b for a, b in zip(earlier, later))
+
+
+def classify(old: AccessRecord, new: AccessRecord) -> str | None:
+    """Conflict kind for overlapping accesses, or None when compatible."""
+    if old.atomic and new.atomic:
+        return None
+    if not old.is_write and not new.is_write:
+        return None
+    if old.released:
+        if dominates(old.release_clock, new.init_clock):
+            return None
+        if old.origin == new.origin:
+            return None  # program order on the origin
+        return "race"
+    # old is still in flight (no flush / sync released it yet)
+    if old.origin == new.origin:
+        if old.is_write and not new.is_write:
+            return "unflushed-read"
+        if old.remote and new.remote and old.is_write and new.is_write:
+            return "overlap"
+        return None
+    if old.remote and new.remote and old.is_write and new.is_write:
+        return "overlap"
+    if old.is_write and not new.is_write:
+        return "unflushed-read"
+    return "race"
+
+
+class RegionState:
+    """Shadow state for one region: live records plus a GC cadence."""
+
+    __slots__ = ("records", "_since_gc")
+
+    GC_EVERY = 64
+
+    def __init__(self) -> None:
+        self.records: list[AccessRecord] = []
+        self._since_gc = 0
+
+    def add(self, rec: AccessRecord) -> None:
+        self.records.append(rec)
+        self._since_gc += 1
+
+    def should_gc(self) -> bool:
+        return self._since_gc >= self.GC_EVERY
+
+    def gc(self, min_clock: tuple) -> None:
+        """Drop released records every rank has already happened-after.
+
+        ``min_clock`` is the componentwise minimum over all ranks' current
+        clocks: a record whose release is dominated by it can never again
+        classify as a conflict, so pruning it is sound.
+        """
+        self.records = [
+            r
+            for r in self.records
+            if not (r.released and dominates(r.release_clock, min_clock))
+        ]
+        self._since_gc = 0

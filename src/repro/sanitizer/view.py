@@ -1,0 +1,105 @@
+"""Byte-accurate tracking of local window/segment views.
+
+``win.local`` / ``coarray.local`` hand the application a live view of
+tracked memory. Recording every such property access as touching the
+*whole* buffer is sound but imprecise — a halo exchange that reads row 0
+while a neighbor's put lands in row 1 would be flagged. Instead the
+sanitized run returns a :class:`TrackedArray`: an ndarray view whose
+``__getitem__`` / ``__setitem__`` file access records for the byte span
+actually addressed (computed from memory bounds, so slicing, reshaping
+and nested views all resolve to exact region offsets).
+
+Accesses that bypass indexing — ufuncs, ``np.add.at``, buffer-protocol
+readers — are not observed; that can only lose a detection, never invent
+one. Fancy-index reads return copies whose bounds fall outside the
+region; those fall back to the parent view's span (the pre-subscript
+granularity), again erring toward the coarser-but-sound record.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+try:  # numpy >= 2.0
+    from numpy.lib.array_utils import byte_bounds
+except ImportError:  # pragma: no cover - older numpy
+    byte_bounds = np.byte_bounds
+
+
+class TrackedArray(np.ndarray):
+    """View of sanitizer-tracked memory that records indexed accesses."""
+
+    _san = None
+    _san_region = None
+    _san_rank = 0
+    _san_base_addr = 0
+    _san_limit = 0
+
+    def __array_finalize__(self, obj):
+        if obj is None:
+            return
+        self._san = getattr(obj, "_san", None)
+        self._san_region = getattr(obj, "_san_region", None)
+        self._san_rank = getattr(obj, "_san_rank", 0)
+        self._san_base_addr = getattr(obj, "_san_base_addr", 0)
+        self._san_limit = getattr(obj, "_san_limit", 0)
+
+    def _span(self, arr) -> tuple[int, int] | None:
+        """Region-relative byte span of ``arr``, or None when it is not a
+        live view into the tracked buffer (e.g. a fancy-index copy)."""
+        if not isinstance(arr, np.ndarray) or arr.size == 0:
+            return None
+        lo, hi = byte_bounds(arr)
+        lo -= self._san_base_addr
+        hi -= self._san_base_addr
+        if lo < 0 or hi > self._san_limit or lo >= hi:
+            return None
+        return (lo, hi)
+
+    def _record(self, arr, *, is_write: bool) -> None:
+        san = self._san
+        if san is None:
+            return
+        span = self._span(arr)
+        if span is None:
+            span = self._span(self)  # coarser fallback: the parent view
+        if span is None:
+            return
+        san.record_local(
+            self._san_rank,
+            self._san_region,
+            [span],
+            "local-store" if is_write else "local-load",
+            is_write=is_write,
+        )
+
+    def __getitem__(self, idx):
+        out = super().__getitem__(idx)
+        self._record(out if isinstance(out, np.ndarray) else self, is_write=False)
+        return out
+
+    def __setitem__(self, idx, value):
+        try:
+            target = super().__getitem__(idx)
+        except Exception:
+            target = self
+        self._record(target if isinstance(target, np.ndarray) else self, is_write=True)
+        super().__setitem__(idx, value)
+
+
+def tracked_view(arr: np.ndarray, san, region: tuple, rank: int, base: np.ndarray | None = None):
+    """Wrap ``arr`` (a view into region memory) for access tracking.
+
+    ``base`` is the array whose first byte is region offset 0 (defaults
+    to ``arr`` itself — correct for MPI windows, where the region is the
+    buffer; GASNet passes the whole segment).
+    """
+    base = arr if base is None else base
+    view = arr.view(TrackedArray)
+    base_lo, base_hi = byte_bounds(base)
+    view._san = san
+    view._san_region = region
+    view._san_rank = rank
+    view._san_base_addr = base_lo
+    view._san_limit = base_hi - base_lo
+    return view

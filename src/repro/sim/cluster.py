@@ -76,6 +76,7 @@ class Cluster:
         seed: int = 12345,
         faults: FaultPlan | None = None,
         reliable: bool = False,
+        sanitize: bool = False,
     ):
         if nranks <= 0:
             raise SimulationError(f"nranks must be positive, got {nranks}")
@@ -105,6 +106,17 @@ class Cluster:
             self.fabric.faults = faults
         if reliable:
             self.fabric.reliable = ReliableTransport(self.fabric)
+        self.sanitizer = None
+        if not sanitize:
+            from repro import sanitizer as _san_mod
+
+            sanitize = _san_mod.is_forced()
+        if sanitize:
+            from repro.sanitizer import Sanitizer
+
+            self.sanitizer = Sanitizer(nranks, self.engine)
+            self.engine.sanitizer = self.sanitizer
+            self.fabric.sanitizer = self.sanitizer
 
     def shared(self, key: Any, factory: Callable[[], Any]) -> Any:
         """Get-or-create a cross-rank singleton (e.g. the MPI world)."""
@@ -149,6 +161,8 @@ class Cluster:
                 self.engine.call_at(when, lambda r=rank: self._crash_rank(r))
         self.engine.run(deadline=deadline)
         self.elapsed = self.engine.now
+        if self.sanitizer is not None:
+            self.sanitizer.finalize()
         # Only the rank programs' results — libraries may have spawned
         # daemon agents whose results are not the application's.
         return [p.result for p in rank_procs]

@@ -103,6 +103,9 @@ class Proc:
         self.state = Proc.RUNNING
         self.last_progress = self.engine.now
         self.engine._current = self
+        san = self.engine.sanitizer
+        if san is not None and self.pid < san.nranks:
+            san.tick(self.pid)
         self._sem.release()
         self.engine._control.acquire()
         self.engine._current = None
@@ -227,6 +230,9 @@ class Engine:
         self.procs: list[Proc] = []
         self._control = threading.Semaphore(0)
         self._current: Proc | None = None
+        #: Attached by :class:`~repro.sim.cluster.Cluster` when sanitizing;
+        #: every scheduling point of a rank process ticks its vector clock.
+        self.sanitizer = None
         self._failure: BaseException | None = None
         self._ran = False
         self._finished = False

@@ -141,6 +141,9 @@ class NetFabric:
         #: delivers, so frames touching a dead rank are blackholed.
         self.failed_ranks: set[int] = set()
         self.blackholed = 0
+        #: Attached by ``Cluster(sanitize=True)``: the checker counts every
+        #: transfer it watched (a coverage figure for its reports).
+        self.sanitizer = None
 
     def _check_rank(self, rank: int) -> None:
         if not 0 <= rank < self.nranks:
@@ -184,6 +187,8 @@ class NetFabric:
         now = self.engine.now
         self.messages_sent += 1
         self.bytes_sent += nbytes
+        if self.sanitizer is not None:
+            self.sanitizer.stats["transfers"] += 1
         spec = self.spec
         if src == dst or spec.node_of(src) == spec.node_of(dst):
             # Intra-node: shared-memory copy, no NIC involvement.

@@ -5,8 +5,10 @@ The fabric's fault plan may drop, corrupt, duplicate or reorder messages
 delivery on top of it, the way every reliable link layer does:
 
 * each (src, dst) pair carries a monotone **sequence number** per message;
-* the receiver records delivered sequence numbers and silently discards
-  duplicates (whether fabric-injected or retransmission-induced);
+* the receiver tracks delivered sequence numbers as a cumulative low-water
+  mark plus a small out-of-order set (compacted as gaps fill, so state
+  stays O(reordering window) instead of growing with every message) and
+  silently discards duplicates (fabric-injected or retransmission-induced);
 * every arrival is **acknowledged** with a small message (acks ride the
   same faulty fabric and can themselves be lost);
 * the sender retransmits on a virtual-time timeout with **exponential
@@ -51,7 +53,9 @@ class ReliableTransport:
         self.backoff = backoff
         self.max_retries = max_retries
         self._next_seq: dict[tuple[int, int], int] = {}
-        self._delivered: dict[tuple[int, int], set[int]] = {}
+        # Per-pair [low_water, out_of_order]: every seq <= low_water was
+        # delivered; out_of_order holds delivered seqs above the mark.
+        self._delivered: dict[tuple[int, int], list] = {}
         # -- counters (the ablation's "measured retry overhead") ----------
         self.sends = 0
         self.retransmits = 0
@@ -90,11 +94,15 @@ class ReliableTransport:
             state["acked"] = True
 
         def deliver() -> None:
-            seen = self._delivered.setdefault(pair, set())
-            if seq in seen:
+            seen = self._delivered.setdefault(pair, [-1, set()])
+            pending = seen[1]
+            if seq <= seen[0] or seq in pending:
                 self.duplicates_filtered += 1
             else:
-                seen.add(seq)
+                pending.add(seq)
+                while seen[0] + 1 in pending:
+                    seen[0] += 1
+                    pending.remove(seen[0])
                 on_delivered()
             # Ack every arrival, duplicates included: the ack for an
             # earlier copy may itself have been lost.

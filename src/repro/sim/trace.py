@@ -9,6 +9,7 @@ were produced from.
 
 from __future__ import annotations
 
+import json
 from collections import Counter as TallyCounter
 from dataclasses import dataclass, field
 from typing import Any
@@ -80,3 +81,41 @@ class Tracer:
             title=f"trace: {len(self.events)} events"
             + (f" (showing {len(events)})" if limit else ""),
         )
+
+    # -- export ------------------------------------------------------------
+
+    def to_chrome_trace_events(self) -> list[dict[str, Any]]:
+        """The trace as Chrome/Perfetto Trace Event Format objects.
+
+        Each event becomes a complete ("X") event: ``ts``/``dur`` in
+        microseconds, ``pid``/``tid`` the acting rank (so the viewer draws
+        one track per rank), detail fields under ``args``.
+        """
+        out = []
+        for e in sorted(self.events, key=lambda e: (e.t0, e.rank)):
+            args = {
+                k: v if isinstance(v, (int, float, str, bool)) else repr(v)
+                for k, v in sorted(e.detail.items())
+            }
+            out.append(
+                {
+                    "name": e.detail.get("label", e.kind),
+                    "cat": e.kind,
+                    "ph": "X",
+                    "ts": e.t0 * 1e6,
+                    "dur": e.duration * 1e6,
+                    "pid": e.rank,
+                    "tid": e.rank,
+                    "args": args,
+                }
+            )
+        return out
+
+    def to_chrome_trace(self, path: str) -> int:
+        """Write the trace as Chrome/Perfetto JSON (open in ``ui.perfetto.dev``
+        or ``chrome://tracing``). Returns the number of events written."""
+        events = self.to_chrome_trace_events()
+        payload = {"traceEvents": events, "displayTimeUnit": "ns"}
+        with open(path, "w") as fh:
+            json.dump(payload, fh)
+        return len(events)

@@ -61,3 +61,30 @@ def test_runs_single_wire_message(run):
 
     _, results = gasnet_run(program, 2)
     assert results[0] == 1
+
+
+def test_put_runs_non_uniform_lengths(run):
+    def program(g, ctx):
+        if ctx.rank == 0:
+            data = np.arange(1, 7, dtype=np.uint8)
+            h = g.put_runs_nb(1, [(0, 1), (5, 3), (12, 2)], data)
+            g.wait_syncnb(h)
+            seg = g.segment_of(1)[:14].tolist()
+            assert seg == [1, 0, 0, 0, 0, 2, 3, 4, 0, 0, 0, 0, 5, 6]
+
+    gasnet_run(program, 2)
+
+
+def test_interleaved_runs_from_two_origins(run):
+    def program(g, ctx):
+        if ctx.rank < 2:
+            fill = np.full(4, ctx.rank + 1, np.uint8)
+            runs = [(0, 2), (4, 2)] if ctx.rank == 0 else [(2, 2), (6, 2)]
+            g.wait_syncnb(g.put_runs_nb(2, runs, fill))
+        # Everyone settles before rank 2 inspects its segment.
+        g.put((ctx.rank + 1) % 3, 100, np.array([1], np.uint8))
+        g.block_until(lambda: g.segment[100] == 1, "settle")
+        return g.segment[:8].tolist()
+
+    _, results = gasnet_run(program, 3)
+    assert results[2] == [1, 1, 2, 2, 1, 1, 2, 2]

@@ -94,3 +94,69 @@ def test_runs_respect_flush_semantics(run):
         win.unlock_all()
 
     mpi_run(program, 2)
+
+
+def test_put_runs_non_uniform_lengths(run):
+    def program(mpi, ctx):
+        win = mpi.win_allocate(shape=16, dtype=np.float64)
+        win.lock_all()
+        mpi.COMM_WORLD.barrier()
+        if ctx.rank == 0:
+            # Runs of different lengths: 1, 3 and 2 elements.
+            win.put_runs(np.arange(1.0, 7.0), 1, [(0, 1), (5, 3), (12, 2)])
+            win.flush(1)
+        mpi.COMM_WORLD.barrier()
+        win.unlock_all()
+        return win.local.tolist()
+
+    _, results = mpi_run(program, 2)
+    expect = [0.0] * 16
+    expect[0] = 1.0
+    expect[5:8] = [2.0, 3.0, 4.0]
+    expect[12:14] = [5.0, 6.0]
+    assert results[1] == expect
+
+
+def test_get_runs_rendezvous_sized_payload(run):
+    """Strided gets whose gathered payload exceeds the eager threshold
+    still complete via the request (the rendezvous-path datatype case)."""
+
+    def program(mpi, ctx):
+        n = 4096
+        win = mpi.win_allocate(shape=n, dtype=np.float64)
+        win.local[:] = np.arange(n) + n * ctx.rank
+        win.lock_all()
+        mpi.COMM_WORLD.barrier()
+        half = n // 2
+        out = np.zeros(half)
+        runs = [(2 * i, 1) for i in range(half)]  # every even element
+        assert half * 8 > ctx.spec.mpi_eager_threshold
+        win.get_runs(out, (ctx.rank + 1) % ctx.nranks, runs).wait()
+        mpi.COMM_WORLD.barrier()
+        win.unlock_all()
+        return out[:4].tolist()
+
+    _, results = mpi_run(program, 2)
+    assert results[0] == [4096.0, 4098.0, 4100.0, 4102.0]
+    assert results[1] == [0.0, 2.0, 4.0, 6.0]
+
+
+def test_interleaved_runs_from_two_origins(run):
+    """Two ranks scatter into complementary strided runs of a third."""
+
+    def program(mpi, ctx):
+        win = mpi.win_allocate(shape=8, dtype=np.float64)
+        win.lock_all()
+        mpi.COMM_WORLD.barrier()
+        if ctx.rank == 0:
+            win.put_runs(np.full(4, 1.0), 2, [(0, 2), (4, 2)])
+            win.flush(2)
+        elif ctx.rank == 1:
+            win.put_runs(np.full(4, 2.0), 2, [(2, 2), (6, 2)])
+            win.flush(2)
+        mpi.COMM_WORLD.barrier()
+        win.unlock_all()
+        return win.local.tolist()
+
+    _, results = mpi_run(program, 3)
+    assert results[2] == [1.0, 1.0, 2.0, 2.0, 1.0, 1.0, 2.0, 2.0]

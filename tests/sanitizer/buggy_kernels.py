@@ -1,0 +1,235 @@
+"""Seeded-bug corpus: mini-programs each planted with one known
+synchronization bug, used to prove the sanitizer detects every class of
+defect it advertises (and pins which kind fires where).
+
+Each kernel runs a small program under ``sanitize=True`` and returns the
+:class:`~repro.sanitizer.SanitizerReport`. The registry maps kernel name
+to ``(runner, expected_kind)``; ``tests/sanitizer/test_corpus.py`` runs
+them all and checks the expected diagnostic (with app-level call sites)
+comes out.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.caf import run_caf
+from repro.mpi.world import MpiWorld
+from repro.sim.cluster import Cluster
+from repro.sim.network import MachineSpec
+
+KERNELS: dict[str, tuple] = {}
+
+
+def kernel(name: str, expected_kind: str):
+    def deco(fn):
+        KERNELS[name] = (fn, expected_kind)
+        return fn
+
+    return deco
+
+
+def _mpi_run(program, nranks: int, seed: int = 1):
+    """Run ``program(mpi, ctx)`` SPMD under the sanitizer; return the report."""
+    cluster = Cluster(nranks, MachineSpec(name="san-corpus"), seed=seed, sanitize=True)
+
+    def wrapper(ctx, **kw):
+        mpi = MpiWorld.get(ctx.cluster).init(ctx)
+        return program(mpi, ctx)
+
+    cluster.run(wrapper)
+    return cluster.sanitizer.report
+
+
+def _caf_run(program, nranks: int, backend: str = "mpi", **kw):
+    run = run_caf(program, nranks, backend=backend, sanitize=True, **kw)
+    return run.sanitizer.report
+
+
+# -- (a) conflicting accesses with no happens-before edge -------------------
+
+
+@kernel("mpi_put_unsynced_local_read", "race")
+def mpi_put_unsynced_local_read():
+    """Rank 0 puts into rank 1's window; rank 1 reads it with no barrier
+    or event ordering the put before the load."""
+
+    def program(mpi, ctx):
+        win = mpi.win_allocate(shape=8, dtype=np.float64)
+        win.lock_all()
+        if ctx.rank == 0:
+            win.put(np.ones(8), target=1)
+            win.flush(1)
+        else:
+            ctx.proc.sleep(1e-3)  # the put lands first — still unordered
+            _ = float(win.local[0])
+        mpi.COMM_WORLD.barrier()
+        win.unlock_all()
+        return True
+
+    return _mpi_run(program, 2)
+
+
+@kernel("caf_gasnet_put_unsynced_local_read", "race")
+def caf_gasnet_put_unsynced_local_read():
+    """Same bug through the CAF facade on the GASNet backend: a remote
+    coarray write racing the target's local read of its segment."""
+
+    def program(img):
+        co = img.allocate_coarray(8, dtype=np.float64)
+        img.sync_all()
+        if img.rank == 0:
+            co.write(1, np.ones(8))
+        else:
+            img.compute(1e-3)
+            _ = float(co.local[0])
+        img.sync_all()
+        return True
+
+    return _caf_run(program, 2, backend="gasnet")
+
+
+# -- (b) epoch misuse -------------------------------------------------------
+
+
+@kernel("mpi_no_epoch", "epoch")
+def mpi_no_epoch():
+    """RMA with no lock/lock_all/fence epoch open on the window."""
+
+    def program(mpi, ctx):
+        win = mpi.win_allocate(shape=4, dtype=np.float64)
+        if ctx.rank == 0:
+            win.put(np.ones(4), target=1)
+            win.flush(1)
+        mpi.COMM_WORLD.barrier()
+        return True
+
+    return _mpi_run(program, 2)
+
+
+@kernel("mpi_rput_then_rget_no_flush", "unflushed-read")
+def mpi_rput_then_rget_no_flush():
+    """Rank 0 reads back the range it just put — before any flush, so the
+    get may observe either old or new bytes (undefined per MPI-3)."""
+
+    def program(mpi, ctx):
+        win = mpi.win_allocate(shape=8, dtype=np.float64)
+        win.lock_all()
+        if ctx.rank == 0:
+            win.rput(np.ones(8), target=1)
+            buf = np.zeros(8)
+            win.rget(buf, 1).wait()
+            win.flush(1)
+        mpi.COMM_WORLD.barrier()
+        win.unlock_all()
+        return True
+
+    return _mpi_run(program, 2)
+
+
+@kernel("mpi_signal_before_flush", "unflushed-read")
+def mpi_signal_before_flush():
+    """Rank 0 signals rank 1 over p2p *before* flushing its put: the
+    message gives happens-before, but the put is still in flight, so the
+    target's read sees stale data."""
+
+    def program(mpi, ctx):
+        win = mpi.win_allocate(shape=4, dtype=np.float64)
+        win.lock_all()
+        if ctx.rank == 0:
+            win.rput(np.ones(4), target=1)
+            mpi.COMM_WORLD.send(np.zeros(1), dest=1, tag=7)
+        else:
+            buf = np.zeros(1)
+            mpi.COMM_WORLD.recv(buf, source=0, tag=7)
+            _ = float(win.local[0])
+        mpi.COMM_WORLD.barrier()
+        win.flush_all()
+        mpi.COMM_WORLD.barrier()
+        win.unlock_all()
+        return True
+
+    return _mpi_run(program, 2)
+
+
+@kernel("mpi_separate_no_win_sync", "win-sync")
+def mpi_separate_no_win_sync():
+    """Separate (MPI-2) memory model: the target loads from its private
+    copy while RMA updates sit unsynchronized in the public copy —
+    a missing MPI_WIN_SYNC."""
+
+    def program(mpi, ctx):
+        win = mpi.win_allocate(shape=4, dtype=np.float64, memory_model="separate")
+        win.lock_all()
+        if ctx.rank == 0:
+            win.put(np.ones(4), target=1)
+            win.flush(1)
+        mpi.COMM_WORLD.barrier()
+        if ctx.rank == 1:
+            _ = float(win.local[0])  # missing win.sync()
+        mpi.COMM_WORLD.barrier()
+        win.unlock_all()
+        return True
+
+    return _mpi_run(program, 2)
+
+
+# -- (c) unpaired / lost event notifications --------------------------------
+
+
+@kernel("caf_lost_notify", "lost-notify")
+def caf_lost_notify():
+    """Image 0 posts an event on image 1 that nobody ever waits on."""
+
+    def program(img):
+        ev = img.allocate_events(1)
+        if img.rank == 0:
+            ev.notify(1)
+        img.sync_all()
+        return True
+
+    return _caf_run(program, 2, backend="mpi")
+
+
+# -- (d) overlapping in-flight puts -----------------------------------------
+
+
+@kernel("mpi_overlapping_puts", "overlap")
+def mpi_overlapping_puts():
+    """Ranks 0 and 1 both have unflushed puts in flight to the same bytes
+    of rank 2's window."""
+
+    def program(mpi, ctx):
+        win = mpi.win_allocate(shape=8, dtype=np.float64)
+        win.lock_all()
+        if ctx.rank < 2:
+            win.rput(np.full(8, ctx.rank + 1.0), target=2)
+        mpi.COMM_WORLD.barrier()
+        win.flush_all()
+        mpi.COMM_WORLD.barrier()
+        win.unlock_all()
+        return True
+
+    return _mpi_run(program, 3)
+
+
+@kernel("caf_overlapping_async_writes", "overlap")
+def caf_overlapping_async_writes():
+    """Two images write_async the same slice of a third image's coarray
+    with no event or fence separating the puts (GASNet backend)."""
+
+    def program(img):
+        co = img.allocate_coarray(8, dtype=np.float64)
+        img.sync_all()
+        if img.rank < 2:
+            co.write_async(2, np.full(8, float(img.rank + 1)))
+        img.sync_all()
+        return True
+
+    return _caf_run(program, 3, backend="gasnet")
+
+
+def run_kernel(name: str):
+    """Run one corpus kernel; returns (report, expected_kind)."""
+    fn, expected = KERNELS[name]
+    return fn(), expected

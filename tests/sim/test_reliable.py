@@ -111,3 +111,24 @@ def test_send_without_transport_degrades_to_plain_transfer():
     eng.spawn(body)
     eng.run()
     assert len(got) == 1
+
+
+def test_delivered_state_compacts_to_low_water_mark():
+    """Dedup state must not grow with message count: in-order delivery
+    compacts to a cumulative low-water mark and an empty gap set."""
+    fabric, delivered = run_reliable(None, 200)
+    assert sorted(delivered) == list(range(200))
+    low, pending = fabric.reliable._delivered[(0, 1)]
+    assert low == 199
+    assert pending == set()
+
+
+def test_delivered_state_stays_small_under_faults():
+    plan = FaultPlan(seed=7, drop_rate=0.2, dup_rate=0.2, delay_rate=0.3)
+    fabric, delivered = run_reliable(plan, 150)
+    assert sorted(delivered) == list(range(150))
+    low, pending = fabric.reliable._delivered[(0, 1)]
+    # Once every retransmit settles, all gaps are filled and drained.
+    assert low == 149
+    assert pending == set()
+    assert fabric.reliable.duplicates_filtered > 0

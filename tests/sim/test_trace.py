@@ -88,3 +88,48 @@ def test_trace_event_frozen():
     ev = TraceEvent("k", 0, 0.0, 1.0, {"a": 1})
     with pytest.raises(AttributeError):
         ev.kind = "other"
+
+
+def test_chrome_trace_round_trips(tmp_path):
+    import json
+
+    t = Tracer()
+    t.enable()
+    t.record("transfer", 0, 1e-6, 3e-6, dst=1, nbytes=100)
+    t.record("region", 1, 2e-6, 4e-6, category="compute", label="fft")
+    path = tmp_path / "trace.json"
+    n = t.to_chrome_trace(str(path))
+    assert n == 2
+    payload = json.loads(path.read_text())
+    events = payload["traceEvents"]
+    assert len(events) == 2
+    first = events[0]
+    assert first["ph"] == "X"
+    assert first["cat"] == "transfer"
+    assert first["pid"] == first["tid"] == 0
+    assert first["ts"] == pytest.approx(1.0)  # us
+    assert first["dur"] == pytest.approx(2.0)
+    assert first["args"]["nbytes"] == 100
+    # The label detail names the slice for the viewer.
+    assert events[1]["name"] == "fft"
+
+
+def test_chrome_trace_from_real_run(tmp_path):
+    def program(img):
+        co = img.allocate_coarray(16, dtype=np.float64)
+        co.local[:] = img.rank
+        img.sync_all()
+        co.write((img.rank + 1) % img.nranks, np.ones(16))
+        img.sync_all()
+        return True
+
+    run = run_caf(program, 2, backend="mpi", trace=True)
+    path = tmp_path / "run.json"
+    n = run.tracer.to_chrome_trace(str(path))
+    assert n == len(run.tracer.events) > 0
+    import json
+
+    payload = json.loads(path.read_text())
+    assert {e["pid"] for e in payload["traceEvents"]} <= {0, 1}
+    # Chrome disallows negative durations; virtual time is monotone.
+    assert all(e["dur"] >= 0 for e in payload["traceEvents"])
