@@ -24,7 +24,10 @@ def figure2(img):
     img.sync_all()
     if img.rank == 0:
         co.write(1, np.full(4, 1.0))  # line 8 of the paper's Figure 2
-    mpi.COMM_WORLD.barrier()  # line 11
+    # This blocking MPI call after an unsynced coarray write IS the
+    # paper's Figure 2 hazard — this demo exists to trigger it, so the
+    # static checker's (correct) CAF006 finding is suppressed here.
+    mpi.COMM_WORLD.barrier()  # line 11  # repro: lint-ignore[CAF006]
     return float(co.local[0])
 
 

@@ -1,0 +1,36 @@
+"""repro.lint — static CAF/MPI/GASNet protocol checker.
+
+AST-based, no program execution: the compile-time sibling of the dynamic
+``repro.sanitizer``. Catches the paper's protocol hazards before a run:
+
+* **CAF001** collectives under rank-dependent branches without a match
+  on the other arm (and rank-dependent early returns that skip them);
+* **CAF002/003** puts read locally (or async ops abandoned) with no
+  synchronization in between — Figs. 3/4 discipline;
+* **CAF004/005** event notify/wait pairing;
+* **CAF006** the Figure 2 dual-runtime deadlock: blocking into one
+  runtime while the other's traffic still needs progress;
+* **CAF007** blocking calls inside GASNet active-message handlers;
+* **CAF008** ``finish()`` not entered as a context manager;
+* **CAF009/010** window RMA epoch discipline.
+
+Suppress a known finding inline with ``# repro: lint-ignore[CAF006]``.
+CLI: ``python -m repro.lint <paths>`` (exit 1 on findings).
+"""
+
+from __future__ import annotations
+
+from repro.lint.engine import lint_file, lint_paths, lint_source
+from repro.lint.findings import Finding, LintReport
+from repro.lint.rules import PROTOCOL_RULES, RULES, Rule
+
+__all__ = [
+    "Finding",
+    "LintReport",
+    "PROTOCOL_RULES",
+    "RULES",
+    "Rule",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+]

@@ -1,0 +1,11 @@
+import sys
+
+from repro.lint.cli import main
+
+if __name__ == "__main__":
+    try:
+        rc = main()
+    except BrokenPipeError:  # e.g. `... | head`
+        sys.stderr.close()
+        rc = 0
+    sys.exit(rc)

@@ -1,0 +1,143 @@
+"""CAF001 — collective matching under rank-dependent control flow.
+
+MPI-Checker style: a collective executed by a subset of images is a
+deadlock (or silent mismatch) at the next matching point. Two sub-rules:
+
+* **Arm matching**: for every ``if`` whose condition is rank-dependent
+  (directly or through taint), each collective *name* must occur the
+  same number of times in both arms. ``if root: bcast() else: bcast()``
+  is the classic *correct* near-miss and stays silent.
+* **Early return**: a ``return`` under a branch that literally tests
+  ``.rank``/``this_image()`` skips every collective that follows in the
+  function — those are flagged at the return site.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections import Counter
+
+from repro.lint.findings import Finding
+from repro.lint.model import (
+    COLLECTIVE_METHODS,
+    FunctionInfo,
+    ModuleModel,
+    is_rank_dependent,
+    is_rank_literal,
+    method_name,
+)
+
+
+def _collective_calls(stmts: list[ast.stmt]) -> list[ast.Call]:
+    """Collective method calls in a subtree, skipping nested defs."""
+    out: list[ast.Call] = []
+
+    def visit(node: ast.AST) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda, ast.ClassDef)):
+            return
+        if isinstance(node, ast.Call):
+            name = method_name(node)
+            if name in COLLECTIVE_METHODS and isinstance(node.func, ast.Attribute):
+                out.append(node)
+        for child in ast.iter_child_nodes(node):
+            visit(child)
+
+    for stmt in stmts:
+        visit(stmt)
+    return out
+
+
+def _has_return(stmts: list[ast.stmt]) -> ast.Return | None:
+    for stmt in stmts:
+        for node in ast.walk(stmt):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                break
+            if isinstance(node, ast.Return):
+                return node
+    return None
+
+
+def check_collectives(fn: FunctionInfo, model: ModuleModel) -> list[Finding]:
+    findings: list[Finding] = []
+    flagged: set[int] = set()
+
+    def flag(call: ast.Call, message: str, related: list[tuple[str, int, str]] | None = None) -> None:
+        if id(call) in flagged:
+            return
+        flagged.add(id(call))
+        findings.append(
+            Finding(
+                rule="CAF001",
+                path=model.path,
+                line=call.lineno,
+                col=call.col_offset,
+                func=fn.qualname,
+                message=message,
+                related=related or [],
+            )
+        )
+
+    # -- arm matching ------------------------------------------------------------
+    for node in ast.walk(fn.node):
+        if not isinstance(node, ast.If):
+            continue
+        if not is_rank_dependent(node.test, model):
+            continue
+        body_calls = _collective_calls(node.body)
+        else_calls = _collective_calls(node.orelse)
+        body_counts = Counter(method_name(c) for c in body_calls)
+        else_counts = Counter(method_name(c) for c in else_calls)
+        for name in set(body_counts) | set(else_counts):
+            nb, ne = body_counts.get(name, 0), else_counts.get(name, 0)
+            if nb == ne:
+                continue
+            richer = body_calls if nb > ne else else_calls
+            call = next(c for c in richer if method_name(c) == name)
+            arm = "if-arm" if nb > ne else "else-arm"
+            other = "other arm" if node.orelse or nb < ne else "missing else"
+            flag(
+                call,
+                f"collective {name}() in the {arm} of a rank-dependent branch "
+                f"has no matching call in the {other}: only a subset of "
+                f"images reaches it",
+                related=[("branch", node.lineno, ast.unparse(node.test))],
+            )
+
+    # -- early return ------------------------------------------------------------
+    # Walk top-level statements in order; once a literally-rank-guarded
+    # one-armed return has been seen, any later collective is unreachable
+    # for the returning image subset.
+    pending_return: ast.Return | None = None
+    pending_test: ast.If | None = None
+
+    def scan(stmts: list[ast.stmt]) -> None:
+        nonlocal pending_return, pending_test
+        for stmt in stmts:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                continue
+            if (
+                pending_return is None
+                and isinstance(stmt, ast.If)
+                and is_rank_literal(stmt.test)
+            ):
+                ret_body = _has_return(stmt.body)
+                ret_else = _has_return(stmt.orelse)
+                if (ret_body is None) != (ret_else is None):
+                    pending_return = ret_body or ret_else
+                    pending_test = stmt
+                    continue
+            if pending_return is not None and pending_test is not None:
+                for call in _collective_calls([stmt]):
+                    flag(
+                        call,
+                        f"collective {method_name(call)}() is skipped by the "
+                        f"rank-dependent return at line {pending_return.lineno}: "
+                        f"the returning images never match it",
+                        related=[
+                            ("return", pending_return.lineno, ""),
+                            ("branch", pending_test.lineno, ast.unparse(pending_test.test)),
+                        ],
+                    )
+
+    scan(fn.node.body)
+    return findings

@@ -1,0 +1,83 @@
+"""MPI-3 RMA epoch rules: CAF009 (RMA outside an epoch), CAF010
+(lock/lock_all epoch never closed).
+
+Scanned over the linearized op stream, per tracked window variable. The
+model is the passive-target discipline the paper's CAF-MPI runtime uses:
+``lock_all`` at window creation, flush-based completion, ``unlock_all``
+at teardown — plus the active-target ``fence`` form. A ``fence`` opens
+epochs for the rest of the function (fence-to-fence phases are all valid
+epochs), which keeps the rule quiet on fence-based code.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.findings import Finding
+from repro.lint.model import (
+    WINDOW_RMA_METHODS,
+    FunctionInfo,
+    ModuleModel,
+)
+
+_OPENERS = ("lock", "lock_all")
+_CLOSERS = ("unlock", "unlock_all")
+
+
+def check_epochs(fn: FunctionInfo, model: ModuleModel) -> list[Finding]:
+    findings: list[Finding] = []
+    ops = model.ops_for(fn)
+
+    depth: dict[str, int] = {}
+    fenced: dict[str, bool] = {}
+    open_site: dict[str, ast.AST] = {}
+
+    for op in ops:
+        if op.kind != "call" or model.tag(op.recv) != "window":
+            continue
+        recv = op.recv or ""
+        if op.method in _OPENERS:
+            depth[recv] = depth.get(recv, 0) + 1
+            open_site.setdefault(recv, op.node)
+        elif op.method in _CLOSERS:
+            depth[recv] = max(depth.get(recv, 0) - 1, 0)
+            if depth[recv] == 0:
+                open_site.pop(recv, None)
+        elif op.method == "fence":
+            fenced[recv] = True
+        elif op.method in WINDOW_RMA_METHODS:
+            if depth.get(recv, 0) == 0 and not fenced.get(recv, False):
+                findings.append(
+                    Finding(
+                        rule="CAF009",
+                        path=model.path,
+                        line=op.node.lineno,
+                        col=op.node.col_offset,
+                        func=fn.qualname,
+                        message=(
+                            f"window RMA {op.method}() on '{recv}' with no "
+                            f"lock/lock_all/fence epoch open at the call: the "
+                            f"operation's completion and memory semantics are "
+                            f"undefined outside an epoch"
+                        ),
+                    )
+                )
+
+    for recv, site in open_site.items():
+        if depth.get(recv, 0) > 0:
+            findings.append(
+                Finding(
+                    rule="CAF010",
+                    path=model.path,
+                    line=site.lineno,
+                    col=site.col_offset,
+                    func=fn.qualname,
+                    message=(
+                        f"epoch opened on window '{recv}' here is still open "
+                        f"when the function ends: remote completion is never "
+                        f"forced (missing unlock/unlock_all)"
+                    ),
+                )
+            )
+
+    return findings

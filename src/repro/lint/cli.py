@@ -1,0 +1,61 @@
+"""CLI: ``python -m repro.lint <paths...>``.
+
+Exits 1 when any unsuppressed finding remains, 0 on a clean tree — so CI
+can gate on it. ``--no-ignore`` also counts suppressed findings (used to
+assert that ``examples/deadlock_demo.py`` carries exactly the one
+intentional Fig. 2 finding).
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.lint.engine import lint_paths
+from repro.lint.rules import RULES
+
+
+def _list_rules() -> str:
+    lines = ["repro.lint rules:"]
+    for rule in RULES.values():
+        paper = f"  [{rule.paper}]" if rule.paper else ""
+        lines.append(f"  {rule.id}  {rule.name}{paper}")
+        lines.append(f"         {rule.summary}")
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="Static CAF/MPI/GASNet protocol checker (no execution).",
+    )
+    parser.add_argument("paths", nargs="*", help="files or directories to lint")
+    parser.add_argument(
+        "--select",
+        default=None,
+        help="comma-separated rule IDs to report (e.g. CAF001,CAF006)",
+    )
+    parser.add_argument(
+        "--no-ignore",
+        action="store_true",
+        help="count findings suppressed by # repro: lint-ignore as violations",
+    )
+    parser.add_argument("--list-rules", action="store_true", help="print the rule registry")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        print(_list_rules())
+        return 0
+    if not args.paths:
+        parser.error("no paths given (or use --list-rules)")
+
+    select = None
+    if args.select:
+        select = [r.strip() for r in args.select.split(",") if r.strip()]
+        unknown = [r for r in select if r.upper() not in RULES]
+        if unknown:
+            parser.error(f"unknown rule id(s): {', '.join(unknown)}")
+
+    report = lint_paths(args.paths, select=select)
+    print(report.to_text(show_suppressed=args.no_ignore))
+    bad = report.findings if args.no_ignore else report.active
+    return 1 if bad else 0

@@ -1,0 +1,73 @@
+"""Findings and the per-run lint report.
+
+Rendering goes through :mod:`repro.diagnostics` so a static finding
+prints in the same headline-plus-labeled-block shape as a dynamic
+sanitizer diagnostic, with ``file.py:NN`` sites throughout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.diagnostics import format_block, source_site, summary_line
+from repro.lint.rules import RULES
+
+
+@dataclass
+class Finding:
+    """One static violation: rule ID plus the offending source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    func: str
+    message: str
+    #: extra labeled locations, e.g. ("put", 26, "co.write(1, ...)")
+    related: list[tuple[str, int, str]] = field(default_factory=list)
+    suppressed: bool = False
+
+    @property
+    def site(self) -> str:
+        return source_site(self.path, self.line, self.func)
+
+    def format(self) -> str:
+        rule = RULES[self.rule]
+        details: list[tuple[str, object]] = [("rule", f"{rule.name}" + (f" ({rule.paper})" if rule.paper else ""))]
+        for label, line, text in self.related:
+            where = source_site(self.path, line)
+            details.append((label, f"{where}: {text}" if text else where))
+        details.append(("fix", rule.fix))
+        if self.suppressed:
+            details.append(("note", "suppressed by # repro: lint-ignore"))
+        head = f"[{self.rule}] {self.site}: {self.message}"
+        return format_block(head, details)
+
+
+@dataclass
+class LintReport:
+    """All findings from one lint invocation over a set of files."""
+
+    nfiles: int = 0
+    findings: list[Finding] = field(default_factory=list)
+
+    def add(self, finding: Finding) -> None:
+        self.findings.append(finding)
+
+    @property
+    def active(self) -> list[Finding]:
+        return [f for f in self.findings if not f.suppressed]
+
+    @property
+    def clean(self) -> bool:
+        return not self.active
+
+    def rules(self) -> set[str]:
+        return {f.rule for f in self.active}
+
+    def to_text(self, *, show_suppressed: bool = False) -> str:
+        shown = self.findings if show_suppressed else self.active
+        shown = sorted(shown, key=lambda f: (f.path, f.line, f.rule))
+        scope = f"{self.nfiles} file(s)"
+        head = summary_line("lint", len(shown), scope)
+        return "\n".join([head] + [f.format() for f in shown])

@@ -1,0 +1,122 @@
+"""The rule registry: every check ``repro.lint`` can emit, with stable IDs.
+
+IDs are append-only — a rule is never renumbered or reused, so
+``# repro: lint-ignore[CAF006]`` suppressions stay valid across versions.
+``CAF000`` is reserved for files the linter cannot parse at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One static check.
+
+    ``fix`` is the one-line remediation hint printed under a finding;
+    ``paper`` ties the rule to the figure/section of the source paper
+    whose hazard it encodes.
+    """
+
+    id: str
+    name: str
+    summary: str
+    fix: str
+    paper: str = ""
+
+
+_ALL = [
+    Rule(
+        "CAF000",
+        "syntax-error",
+        "file could not be parsed; no protocol checks ran",
+        "fix the syntax error",
+    ),
+    Rule(
+        "CAF001",
+        "unmatched-collective",
+        "collective called under a rank-dependent branch with no matching "
+        "call on the other arm (or skipped by a rank-dependent early return)",
+        "call the collective on every image, or hoist it out of the branch",
+        "§2.1 team collectives",
+    ),
+    Rule(
+        "CAF002",
+        "unsynced-put-read",
+        "coarray put followed by a read of the same coarray's local memory "
+        "with no intervening synchronization (under SPMD symmetry the "
+        "target's local read races the origin's put)",
+        "separate the put and the local access with sync_all/cofence/an event wait",
+        "Fig. 3/4 sync discipline",
+    ),
+    Rule(
+        "CAF003",
+        "async-never-completed",
+        "asynchronous operation with no completion event and no reachable "
+        "cofence/sync before the end of the function",
+        "pass src_event/dest_event, or call cofence()/sync_all() before returning",
+        "§3.3/§3.5 implicit synchronization",
+    ),
+    Rule(
+        "CAF004",
+        "notify-without-wait",
+        "event_notify on an event that no reachable event_wait ever consumes",
+        "add the matching wait, or drop the notify",
+        "§2.1 events",
+    ),
+    Rule(
+        "CAF005",
+        "wait-without-notify",
+        "unbounded event_wait on an event that nothing ever notifies",
+        "add the matching notify, or bound the wait with timeout=",
+        "§2.1 events",
+    ),
+    Rule(
+        "CAF006",
+        "dual-runtime-deadlock",
+        "blocking call into one runtime while coarray traffic from the other "
+        "may still need target-side progress: if writes are Active-Message "
+        "based, every image can end up blocked in a runtime that does not "
+        "progress the other (the paper's Figure 2)",
+        "complete CAF traffic (sync_all/cofence/event wait) before blocking in MPI",
+        "Fig. 2 interoperability deadlock",
+    ),
+    Rule(
+        "CAF007",
+        "blocking-in-am-handler",
+        "blocking call inside a GASNet active-message handler; handlers run "
+        "on the AM service path and may only do local work and short replies",
+        "move the blocking call out of the handler (queue work for the image)",
+        "§3.2 AM-handler restrictions",
+    ),
+    Rule(
+        "CAF008",
+        "finish-not-context-managed",
+        "finish() called without entering the block: the collective "
+        "termination-detection never runs",
+        "use `with img.finish():` around the spawning region",
+        "§2.1 finish",
+    ),
+    Rule(
+        "CAF009",
+        "rma-outside-epoch",
+        "window RMA with no passive-target lock/lock_all (or fence) epoch "
+        "open at the call",
+        "open an epoch first: win.lock_all() / win.lock(target) / win.fence()",
+        "§3.1 MPI-3 RMA epochs",
+    ),
+    Rule(
+        "CAF010",
+        "epoch-never-closed",
+        "lock/lock_all epoch still open when the function ends; remote "
+        "completion of the epoch's operations is never forced",
+        "close the epoch with unlock/unlock_all before returning",
+        "§3.1 MPI-3 RMA epochs",
+    ),
+]
+
+RULES: dict[str, Rule] = {r.id: r for r in _ALL}
+
+#: Rules that constitute the protocol checker proper (CAF000 is plumbing).
+PROTOCOL_RULES: tuple[str, ...] = tuple(r.id for r in _ALL if r.id != "CAF000")

@@ -1,0 +1,50 @@
+"""Inline suppression comments.
+
+``# repro: lint-ignore[CAF006]`` on the flagged line silences that rule
+there; a comma list (``lint-ignore[CAF001,CAF002]``) silences several,
+and a bare ``# repro: lint-ignore`` silences every rule on the line.
+Suppressed findings are kept (marked, not dropped) so ``--no-ignore``
+can audit them — the one intentional Fig. 2 finding in
+``examples/deadlock_demo.py`` is visible that way.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+
+_PATTERN = re.compile(r"#\s*repro:\s*lint-ignore(?:\[(?P<rules>[A-Za-z0-9_,\s]+)\])?")
+
+#: Sentinel meaning "all rules suppressed on this line".
+ALL_RULES = "*"
+
+
+def suppressions(source: str) -> dict[int, set[str]]:
+    """Map line number -> set of suppressed rule IDs (or {ALL_RULES})."""
+    out: dict[int, set[str]] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            match = _PATTERN.search(tok.string)
+            if not match:
+                continue
+            rules = match.group("rules")
+            line = tok.start[0]
+            if rules is None:
+                out.setdefault(line, set()).add(ALL_RULES)
+            else:
+                ids = {r.strip().upper() for r in rules.split(",") if r.strip()}
+                out.setdefault(line, set()).update(ids)
+    except tokenize.TokenError:  # pragma: no cover - half-written files
+        pass
+    return out
+
+
+def is_suppressed(rule: str, line: int, table: dict[int, set[str]]) -> bool:
+    entry = table.get(line)
+    if not entry:
+        return False
+    return ALL_RULES in entry or rule in entry

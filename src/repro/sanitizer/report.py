@@ -4,45 +4,25 @@ A :class:`Diagnostic` is one flagged contract violation; the
 :class:`SanitizerReport` collects them for a run, deduplicating repeats
 of the same (kind, region, site-pair) so a racy loop produces one entry
 with a count rather than thousands.
+
+Rendering (the bracketed-kind headline + labeled detail block) is shared
+with the static checker through :mod:`repro.diagnostics`, so dynamic and
+static findings print identically.
 """
 
 from __future__ import annotations
 
-import os
-import sys
 from dataclasses import dataclass, field
 
-#: Path fragments identifying runtime-internal frames that a diagnostic
-#: should never point at. Application code (``repro/apps``) and tests are
-#: deliberately *not* listed.
-_RUNTIME_PARTS = (
-    "repro/sim/",
-    "repro/mpi/",
-    "repro/gasnet/",
-    "repro/caf/",
-    "repro/sanitizer/",
-)
+from repro.diagnostics import call_site, format_block, summary_line
 
-
-def call_site() -> str:
-    """The innermost *application* frame, as ``file.py:NN in func``.
-
-    Walks outward past runtime and stdlib frames so a report points at the
-    user's ``A.write(...)`` line, not at the window implementation.
-    """
-    frame = sys._getframe(1)
-    fallback = None
-    while frame is not None:
-        fname = frame.f_code.co_filename.replace("\\", "/")
-        label = f"{os.path.basename(fname)}:{frame.f_lineno} in {frame.f_code.co_name}"
-        if fallback is None:
-            fallback = label
-        runtime = any(part in fname for part in _RUNTIME_PARTS)
-        stdlib = fname.endswith("/threading.py") or fname.startswith("<")
-        if not runtime and not stdlib:
-            return label
-        frame = frame.f_back
-    return fallback or "<unknown>"
+__all__ = [
+    "COLLECTED",
+    "Diagnostic",
+    "SanitizerReport",
+    "call_site",
+    "region_str",
+]
 
 
 def region_str(region: tuple) -> str:
@@ -78,20 +58,21 @@ class Diagnostic:
     count: int = 1
 
     def format(self) -> str:
-        lines = [f"[{self.kind}] rank {self.rank} @ t={self.time:.9f}: {self.message}"]
-        if self.region is not None:
-            lines.append(f"    region: {region_str(self.region)}")
-        if self.ranges:
-            spans = ", ".join(f"[{a}, {b})" for a, b in self.ranges)
-            lines.append(f"    bytes:  {spans}")
-        if self.site:
-            lines.append(f"    access: {self.site}")
-        if self.other_site:
-            who = "" if self.other_rank is None else f" (rank {self.other_rank})"
-            lines.append(f"    other:  {self.other_site}{who}")
-        if self.count > 1:
-            lines.append(f"    repeats: x{self.count}")
-        return "\n".join(lines)
+        head = f"[{self.kind}] rank {self.rank} @ t={self.time:.9f}: {self.message}"
+        spans = ", ".join(f"[{a}, {b})" for a, b in self.ranges)
+        other = self.other_site
+        if other and self.other_rank is not None:
+            other = f"{other} (rank {self.other_rank})"
+        return format_block(
+            head,
+            [
+                ("region", region_str(self.region) if self.region is not None else None),
+                ("bytes", spans),
+                ("access", self.site),
+                ("other", other),
+                ("repeats", f"x{self.count}" if self.count > 1 else None),
+            ],
+        )
 
 
 @dataclass
@@ -120,12 +101,9 @@ class SanitizerReport:
         return {d.kind for d in self.diagnostics}
 
     def to_text(self) -> str:
+        head = summary_line("sanitizer", len(self.diagnostics), f"{self.nranks} ranks")
         if self.clean:
-            return f"sanitizer: clean ({self.nranks} ranks, no violations)"
-        head = (
-            f"sanitizer: {len(self.diagnostics)} distinct violation(s) "
-            f"across {self.nranks} ranks"
-        )
+            return head
         return "\n".join([head] + [d.format() for d in self.diagnostics])
 
 

@@ -1,0 +1,21 @@
+"""CAF001 true positives: collectives under rank-dependent control flow."""
+
+
+def unmatched_broadcast(img, data):
+    # Only rank 0 enters the collective; every other image never arrives.
+    if img.rank == 0:
+        img.team_broadcast(data)  # expected: CAF001
+
+
+def collective_after_early_return(img, total):
+    if img.rank == 0:
+        return None
+    img.team_allreduce([1.0], total, "sum")  # expected: CAF001
+    return total
+
+
+def derived_rank_guard(img, data):
+    # Rank-taint must follow through arithmetic on .rank.
+    color = img.rank % 2
+    if color == 0:
+        img.sync_all()  # expected: CAF001

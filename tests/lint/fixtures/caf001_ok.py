@@ -1,0 +1,33 @@
+"""CAF001 near-misses that must stay clean.
+
+The key one is the branch-*matched* collective: rank-dependent control
+flow is fine as long as every arm reaches the same collectives the same
+number of times (root broadcasts the pivot, everyone else receives it).
+"""
+
+
+def matched_broadcast(img, panel, scratch):
+    if img.rank == 0:
+        panel.scale(2.0)
+        img.team_broadcast(panel)
+    else:
+        img.team_broadcast(scratch)
+
+
+def uniform_guard(img):
+    # `nranks` is the same on every image: not rank-dependent.
+    if img.nranks > 1:
+        img.sync_all()
+
+
+def rank_dependent_local_work(img, log):
+    if img.rank == 0:
+        log.append("step")
+    img.sync_all()
+
+
+def symmetric_returns(img):
+    # Both arms return; no image reaches code the other skipped.
+    if img.rank == 0:
+        return 1
+    return 2

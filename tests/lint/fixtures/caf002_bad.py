@@ -1,0 +1,8 @@
+"""CAF002 true positive: coarray put, then local read, no sync between."""
+
+
+def put_then_local_read(img):
+    co = img.allocate_coarray(8)
+    right = (img.rank + 1) % img.nranks
+    co.write(right, [1.0] * 8)
+    return co.local[0]  # expected: CAF002

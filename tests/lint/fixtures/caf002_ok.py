@@ -1,0 +1,28 @@
+"""CAF002 near-misses: the put is properly synchronized before the read."""
+
+
+def put_sync_all_read(img):
+    co = img.allocate_coarray(8)
+    right = (img.rank + 1) % img.nranks
+    co.write(right, [1.0] * 8)
+    img.sync_all()
+    return co.local[0]
+
+
+def put_event_wait_read(img):
+    co = img.allocate_coarray(8)
+    ev = img.allocate_events(1)
+    right = (img.rank + 1) % img.nranks
+    co.write(right, [2.0] * 8)
+    ev.notify(right)
+    ev.wait()
+    return co.local[0]
+
+
+def read_before_put(img):
+    co = img.allocate_coarray(8)
+    right = (img.rank + 1) % img.nranks
+    stale = co.local[0]
+    co.write(right, [stale] * 8)
+    img.sync_all()
+    return stale

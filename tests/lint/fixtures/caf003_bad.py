@@ -1,0 +1,8 @@
+"""CAF003 true positive: async transfer abandoned without completion."""
+
+
+def abandoned_async(img):
+    co = img.allocate_coarray(8)
+    right = (img.rank + 1) % img.nranks
+    co.write_async(right, [3.0] * 8)  # expected: CAF003
+    return True

@@ -1,0 +1,18 @@
+"""CAF003 near-misses: every async transfer is completed somehow."""
+
+
+def async_with_completion_event(img):
+    co = img.allocate_coarray(8)
+    done = img.allocate_events(1)
+    right = (img.rank + 1) % img.nranks
+    co.write_async(right, [3.0] * 8, dest_event=(done, 0))
+    done.wait()
+    return co.local[0]
+
+
+def async_then_cofence(img):
+    co = img.allocate_coarray(8)
+    right = (img.rank + 1) % img.nranks
+    co.write_async(right, [3.0] * 8)
+    img.cofence()
+    return co.local[0]

@@ -1,0 +1,7 @@
+"""CAF004 true positive: an event notified but never waited anywhere."""
+
+
+def lost_notification(img):
+    ev = img.allocate_events(1)
+    right = (img.rank + 1) % img.nranks
+    ev.notify(right)  # expected: CAF004

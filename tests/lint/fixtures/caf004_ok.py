@@ -1,0 +1,26 @@
+"""CAF004 near-misses: notifications with a matching consumer."""
+
+
+def notify_and_wait_same_function(img):
+    ev = img.allocate_events(1)
+    right = (img.rank + 1) % img.nranks
+    ev.notify(right)
+    ev.wait()
+
+
+def producer(img, right):
+    # Waited in `consumer` below: pairing is module-wide.
+    flag = img.allocate_events(1)
+    flag.notify(right)
+
+
+def consumer(img):
+    flag = img.allocate_events(1)
+    flag.wait()
+
+
+def escaped_event(img, helper, right):
+    # Passed to a helper the linter cannot see into: assume it waits.
+    handoff = img.allocate_events(1)
+    handoff.notify(right)
+    helper(handoff)

@@ -1,0 +1,6 @@
+"""CAF005 true positive: unbounded wait on an event nobody notifies."""
+
+
+def waits_forever(img):
+    ev = img.allocate_events(1)
+    ev.wait()  # expected: CAF005

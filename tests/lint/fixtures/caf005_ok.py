@@ -1,0 +1,16 @@
+"""CAF005 near-misses: bounded probes and properly paired waits."""
+
+
+def bounded_wait_without_notify(img):
+    # A timed wait / trywait is a probe, not a hang: legal without a
+    # module-local notify (e.g. polling for a remote image's signal).
+    ev = img.allocate_events(1)
+    ev.wait(timeout=0.001)
+    return ev.trywait()
+
+
+def paired_wait(img):
+    ev = img.allocate_events(1)
+    right = (img.rank + 1) % img.nranks
+    ev.notify(right)
+    ev.wait()

@@ -1,0 +1,26 @@
+"""CAF006 near-misses: CAF completion precedes every blocking MPI call.
+
+This is exactly the discipline the paper's hybrid CGPOP follows: finish
+the coarray phase (sync_all / event wait) before handing control to MPI.
+"""
+
+
+def figure2_fixed(img):
+    co = img.allocate_coarray(4)
+    mpi = img.mpi()
+    img.sync_all()
+    if img.rank == 0:
+        co.write(1, [1.0] * 4)
+    img.sync_all()  # completes the put before entering MPI
+    mpi.COMM_WORLD.barrier()
+
+
+def halo_then_mpi_reduce(img):
+    co = img.allocate_coarray(8)
+    ev = img.allocate_events(1)
+    mpi = img.mpi()
+    right = (img.rank + 1) % img.nranks
+    co.write(right, [1.0] * 8)
+    ev.notify(right)
+    ev.wait()  # event wait is a CAF synchronization point
+    mpi.COMM_WORLD.allreduce([1.0], [0.0], "sum")

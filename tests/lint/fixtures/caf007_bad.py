@@ -1,0 +1,12 @@
+"""CAF007 true positive: a registered AM handler that can block."""
+
+AM_PING = 7
+
+
+def blocking_handler(token, ev):
+    ev.wait()  # expected: CAF007
+    token.reply_short(AM_PING + 1, 0)
+
+
+def setup(gas):
+    gas.register_handler(AM_PING, blocking_handler)

@@ -1,0 +1,16 @@
+"""CAF007 near-misses: handlers doing only local work and short replies."""
+
+AM_PING = 7
+
+
+def good_handler(token, value):
+    token.reply_short(AM_PING + 1, value + 1)
+
+
+def setup(gas):
+    gas.register_handler(AM_PING, good_handler)
+
+
+def not_a_handler(img):
+    # Blocking is fine here: this function is never registered.
+    img.sync_all()

@@ -1,0 +1,6 @@
+"""CAF008 true positive: finish() created but never entered."""
+
+
+def forgot_with(img, owner, task):
+    img.finish()  # expected: CAF008
+    img.spawn(owner, task)

@@ -1,0 +1,9 @@
+"""CAF009 true positive: window RMA with no epoch open."""
+
+
+def rma_outside_epoch(comm):
+    win = comm.win_allocate(64)
+    win.put([1.0], 1)  # expected: CAF009
+    win.lock_all()
+    win.flush(1)
+    win.unlock_all()

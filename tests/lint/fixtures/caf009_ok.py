@@ -1,0 +1,16 @@
+"""CAF009 near-misses: RMA inside passive-target and fence epochs."""
+
+
+def passive_target(comm):
+    win = comm.win_allocate(64)
+    win.lock_all()
+    win.put([1.0], 1)
+    win.flush(1)
+    win.unlock_all()
+
+
+def active_target(comm):
+    win = comm.win_allocate(64)
+    win.fence()
+    win.put([1.0], 1)
+    win.fence()

@@ -1,0 +1,7 @@
+"""CAF010 true positive: a lock epoch left open at function end."""
+
+
+def epoch_left_open(comm):
+    win = comm.win_allocate(64)
+    win.lock(1)  # expected: CAF010
+    win.put([2.0], 1)

@@ -1,0 +1,17 @@
+"""CAF010 near-misses: every opened epoch is closed."""
+
+
+def balanced_lock(comm):
+    win = comm.win_allocate(64)
+    win.lock(1, exclusive=True)
+    win.put([2.0], 1)
+    win.unlock(1)
+
+
+def nested_lock_all(comm):
+    win = comm.win_allocate(64)
+    win.lock_all()
+    win.lock(1)
+    win.put([2.0], 1)
+    win.unlock(1)
+    win.unlock_all()

@@ -1,0 +1,99 @@
+"""CLI behavior of ``python -m repro.lint``: exit codes, rule listing,
+selection, suppression accounting, and syntax-error handling."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.lint.cli import main
+from repro.lint.rules import RULES
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def test_dirty_file_exits_nonzero(capsys):
+    rc = main([str(FIXTURES / "caf002_bad.py")])
+    out = capsys.readouterr().out
+    assert rc == 1
+    assert "CAF002" in out
+    assert "caf002_bad.py:8" in out
+
+
+def test_clean_file_exits_zero(capsys):
+    rc = main([str(FIXTURES / "caf002_ok.py")])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "clean" in out
+
+
+def test_directory_walk_finds_all_bad_fixtures(capsys):
+    rc = main([str(FIXTURES)])
+    out = capsys.readouterr().out
+    assert rc == 1
+    for rule_id in RULES:
+        if rule_id == "CAF000":
+            continue
+        assert rule_id in out
+
+
+def test_select_filters_rules(capsys):
+    rc = main(["--select", "CAF006", str(FIXTURES)])
+    out = capsys.readouterr().out
+    assert rc == 1
+    assert "CAF006" in out
+    assert "CAF002" not in out
+
+
+def test_select_can_turn_a_dirty_file_clean(capsys):
+    rc = main(["--select", "CAF009", str(FIXTURES / "caf002_bad.py")])
+    assert rc == 0
+    assert "clean" in capsys.readouterr().out
+
+
+def test_unknown_rule_id_is_a_usage_error(capsys):
+    with pytest.raises(SystemExit) as exc:
+        main(["--select", "CAF999", str(FIXTURES)])
+    assert exc.value.code == 2
+    assert "unknown rule" in capsys.readouterr().err
+
+
+def test_no_paths_is_a_usage_error():
+    with pytest.raises(SystemExit) as exc:
+        main([])
+    assert exc.value.code == 2
+
+
+def test_list_rules(capsys):
+    rc = main(["--list-rules"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    for rule_id in RULES:
+        assert rule_id in out
+    assert "Fig. 2" in out
+
+
+def test_syntax_error_reports_caf000(tmp_path, capsys):
+    broken = tmp_path / "broken.py"
+    broken.write_text("def f(:\n")
+    rc = main([str(broken)])
+    out = capsys.readouterr().out
+    assert rc == 1
+    assert "CAF000" in out
+
+
+def test_suppressed_finding_counts_only_under_no_ignore(tmp_path, capsys):
+    src = FIXTURES / "caf002_bad.py"
+    suppressed = tmp_path / "suppressed.py"
+    suppressed.write_text(
+        src.read_text().replace(
+            "# expected: CAF002", "# repro: lint-ignore[CAF002]"
+        )
+    )
+    assert main([str(suppressed)]) == 0
+    assert "clean" in capsys.readouterr().out
+    assert main(["--no-ignore", str(suppressed)]) == 1
+    out = capsys.readouterr().out
+    assert "CAF002" in out
+    assert "suppressed" in out

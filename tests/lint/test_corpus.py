@@ -1,0 +1,66 @@
+"""Fixture corpus for repro.lint: every rule has at least one true
+positive (``cafNNN_bad.py``) and one near-miss that must stay clean
+(``cafNNN_ok.py``).
+
+Bad fixtures mark each expected finding with a trailing
+``# expected: CAFNNN`` comment; the test asserts the linter reports
+exactly that set of (rule, line) pairs — right rule, right line, nothing
+else. Ok fixtures must produce zero findings from *any* rule.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.lint import PROTOCOL_RULES, lint_file
+
+FIXTURES = Path(__file__).parent / "fixtures"
+BAD = sorted(FIXTURES.glob("caf*_bad.py"))
+OK = sorted(FIXTURES.glob("caf*_ok.py"))
+
+_MARKER = re.compile(r"#\s*expected:\s*(CAF\d{3})")
+
+
+def expected_findings(path: Path) -> list[tuple[str, int]]:
+    pairs = []
+    for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+        for match in _MARKER.finditer(line):
+            pairs.append((match.group(1), lineno))
+    return pairs
+
+
+@pytest.mark.parametrize("path", BAD, ids=[p.stem for p in BAD])
+def test_bad_fixture_flagged_exactly(path):
+    findings = lint_file(str(path))
+    got = sorted((f.rule, f.line) for f in findings)
+    want = sorted(expected_findings(path))
+    assert want, f"{path.name} has no '# expected:' markers"
+    assert got == want
+    for f in findings:
+        assert f.path == str(path)
+        assert not f.suppressed
+        assert f"{path.name}:{f.line}" in f.site
+
+
+@pytest.mark.parametrize("path", OK, ids=[p.stem for p in OK])
+def test_ok_fixture_clean(path):
+    findings = lint_file(str(path))
+    assert findings == [], [f.format() for f in findings]
+
+
+def test_every_protocol_rule_has_fixture_pair():
+    stems = {p.stem for p in BAD} | {p.stem for p in OK}
+    for rule_id in PROTOCOL_RULES:
+        slug = rule_id.lower()
+        assert f"{slug}_bad" in stems, f"missing true-positive fixture for {rule_id}"
+        assert f"{slug}_ok" in stems, f"missing near-miss fixture for {rule_id}"
+
+
+def test_bad_fixtures_cover_all_protocol_rules():
+    covered = set()
+    for path in BAD:
+        covered.update(rule for rule, _ in expected_findings(path))
+    assert covered == set(PROTOCOL_RULES)

@@ -1,0 +1,41 @@
+"""Self-application: the linter must be clean over the repo's own
+examples and apps — zero false positives — with exactly one suppressed,
+intentional finding: the Fig. 2 deadlock demo's CAF006."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.lint import lint_file, lint_paths
+
+REPO = Path(__file__).parents[2]
+GATE = [str(REPO / "examples"), str(REPO / "src" / "repro" / "apps")]
+
+
+def test_examples_and_apps_lint_clean():
+    report = lint_paths(GATE)
+    assert report.nfiles >= 10
+    assert report.clean, "\n" + report.to_text()
+
+
+def test_deadlock_demo_carries_exactly_one_suppressed_caf006():
+    findings = lint_file(str(REPO / "examples" / "deadlock_demo.py"))
+    assert len(findings) == 1
+    finding = findings[0]
+    assert finding.rule == "CAF006"
+    assert finding.suppressed
+    assert "Fig. 2" in finding.message
+
+
+def test_the_demo_finding_is_the_only_suppression_in_the_gate():
+    suppressed = [f for p in GATE for f in _all_suppressed(Path(p))]
+    assert len(suppressed) == 1
+    assert suppressed[0].rule == "CAF006"
+    assert suppressed[0].path.endswith("deadlock_demo.py")
+
+
+def _all_suppressed(root: Path):
+    for path in sorted(root.rglob("*.py")):
+        for finding in lint_file(str(path)):
+            if finding.suppressed:
+                yield finding

@@ -1,0 +1,68 @@
+"""Inline suppression: ``# repro: lint-ignore[RULE]`` semantics."""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.lint import lint_source
+from repro.lint.suppress import ALL_RULES, is_suppressed, suppressions
+
+PUT_READ = textwrap.dedent(
+    """\
+    def f(img):
+        co = img.allocate_coarray(4)
+        co.write((img.rank + 1) % img.nranks, [1.0] * 4){comment}
+        return co.local[0]{comment2}
+    """
+)
+
+
+def _lint(comment: str = "", comment2: str = "") -> list:
+    return lint_source(PUT_READ.format(comment=comment, comment2=comment2), "mem.py")
+
+
+def test_unsuppressed_baseline():
+    findings = _lint()
+    assert [f.rule for f in findings] == ["CAF002"]
+    assert not findings[0].suppressed
+
+
+def test_targeted_suppression_on_finding_line():
+    findings = _lint(comment2="  # repro: lint-ignore[CAF002]")
+    assert [f.rule for f in findings] == ["CAF002"]
+    assert findings[0].suppressed
+
+
+def test_suppression_of_other_rule_does_not_apply():
+    findings = _lint(comment2="  # repro: lint-ignore[CAF006]")
+    assert not findings[0].suppressed
+
+
+def test_bare_ignore_suppresses_any_rule():
+    findings = _lint(comment2="  # repro: lint-ignore")
+    assert findings[0].suppressed
+
+
+def test_suppression_is_per_line_not_per_file():
+    # An ignore on the *put* line does not cover the read line.
+    findings = _lint(comment="  # repro: lint-ignore[CAF002]")
+    assert not findings[0].suppressed
+
+
+def test_multiple_rules_in_one_marker():
+    table = suppressions("x = 1  # repro: lint-ignore[CAF002, CAF006]\n")
+    assert table == {1: {"CAF002", "CAF006"}}
+    assert is_suppressed("CAF002", 1, table)
+    assert is_suppressed("CAF006", 1, table)
+    assert not is_suppressed("CAF004", 1, table)
+
+
+def test_bare_marker_yields_wildcard():
+    table = suppressions("x = 1  # repro: lint-ignore\n")
+    assert table == {1: {ALL_RULES}}
+    assert is_suppressed("CAF009", 1, table)
+
+
+def test_unrelated_comments_do_not_suppress():
+    table = suppressions("x = 1  # expected: CAF002\ny = 2  # noqa\n")
+    assert table == {}

@@ -1,0 +1,41 @@
+"""CLI behavior of ``python -m repro.sanitizer``: target validation and
+exit codes for clean vs. diagnostic-producing runs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sanitizer import __main__ as cli
+from tests.sanitizer.buggy_kernels import run_kernel
+
+
+def test_unknown_target_is_a_usage_error(capsys):
+    with pytest.raises(SystemExit) as exc:
+        cli.main(["no-such-app"])
+    assert exc.value.code == 2
+    assert "unknown target" in capsys.readouterr().err
+
+
+def test_clean_app_run_exits_zero(capsys):
+    rc = cli.main(["randomaccess", "--procs", "4", "--updates", "64"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "sanitizing randomaccess" in out
+    assert "clean" in out
+
+
+def test_diagnostic_run_exits_nonzero(monkeypatch, capsys):
+    # Swap the app runner for a corpus kernel with a planted race so the
+    # CLI's report-collection path sees a real diagnostic.
+    monkeypatch.setattr(cli, "_run_app", lambda args: run_kernel("mpi_put_unsynced_local_read"))
+    rc = cli.main(["randomaccess"])
+    out = capsys.readouterr().out
+    assert rc == 1
+    assert "violation" in out
+
+
+def test_no_sanitized_runs_message(monkeypatch, capsys):
+    monkeypatch.setattr(cli, "_run_app", lambda args: None)
+    rc = cli.main(["randomaccess"])
+    assert rc == 0
+    assert "no sanitized runs" in capsys.readouterr().out
