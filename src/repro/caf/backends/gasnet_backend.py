@@ -200,7 +200,7 @@ class GasnetBackend(RuntimeBackend):
         start, nbytes = storage.byte_range(storage.team.my_index, 0, storage.nelems)
         seg = self.gasnet.segment
         view = seg[start : start + nbytes].view(storage.dtype)
-        san = self.ctx.cluster.sanitizer
+        san = self.ctx.sanitizer
         if san is not None:
             from repro.sanitizer.view import tracked_view
 
@@ -234,7 +234,7 @@ class GasnetBackend(RuntimeBackend):
             seg = self.gasnet.segment_of(target_world)
             raw = np.ascontiguousarray(data).reshape(-1).view(np.uint8)
             seg[start : start + raw.nbytes] = raw
-            san = self.ctx.cluster.sanitizer
+            san = self.ctx.sanitizer
             if san is not None:
                 # Handler runs on the target after merging the sender clock,
                 # so this write is ordered like a local store there.
@@ -308,7 +308,7 @@ class GasnetBackend(RuntimeBackend):
                 seg = self.gasnet.segment_of(target_world)
                 raw = np.ascontiguousarray(data).reshape(-1).view(np.uint8)
                 seg[start : start + raw.nbytes] = raw
-                san = self.ctx.cluster.sanitizer
+                san = self.ctx.sanitizer
                 if san is not None:
                     san.record_local(
                         target_world, ("seg", target_world),
@@ -366,7 +366,7 @@ class GasnetBackend(RuntimeBackend):
         self._outstanding_gets = []
         self.gasnet.wait_syncnb_all(outstanding)
         target_world = storage.team.world_rank(target)
-        san = self.ctx.cluster.sanitizer
+        san = self.ctx.sanitizer
         if san is not None:
             # Handles synced above: our snapshot dominates every completed op.
             san.event_notified(self.ctx.rank, (storage.event_id, target_world, slot))

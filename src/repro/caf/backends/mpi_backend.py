@@ -241,7 +241,7 @@ class MpiBackend(RuntimeBackend):
                 tbe = self._backends[target_world]
                 tb = win.state.buffers[target]
                 tb[offset : offset + data_copy.size] = data_copy
-                san = self.ctx.cluster.sanitizer
+                san = self.ctx.sanitizer
                 if san is not None:
                     # AM handler runs on the target after the sender-clock
                     # merge, so this lands like an ordered local store.
@@ -301,7 +301,7 @@ class MpiBackend(RuntimeBackend):
         if self.event_impl == "atomics":
             win = self.mpi.win_allocate(shape=nslots, dtype=np.int64, comm=team.handle)
             win.lock_all()
-            san = self.ctx.cluster.sanitizer
+            san = self.ctx.sanitizer
             if san is not None:
                 # Runtime-internal counter storage: the busy-poll reads and
                 # accumulate notifies are synchronization, not data accesses.
@@ -346,7 +346,7 @@ class MpiBackend(RuntimeBackend):
     def event_notify(self, storage: EventStorage, target: int, slot: int) -> None:
         self._release_barrier()
         target_world = storage.team.world_rank(target)
-        san = self.ctx.cluster.sanitizer
+        san = self.ctx.sanitizer
         if san is not None:
             # The release barrier above makes everything we did so far
             # happen-before the matching consumed wait on the target.

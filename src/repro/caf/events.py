@@ -65,7 +65,7 @@ class EventArray:
     def _san_consumed(self, slot: int, count: int) -> None:
         """Sanitized runs: a consumed wait is the happens-before edge from
         every matching notify (the notifier's clock merges into ours)."""
-        san = self.img.ctx.cluster.sanitizer
+        san = self.img.ctx.sanitizer
         if san is not None:
             me = self.img.ctx.rank
             san.event_consumed(me, (self.storage.event_id, me, slot), count)

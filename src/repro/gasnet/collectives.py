@@ -40,7 +40,7 @@ def _collective(fn):
 
     @functools.wraps(fn)
     def wrapper(self, *args, **kwargs):
-        san = self.gasnet.ctx.cluster.sanitizer
+        san = self.gasnet.ctx.sanitizer
         if san is None:
             return fn(self, *args, **kwargs)
         with san.exempt():

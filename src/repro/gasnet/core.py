@@ -248,7 +248,7 @@ class GasnetRank:
             nbytes=nbytes,
             is_reply=is_reply,
         )
-        san = self.ctx.cluster.sanitizer
+        san = self.ctx.sanitizer
         if san is not None:
             qam.clock = san.snapshot(self.rank)
 
@@ -327,7 +327,7 @@ class GasnetRank:
             handler = self.handlers.get(qam.handler_idx)
             if handler is None:
                 raise GasnetError(f"no handler registered at index {qam.handler_idx}")
-            san = self.ctx.cluster.sanitizer
+            san = self.ctx.sanitizer
             if san is not None:
                 # Running the handler is the synchronization edge: the
                 # sender's history happened-before this (logical) rank.
@@ -393,7 +393,7 @@ class GasnetRank:
     ) -> None:
         """Record an RDMA access against ``owner``'s segment; the record
         releases when the handle is synced (wait_syncnb[_all])."""
-        san = self.ctx.cluster.sanitizer
+        san = self.ctx.sanitizer
         if san is None:
             return
         rec = san.record_remote(
@@ -403,7 +403,7 @@ class GasnetRank:
             handle.records.append(rec)
 
     def _san_release(self, handles) -> None:
-        san = self.ctx.cluster.sanitizer
+        san = self.ctx.sanitizer
         if san is None:
             return
         for handle in handles:
@@ -415,8 +415,13 @@ class GasnetRank:
 
     def put_nb(self, dest: int, dest_offset: int, data) -> Handle:
         """gasnet_put_nb: RDMA write; the handle fires on remote completion
-        (data commits at delivery; the origin learns of it one ack later)."""
-        arr = np.ascontiguousarray(data).reshape(-1).view(np.uint8).copy()
+        (data commits at delivery; the origin learns of it one ack later).
+
+        Ships a flat view of the source, not a copy: GASNet forbids
+        modifying the source until the handle syncs, so the only copy is
+        the commit into the destination segment at delivery.
+        """
+        arr = np.ascontiguousarray(data).reshape(-1).view(np.uint8)
         self._check_range(dest, dest_offset, arr.nbytes)
         self._check_alive(dest)
         spec = self.ctx.spec
@@ -499,9 +504,9 @@ class GasnetRank:
             self._check_range(dest, int(off), int(n))
         self._check_alive(dest)
         spec = self.ctx.spec
-        # Pack cost at the origin, then a single wire message.
+        # Pack cost at the origin, then a single wire message. Like put_nb,
+        # the source may not change until the handle syncs, so no snapshot.
         self.ctx.proc.sleep(spec.gasnet_put_overhead + spec.copy_time(arr.nbytes))
-        snapshot = arr.copy()
         handle = Handle(kind=f"put_runs(dest={dest})")
         self._san_track(
             handle, dest, [(int(off), int(off) + int(n)) for off, n in runs],
@@ -520,7 +525,7 @@ class GasnetRank:
         def on_delivered() -> None:
             cursor = 0
             for off, n in runs:
-                seg[off : off + n] = snapshot[cursor : cursor + n]
+                seg[off : off + n] = arr[cursor : cursor + n]
                 cursor += n
             if dest_rank is not None and dest_rank is not me:
                 dest_rank.activity.add()

@@ -71,7 +71,8 @@ class _Envelope:
 class _Rendezvous:
     """Sender-side state referenced by an RTS envelope."""
 
-    payload: np.ndarray  # byte snapshot taken at send time
+    payload: np.ndarray  # flat byte view of the send buffer (reuse is
+    # forbidden until the send request completes, so no snapshot is taken)
     send_request: Request
     src_world: int
 
@@ -130,7 +131,7 @@ def _complete_recv(comm: "Comm", posted: _PostedRecv, env: _Envelope, data: np.n
 
     def finish() -> None:
         posted.buf[: env.nbytes] = data[: env.nbytes]
-        san = comm.ctx.cluster.sanitizer
+        san = comm.ctx.sanitizer
         if san is not None and env.clock is not None and posted.dst_world >= 0:
             san.merge(posted.dst_world, env.clock)
         posted.request.status.source = env.src
@@ -181,8 +182,8 @@ def isend(comm: "Comm", matching: Matching, buf, dest: int, tag: int) -> Request
     ctx = comm.ctx
     spec = ctx.spec
     comm.check_peer(dest)
-    data = _as_bytes_view(buf if buf is not None else np.empty(0, np.uint8)).copy()
-    nbytes = data.nbytes
+    view = _as_bytes_view(buf if buf is not None else np.empty(0, np.uint8))
+    nbytes = view.nbytes
     req = Request(f"isend(dst={dest},tag={tag})", ctx.proc)
     req.status.source = comm.rank
     req.status.tag = tag
@@ -190,10 +191,13 @@ def isend(comm: "Comm", matching: Matching, buf, dest: int, tag: int) -> Request
     src_world = comm.world_rank(comm.rank)
     dst_world = comm.world_rank(dest)
 
-    san = ctx.cluster.sanitizer
+    san = ctx.sanitizer
     eager = nbytes <= spec.mpi_eager_threshold
     if eager:
         # Copy into the library's eager buffer, inject, complete locally.
+        # The copy is mandatory: an eager send returns with the user buffer
+        # immediately reusable.
+        data = view.copy()
         ctx.proc.sleep(spec.mpi_p2p_overhead + spec.copy_time(nbytes))
         env = _Envelope(src=comm.rank, tag=tag, nbytes=nbytes, data=data, rendezvous=None)
         if san is not None:
@@ -207,8 +211,11 @@ def isend(comm: "Comm", matching: Matching, buf, dest: int, tag: int) -> Request
         )
         req._complete()
     else:
+        # Rendezvous: ship a view — the user buffer may not be reused until
+        # the send request completes, which is when the payload lands, so
+        # the only copy is the fill into the posted receive buffer.
         ctx.proc.sleep(spec.mpi_p2p_overhead)
-        rv = _Rendezvous(payload=data, send_request=req, src_world=src_world)
+        rv = _Rendezvous(payload=view, send_request=req, src_world=src_world)
         env = _Envelope(src=comm.rank, tag=tag, nbytes=nbytes, data=None, rendezvous=rv)
         if san is not None:
             env.clock = san.snapshot(src_world)

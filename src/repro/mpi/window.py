@@ -34,6 +34,7 @@ import numpy as np
 from repro.mpi.constants import NO_OP, REPLACE, Op
 from repro.mpi.request import Request
 from repro.sim.sync import SimEvent
+from repro.util.buffers import flatten, snapshot
 from repro.util.errors import MpiError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -65,7 +66,12 @@ class _WindowState:
         n = len(group)
         # pending[o][t]: ops from origin o not yet complete at target t.
         self.pending = [[0] * n for _ in range(n)]
+        # inflight[o]: total pending ops from origin o across all targets.
+        # Lets FLUSH_ALL test one integer instead of scanning pending[o].
+        self.inflight = [0] * n
         self.flush_waiters: dict[tuple[int, int], list[SimEvent]] = {}
+        # Origin-level waiters fired when inflight[o] drains to zero.
+        self.quiet_waiters: dict[int, list[SimEvent]] = {}
         # Origins with epoch activity since their last FLUSH_ALL.
         self.dirty: list[bool] = [False] * n
         self.lock_all_held: list[bool] = [False] * n
@@ -134,6 +140,9 @@ class Window:
         self.comm = comm
         self.ctx = comm.ctx
         self.rank = comm.rank
+        # The sanitizer is fixed at cluster construction, before any rank
+        # runs; cache the handle so per-op checks are one attribute load.
+        self._san = comm.ctx.sanitizer
 
     # -- local access ------------------------------------------------------
 
@@ -149,7 +158,7 @@ class Window:
         if self.state.dynamic:
             raise MpiError("dynamic windows have no implicit local segment; "
                            "use the array passed to attach()")
-        san = self.ctx.cluster.sanitizer
+        san = self._san
         if self.state.memory_model == "separate":
             private = self.state.private_copies[self.rank]
             assert private is not None
@@ -283,14 +292,22 @@ class Window:
         return spec.mpi_match_overhead if spec.mpi_rma_over_sendrecv else 0.0
 
     def _op_started(self, target: int) -> None:
-        self.state.pending[self.rank][target] += 1
-        self.state.dirty[self.rank] = True
+        state = self.state
+        rank = self.rank
+        state.pending[rank][target] += 1
+        state.inflight[rank] += 1
+        state.dirty[rank] = True
 
     def _op_done_at_target(self, origin: int, target: int) -> None:
-        pending = self.state.pending[origin]
+        state = self.state
+        pending = state.pending[origin]
         pending[target] -= 1
-        if pending[target] == 0:
-            for ev in self.state.flush_waiters.pop((origin, target), []):
+        state.inflight[origin] -= 1
+        if pending[target] == 0 and state.flush_waiters:
+            for ev in state.flush_waiters.pop((origin, target), []):
+                ev.fire()
+        if state.inflight[origin] == 0 and state.quiet_waiters:
+            for ev in state.quiet_waiters.pop(origin, []):
                 ev.fire()
 
     def _ack_latency(self, origin: int, target: int) -> float:
@@ -325,7 +342,7 @@ class Window:
         Also checks the passive-target epoch contract: an op needs
         lock_all, a lock on the target, or an open fence on the window.
         """
-        san = self.ctx.cluster.sanitizer
+        san = self._san
         if san is None:
             return None
         state = self.state
@@ -353,7 +370,7 @@ class Window:
         request completion *is* remote completion)."""
         if rec is None:
             return
-        san = self.ctx.cluster.sanitizer
+        san = self._san
         req._event.subscribe(lambda: san.release_records((rec,)))
 
     # -- one-sided data movement ------------------------------------------------
@@ -364,7 +381,7 @@ class Window:
 
     def rput(self, data, target: int, offset: int = 0) -> Request:
         """MPI_RPUT: like PUT, returning a request for *local* completion."""
-        arr = np.ascontiguousarray(data, dtype=self._dtype()).reshape(-1)
+        arr, private = flatten(data, self._dtype())
         self._check_target(target, offset, arr.size)
         spec = self.ctx.spec
         self.ctx.proc.sleep(self._origin_overhead(spec.mpi_rma_overhead))
@@ -372,7 +389,11 @@ class Window:
         self._san_access(
             target, [(offset, offset + arr.size)], "rput", is_write=True
         )
-        snapshot = arr.copy()
+        eager = arr.nbytes <= spec.mpi_eager_threshold
+        # Eager PUTs complete locally on return, so the library must buffer
+        # the data now; rendezvous PUTs may read the user buffer at delivery
+        # time because the contract forbids reuse before local completion.
+        payload = arr.copy() if (eager and not private) else arr
         req = Request(f"rput(win={self.win_id},target={target})", self.ctx.proc)
         origin = self.rank
         engine = self.ctx.engine
@@ -381,7 +402,7 @@ class Window:
 
         def on_delivered() -> None:
             def commit() -> None:
-                self.state.write_target(target, offset, snapshot)
+                self.state.write_target(target, offset, payload)
                 engine.call_in(ack, lambda: (self._op_done_at_target(origin, target), req._complete()))
 
             if target_delay:
@@ -392,11 +413,11 @@ class Window:
         self.ctx.fabric.send(
             self._world(origin),
             self._world(target),
-            snapshot.nbytes + _RMA_ENVELOPE_BYTES,
+            payload.nbytes + _RMA_ENVELOPE_BYTES,
             on_delivered,
             reliable=True,
         )
-        if snapshot.nbytes <= spec.mpi_eager_threshold:
+        if eager:
             # Small transfers are buffered by the library: locally complete now.
             req._complete()
         return req
@@ -461,19 +482,20 @@ class Window:
         self.raccumulate(data, target, offset, op)
 
     def raccumulate(self, data, target: int, offset: int = 0, op: Op = REPLACE) -> Request:
-        arr = np.ascontiguousarray(data, dtype=self._dtype()).reshape(-1)
-        self._check_target(target, offset, arr.size)
+        # Atomics always snapshot: the combine runs at the target later and
+        # must see the call-time value regardless of completion mode.
+        snap = snapshot(data, self._dtype())
+        self._check_target(target, offset, snap.size)
         spec = self.ctx.spec
         self.ctx.proc.sleep(self._origin_overhead(spec.mpi_atomic_overhead))
         self._op_started(target)
         self._san_access(
             target,
-            [(offset, offset + arr.size)],
+            [(offset, offset + snap.size)],
             "raccumulate",
             is_write=True,
             atomic=True,
         )
-        snapshot = arr.copy()
         req = Request(f"raccumulate(win={self.win_id},target={target})", self.ctx.proc)
         origin = self.rank
         engine = self.ctx.engine
@@ -482,7 +504,7 @@ class Window:
 
         def on_delivered() -> None:
             def commit() -> None:
-                self.state.apply_target(target, offset, snapshot, op)
+                self.state.apply_target(target, offset, snap, op)
                 engine.call_in(ack, lambda: (self._op_done_at_target(origin, target), req._complete()))
 
             if target_delay:
@@ -493,11 +515,11 @@ class Window:
         self.ctx.fabric.send(
             self._world(origin),
             self._world(target),
-            snapshot.nbytes + _RMA_ENVELOPE_BYTES,
+            snap.nbytes + _RMA_ENVELOPE_BYTES,
             on_delivered,
             reliable=True,
         )
-        if snapshot.nbytes <= spec.mpi_eager_threshold:
+        if snap.nbytes <= spec.mpi_eager_threshold:
             req._complete()
         return req
 
@@ -510,20 +532,19 @@ class Window:
         return self._fetch_op_common(value, result, target, offset, op).wait()
 
     def _fetch_op_common(self, data, result, target: int, offset: int, op: Op) -> Request:
-        arr = np.ascontiguousarray(data, dtype=self._dtype()).reshape(-1)
+        snap = snapshot(data, self._dtype())
         result_arr = np.asarray(result).reshape(-1)
-        self._check_target(target, offset, arr.size)
+        self._check_target(target, offset, snap.size)
         spec = self.ctx.spec
         self.ctx.proc.sleep(self._origin_overhead(spec.mpi_atomic_overhead))
         self._op_started(target)
         rec = self._san_access(
             target,
-            [(offset, offset + arr.size)],
+            [(offset, offset + snap.size)],
             "fetch_and_op",
             is_write=True,
             atomic=True,
         )
-        snapshot = arr.copy()
         req = Request(f"fetch_op(win={self.win_id},target={target})", self.ctx.proc)
         self._san_release_on(req, rec)
         origin = self.rank
@@ -533,7 +554,7 @@ class Window:
 
         def at_target() -> None:
             def commit() -> None:
-                old = self.state.apply_target(target, offset, snapshot, op)
+                old = self.state.apply_target(target, offset, snap, op)
 
                 def at_origin() -> None:
                     result_arr[...] = old
@@ -553,7 +574,7 @@ class Window:
         fabric.send(
             self._world(origin),
             self._world(target),
-            snapshot.nbytes + _RMA_ENVELOPE_BYTES,
+            snap.nbytes + _RMA_ENVELOPE_BYTES,
             at_target,
             reliable=True,
         )
@@ -632,7 +653,7 @@ class Window:
         """PUT with a derived datatype: scatter ``data`` into the target's
         window at the given (offset, length) runs, as one network message
         (how MPI_Type_vector + MPI_PUT moves strided sections)."""
-        arr = np.ascontiguousarray(data, dtype=self._dtype()).reshape(-1)
+        arr, private = flatten(data, self._dtype())
         total = sum(length for _off, length in runs)
         if arr.size != total:
             raise MpiError(f"put_runs data has {arr.size} elements, runs cover {total}")
@@ -650,7 +671,7 @@ class Window:
             "put_runs",
             is_write=True,
         )
-        snapshot = arr.copy()
+        snap = arr if private else arr.copy()
         origin = self.rank
         engine = self.ctx.engine
         target_delay = self._target_delay()
@@ -661,7 +682,7 @@ class Window:
                 cursor = 0
                 for off, length in runs:
                     self.state.write_target(
-                        target, int(off), snapshot[cursor : cursor + length]
+                        target, int(off), snap[cursor : cursor + length]
                     )
                     cursor += length
                 engine.call_in(ack, lambda: self._op_done_at_target(origin, target))
@@ -674,7 +695,7 @@ class Window:
         self.ctx.fabric.send(
             self._world(origin),
             self._world(target),
-            snapshot.nbytes + _RMA_ENVELOPE_BYTES,
+            snap.nbytes + _RMA_ENVELOPE_BYTES,
             on_delivered,
             reliable=True,
         )
@@ -785,7 +806,7 @@ class Window:
         self._check_target(target, 0, 0)
         self.ctx.proc.sleep(self.ctx.spec.mpi_flush_overhead)
         req = Request(f"rflush(win={self.win_id},t={target})", self.ctx.proc)
-        san = self.ctx.cluster.sanitizer
+        san = self._san
         if san is not None:
             open_recs = san.open_window_records(
                 self.win_id, self._world(self.rank), self._world(target)
@@ -801,7 +822,7 @@ class Window:
         self.ctx.proc.sleep(self.ctx.spec.mpi_flush_all_idle)
         self.state.dirty[self.rank] = False
         req = Request(f"rflush_all(win={self.win_id})", self.ctx.proc)
-        san = self.ctx.cluster.sanitizer
+        san = self._san
         if san is not None:
             open_recs = san.open_window_records(self.win_id, self._world(self.rank))
             if open_recs:
@@ -813,6 +834,17 @@ class Window:
         """Complete ``req`` once pending ops to all ``targets`` are done."""
         state = self.state
         origin = self.rank
+        if state.inflight[origin] == 0:
+            req._complete()
+            return
+        targets = list(targets)
+        if len(targets) == self.group_size:
+            # Waiting on every target == waiting for the origin to drain:
+            # one counter-driven event instead of per-target tracking.
+            ev = SimEvent(f"rflush-all-track(o={origin})")
+            state.quiet_waiters.setdefault(origin, []).append(ev)
+            ev.subscribe(req._complete)
+            return
         remaining = [t for t in targets if state.pending[origin][t] > 0]
         if not remaining:
             req._complete()
@@ -834,7 +866,7 @@ class Window:
         self._check_target(target, 0, 0)
         self.ctx.proc.sleep(self.ctx.spec.mpi_flush_overhead)
         self._wait_target_quiet(target)
-        san = self.ctx.cluster.sanitizer
+        san = self._san
         if san is not None:
             san.release_window(
                 self.win_id, self._world(self.rank), self._world(target)
@@ -848,14 +880,22 @@ class Window:
         ``event_notify`` in RandomAccess.
         """
         spec = self.ctx.spec
-        if self.state.dirty[self.rank]:
+        state = self.state
+        origin = self.rank
+        if state.dirty[origin]:
             self.ctx.proc.sleep(self.group_size * spec.mpi_flush_all_per_target)
-            self.state.dirty[self.rank] = False
+            state.dirty[origin] = False
         else:
             self.ctx.proc.sleep(spec.mpi_flush_all_idle)
-        for target in range(self.group_size):
-            self._wait_target_quiet(target)
-        san = self.ctx.cluster.sanitizer
+        # The modeled cost above is linear in group size (MPICH behaviour);
+        # the wall-clock wait is one counter check — inflight[origin] hits
+        # zero exactly when the last pending op to any target completes, so
+        # this resumes at the same virtual time the per-target loop did.
+        while state.inflight[origin] > 0:
+            ev = SimEvent(f"flush_all(win={self.win_id},o={origin})")
+            state.quiet_waiters.setdefault(origin, []).append(ev)
+            ev.wait(self.ctx.proc)
+        san = self._san
         if san is not None:
             san.release_window(self.win_id, self._world(self.rank))
 
@@ -879,7 +919,7 @@ class Window:
 
     def fence(self) -> None:
         """MPI_WIN_FENCE (active target): flush + barrier."""
-        san = self.ctx.cluster.sanitizer
+        san = self._san
         if san is not None:
             # The window is fence-synchronized from here on: accesses in
             # fence epochs are legal without passive-target locks.

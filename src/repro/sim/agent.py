@@ -36,6 +36,7 @@ class AgentCtx:
         self.spec = base.spec
         self.profiler = base.profiler
         self.memory = base.memory
+        self.sanitizer = base.sanitizer
         self.rng = base.rng
 
     @property

@@ -36,6 +36,9 @@ class RankCtx:
         self.spec = cluster.spec
         self.profiler = cluster.profiler
         self.memory = cluster.memory
+        # Fixed at cluster construction; cached so per-op sanitizer guards
+        # are one attribute load instead of two.
+        self.sanitizer = cluster.sanitizer
         self.rng = rank_rng(cluster.seed, rank)
 
     # -- time -----------------------------------------------------------
@@ -55,8 +58,7 @@ class RankCtx:
         if (seconds is None) == (flops is None):
             raise SimulationError("pass exactly one of seconds= or flops=")
         duration = self.spec.flops_time(flops) if seconds is None else seconds
-        with self.profile(category):
-            self.proc.sleep(duration)
+        self.profiler.sleep_in(self.rank, self.proc, category, duration)
 
     def profile(self, category: str):
         return self.profiler.region(self.rank, category)

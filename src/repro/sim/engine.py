@@ -1,46 +1,92 @@
-"""Deterministic discrete-event engine with thread-backed processes.
+"""Deterministic discrete-event engine with pluggable process substrates.
 
 Design
 ------
-* The scheduler owns a heap of ``(time, seq, callback)`` events and a
+* The engine owns a priority queue of ``(time, seq, event)`` entries and a
   virtual clock. ``seq`` is a monotone counter so ties break
-  deterministically in scheduling order.
-* Each simulated process (:class:`Proc`) runs user code on its own OS
-  thread, but the engine guarantees **exactly one thread runs at a time**:
-  the scheduler releases a process's semaphore to resume it and then blocks
-  on its own control semaphore until the process yields back (by blocking
-  or finishing). This gives plain blocking-style user code, determinism,
-  and free atomicity for all simulator state.
+  deterministically in scheduling order. Events are either plain callbacks
+  or :class:`_Resume` tokens naming a process and the block generation they
+  target.
+* Each simulated process (:class:`Proc`) runs user code on its own fiber
+  (an OS thread by default, a greenlet when ``REPRO_SIM_SUBSTRATE=greenlet``),
+  but the engine guarantees **exactly one fiber runs at a time**. This gives
+  plain blocking-style user code, determinism, and free atomicity for all
+  simulator state.
 * A process yields with :meth:`Proc.block` and is resumed by
   :meth:`Proc.wake`, which schedules a resume event at the waker's current
   time. :meth:`Proc.sleep` advances the process's local time, which is how
   modeled compute/communication costs are charged. Every block carries a
-  generation number; resume events for an older generation are ignored, so
-  a process can never be resumed by a stale wake-up.
+  generation number; resume events for an older generation are ignored, and
+  duplicate wakes of the same generation are dropped at the call site
+  without allocating an event.
 * Because scheduling is cooperative, nothing can run between a process
   registering itself in a wait list and blocking — lost wake-ups cannot
   happen as long as wakers only wake registered waiters.
-* When the event heap empties while live processes remain blocked, the
+* When the event queue empties while live processes remain blocked, the
   engine raises :class:`~repro.util.errors.DeadlockError` naming each
   blocked process's call site — the hazard of Figure 2 of the paper.
+
+Fast path vs. legacy scheduler
+------------------------------
+The default dispatcher (the *fast path*) has no scheduler thread: whichever
+fiber holds the baton runs the dispatch loop itself. Generic callbacks
+execute inline on the current OS thread; when the next event is a resume of
+another process the baton is handed over directly (one context switch
+instead of the legacy round trip's two), and when a process sleeps with no
+earlier pending event it simply advances the clock and keeps running (zero
+switches, no heap traffic). Same-time events bypass the heap through a FIFO
+``_due`` deque, merged with the heap by ``(time, seq)`` so the executed
+event order is *bit-identical* to the legacy scheduler's.
+
+``REPRO_SIM_FASTPATH=0`` selects the legacy dispatcher — a dedicated
+scheduler loop that round-trips through ``threading.Semaphore`` pairs for
+every resume — kept as the measured baseline for the wall-clock perf
+harness and as a cross-check that fast paths never alter virtual time.
+
+Invariant: every wall-clock optimization here changes *how fast* the host
+executes the schedule, never *which* schedule is executed. Virtual times,
+event order (see :meth:`Engine.order_digest`), profiler totals and figure
+outputs are identical across dispatchers and substrates.
 """
 
 from __future__ import annotations
 
+import _thread
 import heapq
+import os
+import struct
 import threading
+from collections import deque
 from collections.abc import Callable
 from typing import Any
 
 from repro.util.errors import DeadlockError, SimTimeoutError, SimulationError
 
+try:  # optional substrate; never required
+    import greenlet as _greenlet_mod  # type: ignore[import-not-found]
+except ImportError:  # pragma: no cover - exercised only without greenlet
+    _greenlet_mod = None
+
+#: Event-order digest record: (virtual time, pid) — pid is -1 for callbacks.
+_pack_order = struct.Struct("<dq").pack
+
 
 class _Killed(BaseException):
-    """Raised inside a process thread to unwind it during engine teardown.
+    """Raised inside a process fiber to unwind it during engine teardown.
 
     Derives from ``BaseException`` so user ``except Exception`` blocks cannot
     swallow it.
     """
+
+
+class _Resume:
+    """A scheduled resume of ``proc``, valid only for block generation ``gen``."""
+
+    __slots__ = ("proc", "gen")
+
+    def __init__(self, proc: Proc, gen: int):
+        self.proc = proc
+        self.gen = gen
 
 
 class Proc:
@@ -82,65 +128,120 @@ class Proc:
         self.crashed = False
         self.result: Any = None
         self._target = target
-        self._sem = threading.Semaphore(0)
         self._killed = False
         self._gen = 0  # generation of the current block; stale resumes are ignored
+        #: Generation for which a resume event is already scheduled; wakes
+        #: targeting the same generation are dropped at the call site.
+        self._woken_gen = -1
         self._wake_payload: Any = None
-        self._thread = threading.Thread(
-            target=self._run, name=f"sim-{name}", daemon=True
-        )
+        if engine._greenlet:
+            self._glet: Any = None  # created lazily in _start (needs greenlet)
+        elif engine._fastpath:
+            # Raw lock as a pre-locked baton: park = acquire, resume = release.
+            # ~5x cheaper than threading.Semaphore's pure-python Condition.
+            self._baton = _thread.allocate_lock()
+            self._baton.acquire()
+            self._thread = threading.Thread(
+                target=self._run, name=f"sim-{name}", daemon=True
+            )
+        else:
+            self._sem = threading.Semaphore(0)
+            self._thread = threading.Thread(
+                target=self._run, name=f"sim-{name}", daemon=True
+            )
 
     # -- scheduler side -------------------------------------------------
 
     def _start(self) -> None:
-        self._thread.start()
-        self.engine.call_at(self.engine.now, lambda: self._resume(0))
+        eng = self.engine
+        if eng._greenlet:
+            # Parent is the main greenlet so a normally-dying fiber returns
+            # control to run(); killers re-parent before throwing.
+            self._glet = _greenlet_mod.greenlet(self._glet_run, eng._main_glet)
+        else:
+            self._thread.start()
+        eng._schedule_resume(eng.now, self, 0)
 
-    def _resume(self, gen: int) -> None:
-        """Hand the baton to this process and wait for it to yield back."""
-        if self.state == Proc.DONE or gen != self._gen:
-            return
-        self.state = Proc.RUNNING
-        self.last_progress = self.engine.now
-        self.engine._current = self
-        san = self.engine.sanitizer
-        if san is not None and self.pid < san.nranks:
-            san.tick(self.pid)
+    def _legacy_resume(self) -> None:
+        """Legacy dispatcher: hand the baton over and wait for it back."""
+        engine = self.engine
+        engine._make_running(self)
         self._sem.release()
-        self.engine._control.acquire()
-        self.engine._current = None
+        engine._control.acquire()
+        engine._current = None
 
     def _kill(self) -> None:
+        """Engine-teardown kill: unwind the fiber and wait for it to die."""
         if self.state == Proc.DONE:
             return
         self._killed = True
-        self._sem.release()
-        self._thread.join()
+        eng = self.engine
+        if eng._greenlet:
+            if self._glet is not None and not self._glet.dead:
+                self._glet.parent = _greenlet_mod.getcurrent()
+                self._glet.throw(_Killed)
+            self.state = Proc.DONE
+        elif eng._fastpath:
+            self._baton.release()
+            self._thread.join()
+        else:
+            self._sem.release()
+            self._thread.join()
 
     def _crash(self) -> None:
         """Kill this process mid-run (an injected image crash).
 
-        Must be called from scheduler context while the process is parked
+        Must be called from dispatcher context while the process is parked
         (blocked or awaiting a resume), which injected crash events always
-        are. The dying thread's ``finally`` releases the engine's control
-        semaphore once as it unwinds; nobody is waiting on that release, so
-        re-acquire it here to keep the scheduler handshake balanced.
+        are. Under the legacy dispatcher the dying thread's ``finally``
+        releases the engine's control semaphore once as it unwinds; nobody
+        is waiting on that release, so re-acquire it to keep the scheduler
+        handshake balanced. The fast path has no such imbalance: a killed
+        fiber neither dispatches nor signals.
         """
         if self.state == Proc.DONE:
             return
         self.crashed = True
         self._killed = True
-        self._sem.release()
-        self._thread.join()
-        self.engine._control.acquire()
+        eng = self.engine
+        if eng._greenlet:
+            if self._glet is not None and _greenlet_mod.getcurrent() is self._glet:
+                # The crash event fired while this process's own fiber was
+                # dispatching (fast path runs callbacks inline). Mark it dead
+                # now — wakes and pending resumes are dropped from here on —
+                # and let _park unwind the fiber once dispatch hands off.
+                self.state = Proc.DONE
+                return
+            if self._glet is not None and not self._glet.dead:
+                # Die back to the killer (which may itself be a proc fiber
+                # running a crash callback), not to the main greenlet.
+                self._glet.parent = _greenlet_mod.getcurrent()
+                self._glet.throw(_Killed)
+            self.state = Proc.DONE
+        elif eng._fastpath:
+            if threading.current_thread() is self._thread:
+                self.state = Proc.DONE  # as above: deferred self-kill
+                return
+            self._baton.release()
+            self._thread.join()
+        else:
+            self._sem.release()
+            self._thread.join()
+            eng._control.acquire()
 
     # -- process side ---------------------------------------------------
 
     def _run(self) -> None:
-        self._sem.acquire()  # wait for the initial resume
+        eng = self.engine
+        fast = eng._fastpath
+        if fast:
+            self._baton.acquire()  # wait for the initial resume
+        else:
+            self._sem.acquire()
         if self._killed:
             self.state = Proc.DONE
-            self.engine._control.release()
+            if not fast:
+                eng._control.release()
             return
         try:
             self.result = self._target(self)
@@ -150,18 +251,88 @@ class Proc:
             # A crashed process may explode in user ``finally`` blocks while
             # unwinding; those secondary failures are part of the injected
             # crash, not program bugs, so only live processes report.
-            if not self._killed and self.engine._failure is None:
-                self.engine._failure = exc
+            if not self._killed and eng._failure is None:
+                eng._failure = exc
         finally:
             self.state = Proc.DONE
-            self.engine._control.release()
+            if not fast:
+                eng._control.release()
+            elif not self._killed:
+                # Fast path: the dying fiber dispatches whatever comes next
+                # (or signals the end of the run) before its thread exits.
+                eng._current = None
+                nxt = eng._advance()
+                if nxt is not None:
+                    nxt._baton.release()
+                else:
+                    eng._end.release()
+
+    def _glet_run(self) -> None:
+        eng = self.engine
+        try:
+            self.result = self._target(self)
+        except _Killed:
+            pass
+        except BaseException as exc:  # noqa: BLE001 - reported to scheduler
+            if not self._killed and eng._failure is None:
+                eng._failure = exc
+        finally:
+            self.state = Proc.DONE
+        if self._killed:
+            return  # dies; control passes to the killer via parent
+        eng._current = None
+        nxt = eng._advance()
+        if nxt is not None:
+            nxt._glet.switch()
+        else:
+            eng._main_glet.switch()
 
     def _yield_to_scheduler(self) -> None:
+        """Legacy dispatcher park: two semaphore handoffs per round trip."""
         self.engine._control.release()
         self._sem.acquire()
         if self._killed:
             raise _Killed
         self.state = Proc.RUNNING
+
+    def _park(self) -> None:
+        """Fast-path park: run the dispatch loop on this fiber.
+
+        Callbacks execute inline; a self-resume returns without any context
+        switch; a resume of another process hands the baton over directly
+        (one switch instead of the legacy round trip's two).
+        """
+        eng = self.engine
+        eng._current = None
+        nxt = eng._advance()
+        if self._killed:
+            # An inline crash callback killed *this* fiber while it was
+            # dispatching (state is already DONE, so nxt is never self).
+            # Hand the baton on, then unwind our own suspended user frames.
+            if eng._greenlet:
+                cur = _greenlet_mod.getcurrent()
+                cur.parent = nxt._glet if nxt is not None else eng._main_glet
+            elif nxt is not None:
+                nxt._baton.release()
+            else:
+                eng._end.release()
+            raise _Killed
+        if nxt is self:
+            return
+        if eng._greenlet:
+            if nxt is not None:
+                nxt._glet.switch()
+            else:
+                eng._main_glet.switch()
+            # resumed by a later switch; a kill arrives as _Killed here
+        else:
+            if nxt is not None:
+                nxt._baton.release()
+            else:
+                eng._end.release()
+            self._baton.acquire()
+            if self._killed:
+                raise _Killed
 
     def block(self, reason: str) -> Any:
         """Yield until some other party calls :meth:`wake`.
@@ -174,7 +345,10 @@ class Proc:
         self._gen += 1
         self.state = Proc.BLOCKED
         self.block_reason = reason
-        self._yield_to_scheduler()
+        if self.engine._fastpath:
+            self._park()
+        else:
+            self._yield_to_scheduler()
         payload, self._wake_payload = self._wake_payload, None
         return payload
 
@@ -184,6 +358,9 @@ class Proc:
         A wake targets the process's *current* block; if the process blocks
         again before the resume event fires, the stale resume is ignored
         (the waker must wake it again through the new wait structure).
+        Waking a generation that already has a pending resume is a no-op —
+        the duplicate is dropped here, at the call site, without allocating
+        an event that the dispatcher would discard later.
         """
         if self.state == Proc.DONE and self._killed:
             # A crashed (or torn-down) process may still sit in waiter
@@ -191,9 +368,12 @@ class Proc:
             return
         if self.state != Proc.BLOCKED:
             raise SimulationError(f"wake() on non-blocked {self!r}")
+        engine = self.engine
+        if self._woken_gen == self._gen:
+            engine.stale_wakes_dropped += 1
+            return
         self._wake_payload = payload
-        gen = self._gen
-        self.engine.call_at(self.engine.now, lambda: self._resume(gen))
+        engine._schedule_resume(engine.now, self, self._gen)
 
     def sleep(self, duration: float) -> None:
         """Advance this process's local (virtual) time by ``duration``."""
@@ -202,12 +382,28 @@ class Proc:
             raise SimulationError(f"cannot sleep for negative time {duration!r}")
         if duration == 0:
             return
+        engine = self.engine
+        when = engine.now + duration
+        if engine._fastpath and not engine._due:
+            heap = engine._heap
+            if not heap or heap[0][0] > when:
+                # Nothing can run before this sleep ends: advance the clock
+                # in place. No event, no heap traffic, no context switch.
+                # The executed schedule is identical — the legacy path would
+                # pop this resume next with nothing in between.
+                self._gen += 1
+                engine.now = when
+                engine.events_executed += 1
+                engine._make_running(self)
+                return
         self._gen += 1
-        gen = self._gen
         self.state = Proc.BLOCKED
         self.block_reason = f"sleep({duration:g})"
-        self.engine.call_at(self.engine.now + duration, lambda: self._resume(gen))
-        self._yield_to_scheduler()
+        engine._schedule_resume(when, self, self._gen)
+        if engine._fastpath:
+            self._park()
+        else:
+            self._yield_to_scheduler()
 
     def _check_running(self, op: str) -> None:
         if self.engine._current is not self:
@@ -221,14 +417,57 @@ class Proc:
 
 
 class Engine:
-    """Event heap, virtual clock and process registry."""
+    """Event queue, virtual clock and process registry.
 
-    def __init__(self) -> None:
-        self._heap: list[tuple[float, int, Callable[[], None]]] = []
+    Parameters
+    ----------
+    fastpath:
+        Select the dispatcher. ``None`` (default) reads ``REPRO_SIM_FASTPATH``
+        (default on); ``False`` forces the legacy scheduler-thread loop.
+    substrate:
+        Process substrate: ``"threads"`` (default) or ``"greenlet"``.
+        ``None`` reads ``REPRO_SIM_SUBSTRATE``. Both substrates execute
+        bit-identical event orders; greenlet needs no OS threads at all.
+    """
+
+    def __init__(
+        self, *, fastpath: bool | None = None, substrate: str | None = None
+    ) -> None:
+        if fastpath is None:
+            fastpath = os.environ.get("REPRO_SIM_FASTPATH", "1") != "0"
+        if substrate is None:
+            substrate = os.environ.get("REPRO_SIM_SUBSTRATE", "threads")
+        if substrate not in ("threads", "greenlet"):
+            raise SimulationError(
+                f"unknown process substrate {substrate!r} "
+                "(expected 'threads' or 'greenlet')"
+            )
+        if substrate == "greenlet":
+            if _greenlet_mod is None:
+                raise SimulationError(
+                    "REPRO_SIM_SUBSTRATE=greenlet requested but the greenlet "
+                    "package is not installed; use the default threads substrate"
+                )
+            if not fastpath:
+                raise SimulationError(
+                    "the greenlet substrate requires the fast-path dispatcher "
+                    "(unset REPRO_SIM_FASTPATH=0)"
+                )
+        self._fastpath = fastpath
+        self._greenlet = substrate == "greenlet"
+        self.substrate = substrate
+        self._heap: list[tuple[float, int, Any]] = []
+        #: Same-time events (``when == now``) bypass the heap through this
+        #: FIFO; it stays sorted by ``(when, seq)`` because ``now`` never
+        #: decreases, and is merged with the heap head on pop.
+        self._due: deque[tuple[float, int, Any]] = deque()
         self._seq = 0
         self.now = 0.0
         self.procs: list[Proc] = []
-        self._control = threading.Semaphore(0)
+        self._control = threading.Semaphore(0)  # legacy dispatcher handshake
+        self._end = _thread.allocate_lock()  # fast path run-over signal
+        self._end.acquire()
+        self._main_glet: Any = None
         self._current: Proc | None = None
         #: Attached by :class:`~repro.sim.cluster.Cluster` when sanitizing;
         #: every scheduling point of a rank process ticks its vector clock.
@@ -236,6 +475,17 @@ class Engine:
         self._failure: BaseException | None = None
         self._ran = False
         self._finished = False
+        self._deadline: float | None = None
+        self._timeout_info: tuple[dict[int, str], dict[int, float]] | None = None
+        #: Executed events (live resumes + callbacks); stale resumes and
+        #: dropped wakes are not counted. Identical across dispatchers for
+        #: the same program, which is what makes events/sec comparable.
+        self.events_executed = 0
+        #: Duplicate same-generation wakes dropped at the call site.
+        self.stale_wakes_dropped = 0
+        self._digest: Any = None
+        if os.environ.get("REPRO_SIM_DIGEST"):
+            self.enable_order_digest()
 
     # -- construction ---------------------------------------------------
 
@@ -262,19 +512,121 @@ class Engine:
             proc._start()
         return proc
 
-    # -- event heap -----------------------------------------------------
+    # -- event-order digest ---------------------------------------------
+
+    def enable_order_digest(self) -> None:
+        """Start hashing the executed event order (must precede :meth:`run`).
+
+        The digest covers ``(virtual time, pid)`` for every live resume and
+        ``(virtual time, -1)`` for every callback, in execution order — the
+        determinism fingerprint compared across dispatchers and substrates.
+        Also enabled by setting ``REPRO_SIM_DIGEST`` in the environment.
+        """
+        if self._digest is None:
+            import hashlib
+
+            self._digest = hashlib.blake2b(digest_size=16)
+
+    def order_digest(self) -> str | None:
+        """Hex digest of the executed event order, or ``None`` if disabled."""
+        return self._digest.hexdigest() if self._digest is not None else None
+
+    # -- event queue -----------------------------------------------------
 
     def call_at(self, when: float, fn: Callable[[], None]) -> None:
-        """Schedule ``fn()`` to run in scheduler context at virtual time ``when``."""
-        if when < self.now:
+        """Schedule ``fn()`` to run in dispatcher context at virtual time ``when``."""
+        now = self.now
+        if when < now:
             raise SimulationError(
-                f"cannot schedule event in the past ({when} < now={self.now})"
+                f"cannot schedule event in the past ({when} < now={now})"
             )
-        heapq.heappush(self._heap, (when, self._seq, fn))
+        entry = (when, self._seq, fn)
         self._seq += 1
+        if when == now and self._fastpath:
+            self._due.append(entry)
+        else:
+            heapq.heappush(self._heap, entry)
 
     def call_in(self, delay: float, fn: Callable[[], None]) -> None:
         self.call_at(self.now + delay, fn)
+
+    def _schedule_resume(self, when: float, proc: Proc, gen: int) -> None:
+        proc._woken_gen = gen
+        entry = (when, self._seq, _Resume(proc, gen))
+        self._seq += 1
+        if when == self.now and self._fastpath:
+            self._due.append(entry)
+        else:
+            heapq.heappush(self._heap, entry)
+
+    # -- shared dispatcher pieces ----------------------------------------
+
+    def _make_running(self, proc: Proc) -> None:
+        proc.state = Proc.RUNNING
+        proc.last_progress = self.now
+        self._current = proc
+        san = self.sanitizer
+        if san is not None and proc.pid < san.nranks:
+            san.tick(proc.pid)
+        if self._digest is not None:
+            self._digest.update(_pack_order(self.now, proc.pid))
+
+    def _advance(self) -> Proc | None:
+        """Fast-path dispatch loop: run events until a process must resume.
+
+        Executes callbacks inline on the calling fiber (with no process
+        current) and returns the next process to run — already marked
+        running — or ``None`` when the run is over (queue drained, deadline
+        hit, or a failure recorded).
+        """
+        if self._failure is not None:
+            return None
+        heap = self._heap
+        due = self._due
+        pop = heapq.heappop
+        deadline = self._deadline
+        digest = self._digest
+        while True:
+            if due:
+                d = due[0]
+                if heap:
+                    h = heap[0]
+                    if h[0] < d[0] or (h[0] == d[0] and h[1] < d[1]):
+                        ev = pop(heap)
+                    else:
+                        ev = due.popleft()
+                else:
+                    ev = due.popleft()
+            elif heap:
+                ev = pop(heap)
+            else:
+                return None
+            when = ev[0]
+            if deadline is not None and when > deadline:
+                blocked = self._blocked_report()
+                if blocked:
+                    self.now = deadline
+                    self._timeout_info = (blocked, self._progress_report())
+                return None  # daemon-only activity past the deadline ends quietly
+            self.now = when
+            fn = ev[2]
+            if type(fn) is _Resume:
+                proc = fn.proc
+                if fn.gen != proc._gen or proc.state == Proc.DONE:
+                    continue  # stale resume (re-block or died process)
+                self.events_executed += 1
+                self._make_running(proc)
+                return proc
+            self.events_executed += 1
+            if digest is not None:
+                digest.update(_pack_order(when, -1))
+            try:
+                fn()
+            except BaseException as exc:  # noqa: BLE001 - surfaced from run()
+                if self._failure is None:
+                    self._failure = exc
+            if self._failure is not None:
+                return None
 
     # -- main loop ------------------------------------------------------
 
@@ -290,7 +642,7 @@ class Engine:
         Raises
         ------
         DeadlockError
-            If the event heap empties while unfinished processes remain.
+            If the event queue empties while unfinished processes remain.
         SimTimeoutError
             If ``deadline`` is reached with unfinished processes.
         Exception
@@ -301,32 +653,73 @@ class Engine:
         if deadline is not None and deadline < 0:
             raise SimulationError(f"deadline must be non-negative, got {deadline}")
         self._ran = True
-        for proc in self.procs:
-            proc._start()
+        self._deadline = deadline
         try:
-            while self._heap:
-                when, _seq, fn = heapq.heappop(self._heap)
-                if deadline is not None and when > deadline:
-                    blocked = self._blocked_report()
-                    if not blocked:
-                        break  # only daemon housekeeping remains
-                    self.now = deadline
-                    raise SimTimeoutError(
-                        deadline, blocked, last_progress=self._progress_report()
-                    )
-                self.now = when
-                fn()
-                if self._failure is not None:
-                    raise self._failure
-            blocked = self._blocked_report()
-            if blocked:
-                raise DeadlockError(
-                    blocked, now=self.now, last_progress=self._progress_report()
-                )
+            if self._greenlet:
+                self._main_glet = _greenlet_mod.getcurrent()
+            for proc in self.procs:
+                proc._start()
+            if self._fastpath:
+                self._run_fast()
+            else:
+                self._run_legacy(deadline)
         finally:
             self._finished = True
             for proc in self.procs:
                 proc._kill()
+
+    def _run_fast(self) -> None:
+        first = self._advance()
+        if first is not None:
+            if self._greenlet:
+                first._glet.switch()  # returns when the run is over
+            else:
+                first._baton.release()
+                self._end.acquire()  # released by whichever fiber ends the run
+        if self._timeout_info is not None:
+            blocked, progress = self._timeout_info
+            raise SimTimeoutError(self._deadline, blocked, last_progress=progress)
+        if self._failure is not None:
+            raise self._failure
+        blocked = self._blocked_report()
+        if blocked:
+            raise DeadlockError(
+                blocked, now=self.now, last_progress=self._progress_report()
+            )
+
+    def _run_legacy(self, deadline: float | None) -> None:
+        """The pre-fast-path scheduler loop: every event pops here, every
+        resume round-trips through a semaphore pair. Kept verbatim as the
+        perf baseline and as a determinism cross-check."""
+        digest = self._digest
+        while self._heap:
+            when, _seq, fn = heapq.heappop(self._heap)
+            if deadline is not None and when > deadline:
+                blocked = self._blocked_report()
+                if not blocked:
+                    break  # only daemon housekeeping remains
+                self.now = deadline
+                raise SimTimeoutError(
+                    deadline, blocked, last_progress=self._progress_report()
+                )
+            self.now = when
+            if type(fn) is _Resume:
+                proc = fn.proc
+                if fn.gen == proc._gen and proc.state != Proc.DONE:
+                    self.events_executed += 1
+                    proc._legacy_resume()
+            else:
+                self.events_executed += 1
+                if digest is not None:
+                    digest.update(_pack_order(when, -1))
+                fn()
+            if self._failure is not None:
+                raise self._failure
+        blocked = self._blocked_report()
+        if blocked:
+            raise DeadlockError(
+                blocked, now=self.now, last_progress=self._progress_report()
+            )
 
     def _blocked_report(self) -> dict[int, str]:
         """Per-rank call-site of every unfinished, non-daemon process."""

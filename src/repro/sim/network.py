@@ -84,6 +84,24 @@ class MachineSpec:
     gasnet_mem_log_mb: float = 3.25  # per log2(P) segment metadata growth
     gasnet_mem_nosrq_per_rank_mb: float = 0.05  # per-peer recv buffers w/o SRQ
 
+    def __post_init__(self) -> None:
+        # Precomputed fabric cost tuple: one attribute load hands the inner
+        # loop every constant it needs. The arithmetic itself is unchanged
+        # (same operations, same order), so modeled times stay bit-identical.
+        object.__setattr__(
+            self,
+            "_fabric_costs",
+            (
+                self.latency,
+                self.bandwidth,
+                self.header_bytes,
+                self.tx_msg_overhead,
+                self.rx_msg_overhead,
+                self.loopback_latency,
+                self.mem_copy_bw,
+            ),
+        )
+
     def with_overrides(self, **kwargs: Any) -> "MachineSpec":
         """Return a copy with the given fields replaced (for ablations)."""
         return dataclasses.replace(self, **kwargs)
@@ -121,7 +139,12 @@ class NetFabric:
         self._rx_free = [0.0] * nranks
         # Per-(src, dst) last delivery time: enforces FIFO per ordered pair,
         # which MPI's non-overtaking rule and GASNet AM ordering rely on.
-        self._pair_last: dict[tuple[int, int], float] = {}
+        # Keyed by src * nranks + dst (int keys hash faster than tuples).
+        self._pair_last: dict[int, float] = {}
+        # Memoized per-pair (intra?, latency, bw, header, tx_oh, rx_oh,
+        # loopback, copy_bw) cost tuples, filled lazily per ordered pair.
+        self._pair_cost: dict[int, tuple] = {}
+        self._node = [r // spec.ranks_per_node for r in range(nranks)]
         self.messages_sent = 0
         self.bytes_sent = 0
         #: Optional :class:`repro.sim.faults.FaultPlan` consulted once per
@@ -168,50 +191,61 @@ class NetFabric:
         may be dropped or corrupted (callback never runs; returns ``inf``),
         duplicated (callback runs twice) or delayed past the FIFO order.
         """
-        self._check_rank(src)
-        self._check_rank(dst)
+        nranks = self.nranks
+        if not (0 <= src < nranks and 0 <= dst < nranks):
+            self._check_rank(src)
+            self._check_rank(dst)
         if nbytes < 0:
             raise SimulationError(f"negative transfer size {nbytes}")
         if rx_extra < 0:
             raise SimulationError(f"negative rx_extra {rx_extra!r}")
-        if self.engine._finished:
+        engine = self.engine
+        if engine._finished:
             raise SimulationError(
                 f"transfer({src}->{dst}) on a fabric whose engine has finished"
             )
-        if src in self.failed_ranks or dst in self.failed_ranks:
+        if self.failed_ranks and (src in self.failed_ranks or dst in self.failed_ranks):
             # A crashed node's NIC is silent: in-flight and future frames
             # touching it vanish. This is what leaves a retransmitting
             # survivor hanging — the case the engine watchdog exists for.
             self.blackholed += 1
             return math.inf
-        now = self.engine.now
+        now = engine.now
         self.messages_sent += 1
         self.bytes_sent += nbytes
         if self.sanitizer is not None:
             self.sanitizer.stats["transfers"] += 1
-        spec = self.spec
-        if src == dst or spec.node_of(src) == spec.node_of(dst):
+        pair = src * nranks + dst
+        cost = self._pair_cost.get(pair)
+        if cost is None:
+            intra = src == dst or self._node[src] == self._node[dst]
+            cost = (intra,) + self.spec._fabric_costs  # type: ignore[attr-defined]
+            self._pair_cost[pair] = cost
+        intra, latency, bandwidth, header, tx_oh, rx_oh, loopback, copy_bw = cost
+        if intra:
             # Intra-node: shared-memory copy, no NIC involvement.
-            deliver = now + spec.loopback_latency + spec.copy_time(nbytes)
+            deliver = now + loopback + nbytes / copy_bw
         else:
-            wire_bytes = nbytes + spec.header_bytes
-            ser = wire_bytes / spec.bandwidth
-            depart = max(now, self._tx_free[src])
+            ser = (nbytes + header) / bandwidth
+            tx_free = self._tx_free[src]
+            depart = now if now > tx_free else tx_free
             # NICs have a message-rate limit independent of bandwidth: each
             # message occupies the NIC for a fixed overhead plus its wire
             # time. This is what punishes unscheduled incast (the naive
             # all-to-all) as the process count grows.
-            self._tx_free[src] = depart + ser + spec.tx_msg_overhead
-            head_arrive = depart + spec.latency
+            self._tx_free[src] = depart + ser + tx_oh
+            head_arrive = depart + latency
+            rx_free = self._rx_free[dst]
             deliver = (
-                max(head_arrive, self._rx_free[dst])
+                (head_arrive if head_arrive > rx_free else rx_free)
                 + ser
-                + spec.rx_msg_overhead
+                + rx_oh
                 + rx_extra
             )
             self._rx_free[dst] = deliver
-        pair = (src, dst)
-        deliver = max(deliver, self._pair_last.get(pair, 0.0))
+        last = self._pair_last.get(pair, 0.0)
+        if deliver < last:
+            deliver = last
         self._pair_last[pair] = deliver
 
         decision = None
@@ -238,14 +272,13 @@ class NetFabric:
                 self.delayed += 1
                 deliver += decision.extra_delay
 
-        if self.tracer is not None and self.tracer.enabled:
-            self.tracer.record(
-                "transfer", src, now, deliver, dst=dst, nbytes=nbytes
-            )
-        self.engine.call_at(deliver, on_delivered)
+        tracer = self.tracer
+        if tracer is not None and tracer.enabled:
+            tracer.record("transfer", src, now, deliver, dst=dst, nbytes=nbytes)
+        engine.call_at(deliver, on_delivered)
         if decision is not None and decision.duplicate:
             self.duplicated += 1
-            self.engine.call_at(deliver + decision.duplicate_lag, on_delivered)
+            engine.call_at(deliver + decision.duplicate_lag, on_delivered)
         return deliver
 
     def send(

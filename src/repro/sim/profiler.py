@@ -9,9 +9,47 @@ nested region pauses the parent region's clock.
 
 from __future__ import annotations
 
-from contextlib import contextmanager
-
 from repro.sim.engine import Engine
+
+
+class _Region:
+    """Reentrant-safe region context manager.
+
+    A plain ``__slots__`` class instead of a ``@contextmanager`` generator:
+    entering/leaving a region is on the simulator's per-operation hot path
+    (every modeled sleep is wrapped in one), and the generator protocol
+    costs several calls plus a frame per use.
+    """
+
+    __slots__ = ("profiler", "rank", "category", "entered")
+
+    def __init__(self, profiler: Profiler, rank: int, category: str):
+        self.profiler = profiler
+        self.rank = rank
+        self.category = category
+
+    def __enter__(self) -> None:
+        prof = self.profiler
+        rank = self.rank
+        category = self.category
+        counts = prof.counts[rank]
+        counts[category] = counts.get(category, 0) + 1
+        prof._charge_top(rank)
+        self.entered = prof.engine.now
+        prof._stack[rank].append([category, self.entered])
+
+    def __exit__(self, *exc: object) -> None:
+        prof = self.profiler
+        rank = self.rank
+        prof._charge_top(rank)
+        stack = prof._stack[rank]
+        stack.pop()
+        now = prof.engine.now
+        if stack:
+            stack[-1][1] = now
+        tracer = prof.tracer
+        if tracer is not None and tracer.enabled:
+            tracer.record("region", rank, self.entered, now, category=self.category)
 
 
 class Profiler:
@@ -28,29 +66,39 @@ class Profiler:
         stack = self._stack[rank]
         if stack:
             cat, start = stack[-1]
-            self.times[rank][cat] = (
-                self.times[rank].get(cat, 0.0) + self.engine.now - start
-            )
-            stack[-1][1] = self.engine.now
+            now = self.engine.now
+            times = self.times[rank]
+            times[cat] = times.get(cat, 0.0) + now - start
+            stack[-1][1] = now
 
-    @contextmanager
-    def region(self, rank: int, category: str):
+    def region(self, rank: int, category: str) -> _Region:
         """Attribute enclosed virtual time on ``rank`` to ``category``."""
-        self.counts[rank][category] = self.counts[rank].get(category, 0) + 1
+        return _Region(self, rank, category)
+
+    def sleep_in(self, rank: int, proc, category: str, duration: float) -> None:
+        """``with region(rank, category): proc.sleep(duration)``, unrolled.
+
+        Semantically identical to the region form (same accounting, same
+        trace record); exists because charging a modeled compute/overhead
+        sleep is the single most frequent profiler operation.
+        """
+        counts = self.counts[rank]
+        counts[category] = counts.get(category, 0) + 1
         self._charge_top(rank)
         entered = self.engine.now
-        self._stack[rank].append([category, entered])
+        stack = self._stack[rank]
+        stack.append([category, entered])
         try:
-            yield
+            proc.sleep(duration)
         finally:
             self._charge_top(rank)
-            self._stack[rank].pop()
-            if self._stack[rank]:
-                self._stack[rank][-1][1] = self.engine.now
-            if self.tracer is not None and self.tracer.enabled:
-                self.tracer.record(
-                    "region", rank, entered, self.engine.now, category=category
-                )
+            stack.pop()
+            now = self.engine.now
+            if stack:
+                stack[-1][1] = now
+            tracer = self.tracer
+            if tracer is not None and tracer.enabled:
+                tracer.record("region", rank, entered, now, category=category)
 
     def total(self, category: str) -> float:
         """Sum of ``category`` time across all ranks."""

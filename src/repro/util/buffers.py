@@ -1,0 +1,44 @@
+"""Zero-copy payload helpers shared by the communication libraries.
+
+Every bulk transfer path (MPI RMA, p2p rendezvous, GASNet puts, CAF
+coarray writes) needs the same preamble: coerce the user's buffer to a
+flat, C-contiguous array of the wire dtype. Done naively that costs two
+copies (``ascontiguousarray`` then a defensive ``.copy()``). These
+helpers make exactly the copies the semantics require and no more:
+
+* :func:`flatten` returns a flat view plus a *private* flag — ``True``
+  when the result already owns memory the caller cannot alias (because
+  a dtype/layout conversion or list-to-array coercion materialized a
+  fresh array). Rendezvous-style operations, whose user contract forbids
+  buffer reuse until local completion, can ship the view as-is and defer
+  the only copy to delivery.
+* :func:`snapshot` returns an array that is safe to retain after the
+  call returns (eager sends, atomics), copying only when :func:`flatten`
+  did not already produce private memory.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def flatten(data, dtype) -> tuple[np.ndarray, bool]:
+    """Flat C-contiguous view of ``data`` as ``dtype``.
+
+    Returns ``(flat, private)``; ``private`` is ``True`` when ``flat``
+    does not alias caller-visible memory.
+    """
+    if isinstance(data, np.ndarray):
+        arr, private = data, False
+    else:
+        arr, private = np.asarray(data), True
+    if arr.dtype != dtype or not arr.flags["C_CONTIGUOUS"]:
+        arr = np.ascontiguousarray(arr, dtype=dtype)
+        private = True
+    return arr.reshape(-1), private
+
+
+def snapshot(data, dtype) -> np.ndarray:
+    """Flat copy-safe array: retainable after the caller's buffer mutates."""
+    flat, private = flatten(data, dtype)
+    return flat if private else flat.copy()

@@ -1,0 +1,168 @@
+"""Dispatcher and substrate equivalence: the fast paths must never change
+*which* schedule executes, only how fast the host executes it.
+
+The golden digests below fingerprint the executed event order
+(``Engine.order_digest``) of a fixed RandomAccess run. They were recorded
+from the legacy dispatcher and are asserted against every dispatcher and
+substrate, so any future "optimization" that reorders events — even among
+same-time ties — fails here rather than silently perturbing figures.
+"""
+
+import pytest
+
+from repro.apps.randomaccess import run_randomaccess
+from repro.caf.program import run_caf
+from repro.sim.engine import Engine, _greenlet_mod
+from repro.sim.network import MachineSpec
+from repro.util.errors import SimulationError
+
+# Fixed workload: RA on 4 images, 64 updates/image over 2 batches.
+GOLDEN_KW = dict(table_bits_per_image=6, updates_per_image=64, batches=2)
+GOLDEN = {
+    "mpi": ("f33ad3ac50b403e26a0a9e79637fe49c", 944),
+    "gasnet": ("2928f96e7c3b173ea9ee19543f125f83", 895),
+}
+
+needs_greenlet = pytest.mark.skipif(
+    _greenlet_mod is None, reason="greenlet not installed"
+)
+
+
+def _run_golden(monkeypatch, backend, fastpath, substrate="threads"):
+    monkeypatch.setenv("REPRO_SIM_FASTPATH", "1" if fastpath else "0")
+    monkeypatch.setenv("REPRO_SIM_SUBSTRATE", substrate)
+    monkeypatch.setenv("REPRO_SIM_DIGEST", "1")
+    r = run_caf(
+        run_randomaccess, 4, MachineSpec(name="generic"), backend=backend, **GOLDEN_KW
+    )
+    eng = r.cluster.engine
+    totals = {c: r.profiler.total(c) for c in r.profiler.categories()}
+    return eng.order_digest(), eng.events_executed, r.cluster.elapsed, totals
+
+
+@pytest.mark.parametrize("backend", ["mpi", "gasnet"])
+def test_fast_and_legacy_dispatchers_execute_identical_schedules(
+    monkeypatch, backend
+):
+    fast = _run_golden(monkeypatch, backend, fastpath=True)
+    legacy = _run_golden(monkeypatch, backend, fastpath=False)
+    # Digest, event count, virtual makespan and profiler category totals
+    # must all be bit-identical, not merely close.
+    assert fast == legacy
+
+
+@pytest.mark.parametrize("backend", ["mpi", "gasnet"])
+def test_dispatch_order_matches_golden_digest(monkeypatch, backend):
+    digest, events, _, _ = _run_golden(monkeypatch, backend, fastpath=True)
+    assert (digest, events) == GOLDEN[backend]
+
+
+@needs_greenlet
+@pytest.mark.parametrize("backend", ["mpi", "gasnet"])
+def test_greenlet_substrate_executes_identical_schedule(monkeypatch, backend):
+    threads = _run_golden(monkeypatch, backend, fastpath=True)
+    glet = _run_golden(monkeypatch, backend, fastpath=True, substrate="greenlet")
+    assert glet == threads
+    assert glet[0] == GOLDEN[backend][0]
+
+
+@pytest.mark.skipif(_greenlet_mod is not None, reason="greenlet is installed")
+def test_greenlet_substrate_without_package_is_a_clear_error():
+    with pytest.raises(SimulationError, match="greenlet"):
+        Engine(substrate="greenlet")
+
+
+def test_unknown_substrate_rejected():
+    with pytest.raises(SimulationError, match="substrate"):
+        Engine(substrate="coroutines")
+
+
+def test_greenlet_requires_fast_dispatcher():
+    if _greenlet_mod is None:
+        pytest.skip("greenlet not installed")
+    with pytest.raises(SimulationError, match="fast-path"):
+        Engine(fastpath=False, substrate="greenlet")
+
+
+@pytest.mark.parametrize("fastpath", [True, False])
+def test_duplicate_wake_dropped_at_call_site(fastpath):
+    """A second wake of the same block generation must not allocate a heap
+    event — it is dropped where it happens, and counted."""
+    eng = Engine(fastpath=fastpath)
+    waiter_box = []
+    payloads = []
+
+    def waiter(p):
+        waiter_box.append(p)
+        payloads.append(p.block("waiting"))
+        payloads.append(p.block("waiting again"))
+
+    def waker(p):
+        p.sleep(1.0)
+        w = waiter_box[0]
+        before = len(eng._heap) + len(eng._due)
+        w.wake("first")
+        after_one = len(eng._heap) + len(eng._due)
+        w.wake("duplicate")  # same generation: dropped, no event
+        after_two = len(eng._heap) + len(eng._due)
+        assert after_one == before + 1
+        assert after_two == after_one
+        p.sleep(1.0)
+        w.wake("second-block")
+
+    eng.spawn(waiter, name="waiter")
+    eng.spawn(waker, name="waker")
+    eng.run()
+    assert payloads == ["first", "second-block"]
+    assert eng.stale_wakes_dropped == 1
+
+
+def test_stale_wake_counter_starts_at_zero():
+    eng = Engine()
+
+    def body(p):
+        p.sleep(1.0)
+
+    eng.spawn(body)
+    eng.run()
+    assert eng.stale_wakes_dropped == 0
+
+
+def test_inline_sleep_bypasses_heap_on_fast_path():
+    """A sole-runnable process's sleep advances the clock in place: no heap
+    entry, no context switch, but the event still counts."""
+    eng = Engine(fastpath=True)
+    heap_sizes = []
+
+    def body(p):
+        for _ in range(3):
+            heap_sizes.append(len(eng._heap) + len(eng._due))
+            p.sleep(1.0)
+
+    eng.spawn(body)
+    eng.run()
+    assert heap_sizes == [0, 0, 0]
+    assert eng.now == 3.0
+    # initial resume + three sleeps
+    assert eng.events_executed == 4
+
+
+def test_events_executed_identical_across_dispatchers():
+    def make(fastpath):
+        eng = Engine(fastpath=fastpath)
+
+        def ping(p):
+            for _ in range(5):
+                p.sleep(0.25)
+
+        def pong(p):
+            for _ in range(4):
+                p.sleep(0.3)
+
+        eng.spawn(ping)
+        eng.spawn(pong)
+        eng.enable_order_digest()
+        eng.run()
+        return eng.events_executed, eng.order_digest(), eng.now
+
+    assert make(True) == make(False)

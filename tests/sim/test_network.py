@@ -141,6 +141,77 @@ def test_negative_size_rejected():
         eng.run()
 
 
+def test_pair_cost_memoized_once_per_ordered_pair():
+    """The per-pair cost tuple is computed on first use and reused; repeat
+    transfers must price identically to the un-memoized formula."""
+    eng = Engine()
+    spec = make_spec()
+    fabric = NetFabric(eng, 3, spec)
+    times = []
+
+    def body(p):
+        for _ in range(4):
+            times.append(fabric.transfer(0, 1, 1000, lambda: None))
+        p.sleep(100.0)
+
+    eng.spawn(body)
+    eng.run()
+    assert len(fabric._pair_cost) == 1  # one ordered pair seen
+    ser = 1000 / 1e9
+    # Back-to-back sends queue behind the NIC: k-th message departs after
+    # k-1 serializations, exactly as the memoization-free model priced it.
+    for k, t in enumerate(times):
+        assert t == pytest.approx(k * ser + 1e-6 + ser)
+
+
+def test_memoized_intranode_path_follows_node_map():
+    """With 2 ranks/node, (0,1) and (2,3) are shared-memory pairs while
+    (1,2) crosses nodes — the memoized cost tuples must preserve that."""
+    spec = make_spec(ranks_per_node=2)
+    intra01, intra23 = run_transfer(spec, 4, [(0, 1, 1000), (2, 3, 1000)])
+    (inter12,) = run_transfer(spec, 4, [(1, 2, 1000)])
+    shared_mem = 1e-7 + 1000 / 1e10
+    assert intra01 == pytest.approx(shared_mem)
+    assert intra23 == pytest.approx(shared_mem)
+    assert inter12 == pytest.approx(1e-6 + 1000 / 1e9)
+
+
+def test_intranode_transfer_bypasses_nic_state():
+    """Shared-memory copies never occupy a NIC: an intra-node burst leaves
+    the injection/delivery clocks untouched for wire traffic."""
+    eng = Engine()
+    fabric = NetFabric(eng, 2, make_spec(ranks_per_node=2))
+
+    def body(p):
+        for _ in range(10):
+            fabric.transfer(0, 1, 10_000, lambda: None)
+        p.sleep(1.0)
+
+    eng.spawn(body)
+    eng.run()
+    assert fabric._tx_free == [0.0, 0.0]
+    assert fabric._rx_free == [0.0, 0.0]
+
+
+def test_nic_message_rate_limit_under_memoized_model():
+    """Per-message injection occupancy throttles a zero-byte burst to one
+    departure per ``tx_msg_overhead``, independent of bandwidth."""
+    spec = make_spec(tx_msg_overhead=5e-6)
+    # Distinct destinations: only the source NIC's rate limit applies.
+    ts = run_transfer(spec, 5, [(0, d, 0) for d in (1, 2, 3, 4)])
+    for k, t in enumerate(ts):
+        assert t == pytest.approx(k * 5e-6 + 1e-6)
+
+
+def test_with_overrides_recomputes_memoized_fabric_costs():
+    """dataclasses.replace re-runs __post_init__, so an overridden spec's
+    precomputed cost tuple reflects the new values."""
+    spec = make_spec()
+    fat = spec.with_overrides(bandwidth=2e9, latency=3e-6)
+    (t,) = run_transfer(fat, 2, [(0, 1, 1000)])
+    assert t == pytest.approx(3e-6 + 1000 / 2e9)
+
+
 def test_spec_with_overrides_returns_modified_copy():
     spec = make_spec()
     spec2 = spec.with_overrides(latency=5e-6)
