@@ -111,12 +111,22 @@ class Matching:
         ]
 
 
-def _complete_recv(comm: "Comm", posted: _PostedRecv, env: _Envelope, data: np.ndarray) -> None:
+def _complete_recv(
+    comm: "Comm",
+    posted: _PostedRecv,
+    env: _Envelope,
+    data: np.ndarray,
+    *,
+    land_now: bool = False,
+) -> None:
     """Fill the posted buffer and complete the request after the match overhead.
 
     Eager messages pay an unpack copy out of the library's bounce buffer;
     rendezvous payloads land directly in the user buffer (zero-copy), so
-    they only pay the match overhead.
+    they only pay the match overhead. ``land_now`` copies the payload out
+    synchronously (rendezvous: ``data`` is a live view of the sender's
+    buffer, which becomes legally reusable the instant the send request
+    completes) while still deferring request completion by the overhead.
     """
     if env.nbytes > posted.buf.nbytes:
         raise MpiError(
@@ -128,9 +138,12 @@ def _complete_recv(comm: "Comm", posted: _PostedRecv, env: _Envelope, data: np.n
     delay = spec.mpi_match_overhead
     if env.rendezvous is None:
         delay += spec.copy_time(env.nbytes)
+    if land_now:
+        posted.buf[: env.nbytes] = data[: env.nbytes]
 
     def finish() -> None:
-        posted.buf[: env.nbytes] = data[: env.nbytes]
+        if not land_now:
+            posted.buf[: env.nbytes] = data[: env.nbytes]
         san = comm.ctx.sanitizer
         if san is not None and env.clock is not None and posted.dst_world >= 0:
             san.merge(posted.dst_world, env.clock)
@@ -151,7 +164,10 @@ def _start_rendezvous_data(comm: "Comm", posted: _PostedRecv, env: _Envelope) ->
 
     def on_cts_at_sender() -> None:
         def on_payload_delivered() -> None:
-            _complete_recv(comm, posted, env, rv.payload)
+            # Land the payload before completing the send request: once the
+            # sender's wait() returns it may legally scribble on the buffer
+            # rv.payload views, so the copy-out cannot be deferred.
+            _complete_recv(comm, posted, env, rv.payload, land_now=True)
             rv.send_request._complete()
 
         fabric.send(

@@ -44,6 +44,21 @@ _RMA_ENVELOPE_BYTES = 48
 _win_ids = itertools.count()
 
 
+class _PendingPut:
+    """A rendezvous PUT whose payload is still a view of the user buffer.
+
+    ``arr`` is swapped for a private copy if the origin claims buffer-reuse
+    rights (flush_local) before delivery reads it; identity-hashed so sets
+    work despite holding an ndarray.
+    """
+
+    __slots__ = ("target", "arr")
+
+    def __init__(self, target: int, arr: np.ndarray):
+        self.target = target
+        self.arr = arr
+
+
 class _WindowState:
     """Shared (library-side) state of one window."""
 
@@ -79,6 +94,10 @@ class _WindowState:
         self.locks: list[dict] = [
             {"mode": None, "holders": set(), "queue": []} for _ in range(n)
         ]
+        # Rendezvous PUT payloads still riding as live views of the origin's
+        # user buffer (zero-copy): flush_local must buffer these before the
+        # user regains reuse rights. Cleared at delivery.
+        self.unread_puts: list[set["_PendingPut"]] = [set() for _ in range(n)]
         # Dynamic windows: per rank, base displacement -> attached region.
         self.regions: list[dict[int, np.ndarray]] = [{} for _ in range(n)]
         self.next_base: list[int] = [0] * n
@@ -392,17 +411,28 @@ class Window:
         eager = arr.nbytes <= spec.mpi_eager_threshold
         # Eager PUTs complete locally on return, so the library must buffer
         # the data now; rendezvous PUTs may read the user buffer at delivery
-        # time because the contract forbids reuse before local completion.
+        # time because the contract forbids reuse before local completion —
+        # and flush_local (which grants reuse early) buffers any still-unread
+        # payload via the unread_puts registry.
         payload = arr.copy() if (eager and not private) else arr
         req = Request(f"rput(win={self.win_id},target={target})", self.ctx.proc)
         origin = self.rank
+        pp = None
+        if not eager and not private:
+            pp = _PendingPut(target, payload)
+            self.state.unread_puts[origin].add(pp)
         engine = self.ctx.engine
         target_delay = self._target_delay()
         ack = self._ack_latency(origin, target)
 
         def on_delivered() -> None:
             def commit() -> None:
-                self.state.write_target(target, offset, payload)
+                if pp is not None:
+                    data = pp.arr
+                    self.state.unread_puts[origin].discard(pp)
+                else:
+                    data = payload
+                self.state.write_target(target, offset, data)
                 engine.call_in(ack, lambda: (self._op_done_at_target(origin, target), req._complete()))
 
             if target_delay:
@@ -837,15 +867,11 @@ class Window:
         if state.inflight[origin] == 0:
             req._complete()
             return
-        targets = list(targets)
-        if len(targets) == self.group_size:
-            # Waiting on every target == waiting for the origin to drain:
-            # one counter-driven event instead of per-target tracking.
-            ev = SimEvent(f"rflush-all-track(o={origin})")
-            state.quiet_waiters.setdefault(origin, []).append(ev)
-            ev.subscribe(req._complete)
-            return
-        remaining = [t for t in targets if state.pending[origin][t] > 0]
+        # Per-target tracking, not the shared inflight counter: the request
+        # must complete when the ops pending *at call time* drain, and
+        # inflight also counts ops the origin issues after rflush returns —
+        # including ops to targets that had nothing pending here.
+        remaining = [t for t in list(targets) if state.pending[origin][t] > 0]
         if not remaining:
             req._complete()
             return
@@ -901,13 +927,30 @@ class Window:
 
     def flush_local(self, target: int) -> None:
         """MPI_WIN_FLUSH_LOCAL: origin buffers reusable (ops may still be in
-        flight to the target). Our ops snapshot at call time, so this only
-        charges the call cost."""
+        flight to the target). Rendezvous PUT payloads ride as live views of
+        the user buffer, so any not yet read by delivery are buffered into
+        private copies here — the library eats the memcpy (wall-clock only;
+        the modeled cost stays the flat flush overhead)."""
         self._check_target(target, 0, 0)
         self.ctx.proc.sleep(self.ctx.spec.mpi_flush_overhead)
+        self._buffer_unread_puts(target)
 
     def flush_local_all(self) -> None:
         self.ctx.proc.sleep(self.ctx.spec.mpi_flush_overhead)
+        self._buffer_unread_puts(None)
+
+    def _buffer_unread_puts(self, target: int | None) -> None:
+        """Privatize still-in-flight PUT payloads viewing the user buffer.
+
+        The user buffer cannot have changed since the put (reuse was illegal
+        until now), so copying at this instant preserves the put-time value.
+        """
+        pend = self.state.unread_puts[self.rank]
+        if not pend:
+            return
+        for pp in [p for p in pend if target is None or p.target == target]:
+            pp.arr = pp.arr.copy()
+            pend.discard(pp)
 
     def _wait_target_quiet(self, target: int) -> None:
         state = self.state

@@ -360,7 +360,12 @@ class Proc:
         (the waker must wake it again through the new wait structure).
         Waking a generation that already has a pending resume is a no-op —
         the duplicate is dropped here, at the call site, without allocating
-        an event that the dispatcher would discard later.
+        an event that the dispatcher would discard later. The duplicate's
+        ``payload`` is discarded with it: the *first* wake of a generation
+        determines the payload the blocked process receives (the legacy
+        scheduler delivered the last one, but no double-wake ever carries
+        two distinct payloads in practice — a waker whose payload matters
+        must target a fresh block, i.e. a new generation).
         """
         if self.state == Proc.DONE and self._killed:
             # A crashed (or torn-down) process may still sit in waiter
@@ -384,7 +389,11 @@ class Proc:
             return
         engine = self.engine
         when = engine.now + duration
-        if engine._fastpath and not engine._due:
+        if (
+            engine._fastpath
+            and not engine._due
+            and (engine._deadline is None or when <= engine._deadline)
+        ):
             heap = engine._heap
             if not heap or heap[0][0] > when:
                 # Nothing can run before this sleep ends: advance the clock

@@ -31,7 +31,12 @@ def flatten(data, dtype) -> tuple[np.ndarray, bool]:
     if isinstance(data, np.ndarray):
         arr, private = data, False
     else:
-        arr, private = np.asarray(data), True
+        arr = np.asarray(data)
+        # asarray aliases buffer-protocol inputs (memoryview, array.array,
+        # __array_interface__ exporters); an aliasing result always keeps a
+        # reference to its owner in ``base``, so only a base-less fresh
+        # allocation (list/tuple/scalar coercion) is private memory.
+        private = arr.base is None
     if arr.dtype != dtype or not arr.flags["C_CONTIGUOUS"]:
         arr = np.ascontiguousarray(arr, dtype=dtype)
         private = True

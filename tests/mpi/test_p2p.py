@@ -188,6 +188,29 @@ def test_isend_buffer_snapshot_at_call(run):
     assert results[1] == 42.0
 
 
+def test_rendezvous_sender_reuse_after_wait(run):
+    """Regression: the rendezvous payload rides as a live view of the send
+    buffer, so the send request must not complete until the payload has been
+    copied into the posted receive buffer — a sender that scribbles on its
+    buffer the moment wait() returns must not corrupt the message."""
+    n = 1 << 16  # > eager threshold: rendezvous protocol
+
+    def program(mpi, ctx):
+        comm = mpi.COMM_WORLD
+        if ctx.rank == 0:
+            buf = np.arange(n, dtype=np.float64)
+            req = comm.isend(buf, dest=1)
+            req.wait()
+            buf[:] = -1.0  # legal reuse: the send completed
+        else:
+            out = np.zeros(n)
+            comm.recv(out, source=0)
+            return float(out.sum())
+
+    _, results = run(program, 2)
+    assert results[1] == pytest.approx(n * (n - 1) / 2)
+
+
 def test_sendrecv_exchange_ring(run):
     def program(mpi, ctx):
         comm = mpi.COMM_WORLD

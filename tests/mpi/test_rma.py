@@ -108,6 +108,51 @@ def test_flush_waits_for_remote_completion():
     mpi_run(program, 2)
 
 
+def test_flush_local_buffers_rendezvous_put_payload():
+    """MPI_WIN_FLUSH_LOCAL grants buffer-reuse rights while the op may still
+    be in flight; a rendezvous PUT payload riding as a live view must be
+    privatized by the library so reuse cannot corrupt the transfer."""
+    n = 1 << 14  # 128 KB of float64: above the eager threshold
+
+    def program(mpi, ctx):
+        win = mpi.win_allocate(shape=n, dtype=np.float64)
+        win.lock_all()
+        mpi.COMM_WORLD.barrier()
+        if ctx.rank == 0:
+            buf = np.arange(n, dtype=np.float64)
+            win.put(buf, target=1)
+            win.flush_local(1)
+            buf[:] = -1.0  # legal: flush_local granted local completion
+            win.flush(1)
+        mpi.COMM_WORLD.barrier()
+        win.unlock_all()
+        return float(win.local.sum())
+
+    _, results = mpi_run(program, 2)
+    assert results[1] == pytest.approx(n * (n - 1) / 2)
+
+
+def test_flush_local_all_buffers_rendezvous_put_payloads():
+    n = 1 << 14
+
+    def program(mpi, ctx):
+        win = mpi.win_allocate(shape=n, dtype=np.float64)
+        win.lock_all()
+        mpi.COMM_WORLD.barrier()
+        if ctx.rank == 0:
+            buf = np.full(n, 7.0)
+            win.put(buf, target=1)
+            win.flush_local_all()
+            buf[:] = 0.0
+            win.flush_all()
+        mpi.COMM_WORLD.barrier()
+        win.unlock_all()
+        return float(win.local[0]), float(win.local[-1])
+
+    _, results = mpi_run(program, 2)
+    assert results[1] == (7.0, 7.0)
+
+
 def test_accumulate_sum_from_all_ranks():
     def program(mpi, ctx):
         win = mpi.win_allocate(shape=1, dtype=np.float64)

@@ -275,6 +275,36 @@ def test_rflush_all_constant_cost(run):
     assert large[0] < 1e-4
 
 
+def test_rflush_all_ignores_ops_issued_after_the_call(run):
+    """rflush_all tracks only the ops pending *at call time*: RMA issued
+    after it returns (including to targets that had nothing pending) must
+    not delay the request's completion, matching per-target flush
+    semantics rather than a whole-origin quiesce."""
+
+    def program(mpi, ctx, extra):
+        win = mpi.win_allocate(shape=1 << 16, dtype=np.float64)
+        win.lock_all()
+        mpi.COMM_WORLD.barrier()
+        t_done = None
+        if ctx.rank == 0:
+            win.put(np.ones(1 << 12), target=1)  # 32 KB: rendezvous-sized
+            req = win.rflush_all()
+            if extra:
+                # A much slower op to a target that had nothing pending,
+                # issued after the flush call returned.
+                win.put(np.ones(1 << 16), target=2)
+            req.wait()
+            t_done = ctx.now
+            win.flush_all()
+        mpi.COMM_WORLD.barrier()
+        win.unlock_all()
+        return t_done
+
+    _, base = mpi_run(program, 3, extra=False)
+    _, late = mpi_run(program, 3, extra=True)
+    assert late[0] == base[0]
+
+
 def test_rflush_overlaps_computation(run):
     def program(mpi, ctx):
         win = mpi.win_allocate(shape=1024, dtype=np.float64)

@@ -62,6 +62,29 @@ def test_watchdog_fires_with_per_rank_diagnostics():
     assert "deadline" in str(exc) and "never-fired" in str(exc)
 
 
+def test_sleep_fastpath_respects_deadline():
+    """Regression: the in-place sleep shortcut (sole runnable proc, empty
+    queues) must not jump the clock past the deadline — that would silently
+    disable the watchdog under the default dispatcher."""
+    eng = Engine()
+    eng.spawn(lambda p: p.sleep(5.0), name="sleeper")
+    with pytest.raises(SimTimeoutError) as exc_info:
+        eng.run(deadline=1.0)
+    exc = exc_info.value
+    assert eng.now == 1.0
+    assert exc.deadline == 1.0
+    assert "sleep(5)" in exc.blocked[0]
+
+
+def test_sleep_fastpath_exactly_to_deadline_completes():
+    """A sleep landing exactly on the deadline is not a hang (the legacy
+    dispatcher only times out on events strictly past it)."""
+    eng = Engine()
+    eng.spawn(lambda p: p.sleep(1.0))
+    eng.run(deadline=1.0)
+    assert eng.now == 1.0
+
+
 def test_daemon_only_tail_finishes_instead_of_timing_out():
     eng = Engine()
     eng.spawn(lambda p: p.sleep(0.5))

@@ -1,0 +1,61 @@
+"""repro.util.buffers: the flatten/snapshot zero-copy privacy contract."""
+
+import array
+
+import numpy as np
+
+from repro.util.buffers import flatten, snapshot
+
+
+def test_flatten_ndarray_is_shared_not_private():
+    a = np.arange(4, dtype=np.float64)
+    flat, private = flatten(a, np.float64)
+    assert not private
+    assert np.shares_memory(flat, a)
+
+
+def test_flatten_list_coercion_is_private():
+    flat, private = flatten([1.0, 2.0], np.float64)
+    assert private
+    assert flat.tolist() == [1.0, 2.0]
+
+
+def test_flatten_dtype_conversion_is_private():
+    a = np.arange(4, dtype=np.int64)
+    flat, private = flatten(a, np.float64)
+    assert private
+    assert not np.shares_memory(flat, a)
+
+
+def test_flatten_noncontiguous_is_private():
+    a = np.arange(8, dtype=np.float64)[::2]
+    flat, private = flatten(a, np.float64)
+    assert private
+    assert not np.shares_memory(flat, a)
+
+
+def test_flatten_buffer_protocol_inputs_are_not_private():
+    """Regression: np.asarray *aliases* buffer-protocol objects (memoryview,
+    array.array), so flatten must not mark them private — snapshot would
+    skip the defensive copy and retain caller-mutable memory."""
+    src = array.array("d", [1.0, 2.0, 3.0])
+    flat, private = flatten(src, np.float64)
+    assert not private
+
+    mv = memoryview(np.arange(4, dtype=np.float64))
+    flat, private = flatten(mv, np.float64)
+    assert not private
+
+
+def test_snapshot_of_buffer_protocol_input_is_immune_to_mutation():
+    src = array.array("d", [1.0, 2.0, 3.0])
+    snap = snapshot(src, np.float64)
+    src[0] = -1.0
+    assert snap[0] == 1.0
+
+
+def test_snapshot_of_ndarray_is_immune_to_mutation():
+    a = np.arange(4, dtype=np.float64)
+    snap = snapshot(a, np.float64)
+    a[0] = -1.0
+    assert snap[0] == 0.0
