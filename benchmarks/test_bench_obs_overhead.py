@@ -1,0 +1,117 @@
+"""Observability overhead harness: metrics must be free when off and
+perturbation-free when on.
+
+Two guarantees, measured on full RandomAccess runs and written into the
+``obs_overhead`` section of ``BENCH_wallclock.json``:
+
+* **Disabled cost**: a metrics-off run pays one cached-attribute load plus
+  one ``is None`` test per instrumented op. Wall clock vs the same run is
+  asserted within 3% of the metrics-on/off noise floor.
+* **Zero perturbation**: metrics recording never touches the engine, so
+  the event-order digest, virtual makespan, and per-image results are
+  *bit*-identical with metrics on or off.
+
+Run explicitly (not part of tier-1)::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_bench_obs_overhead.py -q
+"""
+
+import os
+import time
+
+from repro.apps.randomaccess import run_randomaccess
+from repro.caf.program import run_caf
+from repro.sim.network import MachineSpec
+
+from .test_bench_wallclock import _best_of, _merge
+
+SPEC = MachineSpec(name="generic")
+RA_KW = dict(table_bits_per_image=8, updates_per_image=1024, batches=8)
+
+#: Accepted metrics-off wall-clock regression vs the metrics-on run of the
+#: same workload. The disabled path is a no-op; 3% is the acceptance bound
+#: from the issue, applied over best-of-N to cut scheduler noise.
+OVERHEAD_BOUND = 0.03
+
+
+def _ra(nranks: int, metrics: bool, digest: bool = False):
+    if digest:
+        os.environ["REPRO_SIM_DIGEST"] = "1"
+    try:
+        return run_caf(
+            run_randomaccess, nranks, SPEC, metrics=metrics, **RA_KW
+        )
+    finally:
+        os.environ.pop("REPRO_SIM_DIGEST", None)
+
+
+def test_metrics_do_not_perturb_virtual_time():
+    off = _ra(8, metrics=False, digest=True)
+    on = _ra(8, metrics=True, digest=True)
+    assert on.cluster.engine.order_digest() == off.cluster.engine.order_digest()
+    assert on.cluster.engine.events_executed == off.cluster.engine.events_executed
+    assert on.elapsed == off.elapsed
+    assert on.results[0].gups == off.results[0].gups
+    assert on.metrics is not None and off.metrics is None
+
+
+def test_metrics_off_wallclock_within_bound():
+    nranks = 16
+    off_s, off = _best_of(lambda: _ra(nranks, metrics=False), repeats=5)
+    on_s, on = _best_of(lambda: _ra(nranks, metrics=True), repeats=5)
+
+    # The guarded no-op must not cost more than the bound relative to the
+    # *instrumented* run; negative overhead just means noise won.
+    overhead = off_s / on_s - 1.0
+
+    flush = on.metrics.aggregate("mpi.flush_all")
+    notify = on.metrics.aggregate("caf.event_notify")
+    _merge(
+        "obs_overhead",
+        {
+            "description": "RandomAccess wall clock, metrics off vs on",
+            "nranks": nranks,
+            "metrics_off_wall_s": round(off_s, 4),
+            "metrics_on_wall_s": round(on_s, 4),
+            "off_over_on": round(off_s / on_s, 4),
+            "bound": OVERHEAD_BOUND,
+            "recorded_ops": on.metrics.total_calls(),
+            "flush_all_s_per_call": flush.time_per_call,
+            "event_notify_s_per_call": notify.time_per_call,
+            "virtual_elapsed_s": on.elapsed,
+        },
+    )
+    assert off.elapsed == on.elapsed
+    assert overhead < OVERHEAD_BOUND, (
+        f"metrics-off run {overhead * 100:.1f}% slower than metrics-on "
+        f"({off_s:.3f}s vs {on_s:.3f}s) — the disabled guard is not free"
+    )
+
+
+def test_flush_cost_linear_in_ranks_recorded():
+    """The paper's O(P) flush_all/event_notify claim, measured end to end
+    and archived with the wall-clock numbers."""
+    t0 = time.perf_counter()
+    per_call = {}
+    for nranks in (4, 8, 16):
+        run = _ra(nranks, metrics=True)
+        per_call[nranks] = {
+            "event_notify": run.metrics.aggregate("caf.event_notify").time_per_call,
+            "flush_all": run.metrics.aggregate("mpi.flush_all").time_per_call,
+        }
+    _merge(
+        "obs_flush_scaling",
+        {
+            "description": "per-call virtual cost of event_notify/flush_all vs P",
+            "per_call": {str(k): v for k, v in sorted(per_call.items())},
+            "wall_s": round(time.perf_counter() - t0, 2),
+        },
+    )
+    for kind in ("event_notify", "flush_all"):
+        assert per_call[4][kind] < per_call[8][kind] < per_call[16][kind]
+    # Linear, not just monotone: the 8->16 increment is roughly twice the
+    # 4->8 increment (constant terms make it inexact; 1.5x is a safe floor).
+    for kind in ("event_notify", "flush_all"):
+        d1 = per_call[8][kind] - per_call[4][kind]
+        d2 = per_call[16][kind] - per_call[8][kind]
+        assert d2 > 1.5 * d1

@@ -64,10 +64,22 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--op", choices=list(OPS), default="write")
     parser.add_argument("--updates", type=int, default=1024)
     parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="record a trace and write it as Chrome/Perfetto JSON to PATH",
+    )
+    parser.add_argument(
+        "--metrics", metavar="PATH", default=None,
+        help="enable op-level metrics and write the RunReport JSON to PATH",
+    )
     args = parser.parse_args(argv)
 
     spec = PLATFORMS[args.platform]
-    common = dict(backend=args.backend)
+    common = dict(
+        backend=args.backend,
+        trace=args.trace is not None,
+        metrics=args.metrics is not None,
+    )
     print(
         f"== {args.app} on {args.platform} x{args.procs} images "
         f"(CAF-{args.backend.upper()}) =="
@@ -132,6 +144,13 @@ def main(argv: list[str] | None = None) -> int:
         res = run.results[0]
         print(f"{args.op}: {res.ops_per_second:,.0f} ops/s")
     _print_breakdown(run)
+    if args.trace is not None:
+        n = run.tracer.to_chrome_trace(args.trace)
+        print(f"trace: {n} events -> {args.trace}")
+    if args.metrics is not None:
+        report = run.report(label=f"{args.app}-x{args.procs}", app=args.app)
+        report.to_json(args.metrics)
+        print(f"metrics: run report -> {args.metrics}")
     return 0
 
 

@@ -31,6 +31,9 @@ class EventArray:
         self.team = team
         self.nslots = nslots
         self.storage = img.backend.allocate_events(team, nslots)
+        # Cached metrics handle (fixed at cluster construction): the
+        # notify/wait guards cost one attribute load when disabled.
+        self._obs = img.ctx.metrics
         # Local-post subscribers: slot -> callbacks run on next post
         # (predicate events of asynchronous operations).
         self._subscribers: dict[int, list] = {}
@@ -48,8 +51,13 @@ class EventArray:
         if not 0 <= target < self.team.size:
             raise CafError(f"image index {target} out of range [0, {self.team.size})")
         self.img._check_alive(self.team, target)
+        obs = self._obs
+        ctx = self.img.ctx
+        t0 = ctx.engine.now if obs is not None else 0.0
         with self.img.profile("event_notify"):
             self.img.backend.event_notify(self.storage, target, slot)
+        if obs is not None:
+            obs.record(ctx.rank, "caf.event_notify", 0, ctx.engine.now - t0)
 
     def _post_local(self, slot: int) -> None:
         """Post this image's own slot (used for source/local completion events).
@@ -80,9 +88,14 @@ class EventArray:
         :class:`CafTimeoutError` instead of hanging, consuming nothing.
         """
         self._check_slot(slot)
+        obs = self._obs
+        ctx = self.img.ctx
+        t0 = ctx.engine.now if obs is not None else 0.0
         if timeout is None:
             with self.img.profile("event_wait"):
                 self.img.backend.event_wait(self.storage, slot, count)
+            if obs is not None:
+                obs.record(ctx.rank, "caf.event_wait", 0, ctx.engine.now - t0)
             self._san_consumed(slot, count)
             return
         if timeout < 0:
@@ -101,6 +114,8 @@ class EventArray:
                 or backend.event_count(self.storage, slot) >= count,
                 f"event_wait(slot={slot}, timeout={timeout})",
             )
+        if obs is not None:
+            obs.record(ctx.rank, "caf.event_wait", 0, ctx.engine.now - t0)
         have = backend.event_count(self.storage, slot)
         if have >= count:
             backend.event_consume(self.storage, slot, count)

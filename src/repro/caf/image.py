@@ -176,31 +176,69 @@ class Image:
 
     # -- collectives ----------------------------------------------------------------------
 
+    def _obs_coll(self, kind: str, nbytes: int, t0: float) -> None:
+        """Charge a finished team collective to the metrics registry."""
+        obs = self.ctx.metrics
+        if obs is None:  # pragma: no cover - callers guard already
+            return
+        obs.record(
+            self.ctx.rank, "caf.coll." + kind, nbytes, self.ctx.engine.now - t0
+        )
+
     def barrier(self, team: Team | None = None) -> None:
+        obs = self.ctx.metrics
+        t0 = self.ctx.engine.now if obs is not None else 0.0
         with self.profile("barrier"):
             self.backend.barrier(team or self.team_world)
+        if obs is not None:
+            self._obs_coll("barrier", 0, t0)
 
     def team_broadcast(self, buf, root: int = 0, team: Team | None = None) -> None:
+        obs = self.ctx.metrics
+        t0 = self.ctx.engine.now if obs is not None else 0.0
+        arr = np.asarray(buf)
         with self.profile("broadcast"):
-            self.backend.broadcast(team or self.team_world, np.asarray(buf), root)
+            self.backend.broadcast(team or self.team_world, arr, root)
+        if obs is not None:
+            self._obs_coll("broadcast", arr.nbytes, t0)
 
     def team_reduce(self, send, recv, op, root: int = 0, team: Team | None = None) -> None:
+        obs = self.ctx.metrics
+        t0 = self.ctx.engine.now if obs is not None else 0.0
+        arr = np.asarray(send)
         with self.profile("reduce"):
-            self.backend.reduce(team or self.team_world, np.asarray(send), recv, op, root)
+            self.backend.reduce(team or self.team_world, arr, recv, op, root)
+        if obs is not None:
+            self._obs_coll("reduce", arr.nbytes, t0)
 
     def team_allreduce(self, send, recv, op, team: Team | None = None) -> None:
+        obs = self.ctx.metrics
+        t0 = self.ctx.engine.now if obs is not None else 0.0
+        arr = np.asarray(send)
         with self.profile("reduce"):
             self.backend.allreduce(
-                team or self.team_world, np.asarray(send), np.asarray(recv), op
+                team or self.team_world, arr, np.asarray(recv), op
             )
+        if obs is not None:
+            self._obs_coll("allreduce", arr.nbytes, t0)
 
     def team_alltoall(self, send, recv, team: Team | None = None) -> None:
+        obs = self.ctx.metrics
+        t0 = self.ctx.engine.now if obs is not None else 0.0
+        arr = np.asarray(send)
         with self.profile("alltoall"):
-            self.backend.alltoall(team or self.team_world, np.asarray(send), np.asarray(recv))
+            self.backend.alltoall(team or self.team_world, arr, np.asarray(recv))
+        if obs is not None:
+            self._obs_coll("alltoall", arr.nbytes, t0)
 
     def team_allgather(self, send, recv, team: Team | None = None) -> None:
+        obs = self.ctx.metrics
+        t0 = self.ctx.engine.now if obs is not None else 0.0
+        arr = np.asarray(send)
         with self.profile("allgather"):
-            self.backend.allgather(team or self.team_world, np.asarray(send), np.asarray(recv))
+            self.backend.allgather(team or self.team_world, arr, np.asarray(recv))
+        if obs is not None:
+            self._obs_coll("allgather", arr.nbytes, t0)
 
     # -- asynchronous collectives (§2.1) -----------------------------------------------
 

@@ -73,6 +73,26 @@ class CafRun:
         ``sanitize=True``); its ``report`` holds the diagnostics."""
         return self.cluster.sanitizer
 
+    @property
+    def metrics(self):
+        """The run's :class:`~repro.obs.metrics.Metrics` registry (None
+        unless ``metrics=True``)."""
+        return self.cluster.metrics
+
+    @property
+    def comm_matrix(self):
+        """The run's P x P :class:`~repro.obs.metrics.CommMatrix` (None
+        unless ``metrics=True``)."""
+        return self.cluster.comm_matrix
+
+    def report(self, *, label: str = "", app: str = ""):
+        """Assemble a :class:`~repro.obs.report.RunReport` for this run."""
+        from repro.obs.report import build_report
+
+        return build_report(
+            self.cluster, backend=self.backend, label=label, app=app
+        )
+
 
 def run_caf(
     program: Callable[..., Any],
@@ -87,6 +107,7 @@ def run_caf(
     reliable: bool = False,
     deadline: float | None = None,
     sanitize: bool = False,
+    metrics: bool = False,
     **program_kwargs: Any,
 ) -> CafRun:
     """Run ``program(img, **program_kwargs)`` on ``nranks`` images.
@@ -104,13 +125,29 @@ def run_caf(
     ``sanitize=True`` runs the program under the happens-before checker
     (see :mod:`repro.sanitizer`); diagnostics land on
     ``run.sanitizer.report`` and the virtual timeline is unchanged.
+
+    ``metrics=True`` arms the op-level observability layer (see
+    :mod:`repro.obs`): call counts, bytes, and modeled latencies per op
+    kind land on ``run.metrics``, the P x P traffic matrix on
+    ``run.comm_matrix``, and ``run.report()`` assembles the full
+    :class:`~repro.obs.report.RunReport`. Recording never touches the
+    engine, so the virtual timeline (and its event-order digest) is
+    bit-identical with metrics on or off.
     """
     if backend not in BACKENDS:
         raise CafError(f"unknown backend {backend!r}; choose from {sorted(BACKENDS)}")
     spec = spec or MachineSpec(name="generic")
+    from repro.obs import capture as _capture
+
+    captured = _capture.active()
+    if captured:
+        # Process-wide capture (the experiments runner's --metrics DIR):
+        # force metrics on, and tracing too when the capture asks for it.
+        metrics = True
+        trace = trace or _capture.trace_forced()
     cluster = Cluster(
         nranks, spec, seed=sim_seed, faults=faults, reliable=reliable,
-        sanitize=sanitize,
+        sanitize=sanitize, metrics=metrics,
     )
     if trace:
         cluster.tracer.enable()
@@ -123,6 +160,10 @@ def run_caf(
         return program(img, **kwargs)
 
     results = cluster.run(wrapper, program_kwargs=dict(program_kwargs), deadline=deadline)
+    if captured:
+        _capture.emit(
+            cluster, backend=backend, app=getattr(program, "__name__", "")
+        )
     return CafRun(
         cluster=cluster,
         results=results,

@@ -7,6 +7,8 @@ Usage::
     python -m repro.experiments --scale quick   # fast pass
     python -m repro.experiments --list
     python -m repro.experiments --out results/  # also write text files
+    python -m repro.experiments fig04 --metrics obs/  # per-run RunReports
+    python -m repro.experiments fig04 --metrics obs/ --trace  # + traces
 """
 
 from __future__ import annotations
@@ -28,25 +30,46 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--scale", choices=["quick", "default"], default="default")
     parser.add_argument("--list", action="store_true", help="list experiments")
     parser.add_argument("--out", type=pathlib.Path, help="directory for text outputs")
+    parser.add_argument(
+        "--metrics", type=pathlib.Path, metavar="DIR", default=None,
+        help="capture a RunReport JSON per simulated run into DIR",
+    )
+    parser.add_argument(
+        "--trace", action="store_true",
+        help="with --metrics: also capture a Chrome/Perfetto trace per run",
+    )
     args = parser.parse_args(argv)
 
     if args.list:
         for exp_id, spec in EXPERIMENTS.items():
             print(f"{exp_id:14s} {spec.summary}")
         return 0
+    if args.trace and args.metrics is None:
+        parser.error("--trace requires --metrics DIR")
 
     ids = args.ids or list(EXPERIMENTS)
     if args.out:
         args.out.mkdir(parents=True, exist_ok=True)
-    for exp_id in ids:
-        spec = get_experiment(exp_id)
-        t0 = time.time()
-        result = spec.load()(args.scale)
-        text = result.render()
-        print(text)
-        print(f"({exp_id} regenerated in {time.time() - t0:.1f}s wall)\n")
-        if args.out:
-            (args.out / f"{exp_id}.txt").write_text(text + "\n")
+    if args.metrics is not None:
+        # Process-wide capture: every run_caf inside the experiments emits a
+        # run-NNNN.report.json without the experiment code knowing about it.
+        from repro.obs import capture as obs_capture
+
+        obs_capture.start(args.metrics, trace=args.trace)
+    try:
+        for exp_id in ids:
+            spec = get_experiment(exp_id)
+            t0 = time.time()
+            result = spec.load()(args.scale)
+            text = result.render()
+            print(text)
+            print(f"({exp_id} regenerated in {time.time() - t0:.1f}s wall)\n")
+            if args.out:
+                (args.out / f"{exp_id}.txt").write_text(text + "\n")
+    finally:
+        if args.metrics is not None:
+            written = obs_capture.stop()
+            print(f"captured {len(written)} artifact(s) in {args.metrics}")
     return 0
 
 

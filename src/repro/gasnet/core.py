@@ -140,6 +140,9 @@ class GasnetRank:
         self._credits: dict[int, int] = {}
         self.am_requests_sent = 0
         self.am_handled = 0
+        # Fixed at cluster construction; cached so per-op metrics guards
+        # are one attribute load (clones share the handle via __dict__).
+        self._obs = ctx.metrics
 
     # -- segment ---------------------------------------------------------
 
@@ -231,6 +234,13 @@ class GasnetRank:
         if not is_reply:
             # Replies have a guaranteed slot; only requests consume credits.
             self._acquire_credit(dest)
+        obs = self._obs
+        if obs is not None:
+            obs.record(
+                self.rank, "gasnet.am",
+                0 if payload is None else payload.nbytes,
+                spec.gasnet_am_overhead,
+            )
         self.ctx.proc.sleep(spec.gasnet_am_overhead)
         self.am_requests_sent += 1
         nbytes = 0 if payload is None else payload.nbytes
@@ -425,6 +435,9 @@ class GasnetRank:
         self._check_range(dest, dest_offset, arr.nbytes)
         self._check_alive(dest)
         spec = self.ctx.spec
+        obs = self._obs
+        if obs is not None:
+            obs.record(self.rank, "gasnet.put", arr.nbytes, spec.gasnet_put_overhead)
         self.ctx.proc.sleep(spec.gasnet_put_overhead)
         handle = Handle(kind=f"put(dest={dest})")
         self._san_track(
@@ -465,6 +478,9 @@ class GasnetRank:
         self._check_range(src, src_offset, nbytes)
         self._check_alive(src)
         spec = self.ctx.spec
+        obs = self._obs
+        if obs is not None:
+            obs.record(self.rank, "gasnet.get", nbytes, spec.gasnet_get_overhead)
         self.ctx.proc.sleep(spec.gasnet_get_overhead)
         handle = Handle(kind=f"get(src={src})")
         self._san_track(
@@ -504,6 +520,12 @@ class GasnetRank:
             self._check_range(dest, int(off), int(n))
         self._check_alive(dest)
         spec = self.ctx.spec
+        obs = self._obs
+        if obs is not None:
+            obs.record(
+                self.rank, "gasnet.put_runs", arr.nbytes,
+                spec.gasnet_put_overhead + spec.copy_time(arr.nbytes),
+            )
         # Pack cost at the origin, then a single wire message. Like put_nb,
         # the source may not change until the handle syncs, so no snapshot.
         self.ctx.proc.sleep(spec.gasnet_put_overhead + spec.copy_time(arr.nbytes))
@@ -548,6 +570,9 @@ class GasnetRank:
             self._check_range(src, int(off), int(n))
         self._check_alive(src)
         spec = self.ctx.spec
+        obs = self._obs
+        if obs is not None:
+            obs.record(self.rank, "gasnet.get_runs", total, spec.gasnet_get_overhead)
         self.ctx.proc.sleep(spec.gasnet_get_overhead)
         handle = Handle(kind=f"get_runs(src={src})")
         self._san_track(

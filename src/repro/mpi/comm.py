@@ -183,35 +183,91 @@ class Comm:
 
     # -- collectives --------------------------------------------------------
 
+    def _obs_coll(self, kind: str, nbytes: int, t0: float) -> None:
+        """Charge a finished blocking collective to the metrics registry."""
+        obs = self.ctx.metrics
+        if obs is None:  # pragma: no cover - callers guard already
+            return
+        obs.record(
+            self.state.group[self.rank],
+            "mpi.coll." + kind,
+            nbytes,
+            self.ctx.engine.now - t0,
+        )
+
     def barrier(self) -> None:
+        obs = self.ctx.metrics
+        t0 = self.ctx.engine.now if obs is not None else 0.0
         coll.barrier(self)
+        if obs is not None:
+            self._obs_coll("barrier", 0, t0)
 
     def bcast(self, buf, root: int = 0) -> None:
+        obs = self.ctx.metrics
+        t0 = self.ctx.engine.now if obs is not None else 0.0
         coll.bcast(self, buf, root)
+        if obs is not None:
+            self._obs_coll("bcast", np.asarray(buf).nbytes, t0)
 
     def reduce(self, sendbuf, recvbuf, op=None, root: int = 0) -> None:
+        obs = self.ctx.metrics
+        t0 = self.ctx.engine.now if obs is not None else 0.0
         coll.reduce(self, sendbuf, recvbuf, op, root)
+        if obs is not None:
+            self._obs_coll("reduce", np.asarray(sendbuf).nbytes, t0)
 
     def allreduce(self, sendbuf, recvbuf, op=None) -> None:
+        obs = self.ctx.metrics
+        t0 = self.ctx.engine.now if obs is not None else 0.0
         coll.allreduce(self, sendbuf, recvbuf, op)
+        if obs is not None:
+            self._obs_coll("allreduce", np.asarray(sendbuf).nbytes, t0)
 
     def alltoall(self, sendbuf, recvbuf) -> None:
+        obs = self.ctx.metrics
+        t0 = self.ctx.engine.now if obs is not None else 0.0
         coll.alltoall(self, sendbuf, recvbuf)
+        if obs is not None:
+            self._obs_coll("alltoall", np.asarray(sendbuf).nbytes, t0)
 
     def alltoallv(self, sendchunks, recvchunks) -> None:
+        obs = self.ctx.metrics
+        t0 = self.ctx.engine.now if obs is not None else 0.0
         coll.alltoallv(self, sendchunks, recvchunks)
+        if obs is not None:
+            self._obs_coll(
+                "alltoallv",
+                sum(np.asarray(c).nbytes for c in sendchunks),
+                t0,
+            )
 
     def allgather(self, sendbuf, recvbuf) -> None:
+        obs = self.ctx.metrics
+        t0 = self.ctx.engine.now if obs is not None else 0.0
         coll.allgather(self, sendbuf, recvbuf)
+        if obs is not None:
+            self._obs_coll("allgather", np.asarray(sendbuf).nbytes, t0)
 
     def gather(self, sendbuf, recvbuf, root: int = 0) -> None:
+        obs = self.ctx.metrics
+        t0 = self.ctx.engine.now if obs is not None else 0.0
         coll.gather(self, sendbuf, recvbuf, root)
+        if obs is not None:
+            self._obs_coll("gather", np.asarray(sendbuf).nbytes, t0)
 
     def scatter(self, sendbuf, recvbuf, root: int = 0) -> None:
+        obs = self.ctx.metrics
+        t0 = self.ctx.engine.now if obs is not None else 0.0
         coll.scatter(self, sendbuf, recvbuf, root)
+        if obs is not None:
+            self._obs_coll("scatter", np.asarray(recvbuf).nbytes, t0)
 
     def reduce_scatter_block(self, sendbuf, recvbuf, op=None) -> None:
+        obs = self.ctx.metrics
+        t0 = self.ctx.engine.now if obs is not None else 0.0
         coll.reduce_scatter_block(self, sendbuf, recvbuf, op)
+        if obs is not None:
+            self._obs_coll("reduce_scatter", np.asarray(sendbuf).nbytes, t0)
 
     # -- nonblocking collectives (MPI-3) -------------------------------------
 

@@ -208,7 +208,13 @@ def isend(comm: "Comm", matching: Matching, buf, dest: int, tag: int) -> Request
     dst_world = comm.world_rank(dest)
 
     san = ctx.sanitizer
+    obs = ctx.metrics
     eager = nbytes <= spec.mpi_eager_threshold
+    if obs is not None:
+        obs.record(
+            src_world, "mpi.send", nbytes,
+            spec.mpi_p2p_overhead + (spec.copy_time(nbytes) if eager else 0.0),
+        )
     if eager:
         # Copy into the library's eager buffer, inject, complete locally.
         # The copy is mandatory: an eager send returns with the user buffer
@@ -257,6 +263,9 @@ def irecv(comm: "Comm", matching: Matching, buf, source: int, tag: int) -> Reque
         src=source, tag=tag, buf=view, request=req,
         dst_world=comm.world_rank(comm.rank),
     )
+    obs = ctx.metrics
+    if obs is not None:
+        obs.record(posted.dst_world, "mpi.recv", view.nbytes, spec.mpi_p2p_overhead)
     ctx.proc.sleep(spec.mpi_p2p_overhead)
     # Search the unexpected queue in arrival order.
     queue = matching.unexpected[comm.rank]

@@ -159,9 +159,11 @@ class Window:
         self.comm = comm
         self.ctx = comm.ctx
         self.rank = comm.rank
-        # The sanitizer is fixed at cluster construction, before any rank
-        # runs; cache the handle so per-op checks are one attribute load.
+        # The sanitizer and metrics registry are fixed at cluster
+        # construction, before any rank runs; cache the handles so per-op
+        # guards are one attribute load.
         self._san = comm.ctx.sanitizer
+        self._obs = comm.ctx.metrics
 
     # -- local access ------------------------------------------------------
 
@@ -403,6 +405,12 @@ class Window:
         arr, private = flatten(data, self._dtype())
         self._check_target(target, offset, arr.size)
         spec = self.ctx.spec
+        obs = self._obs
+        if obs is not None:
+            obs.record(
+                self.ctx.rank, "mpi.rput", arr.nbytes,
+                self._origin_overhead(spec.mpi_rma_overhead),
+            )
         self.ctx.proc.sleep(self._origin_overhead(spec.mpi_rma_overhead))
         self._op_started(target)
         self._san_access(
@@ -467,6 +475,12 @@ class Window:
         count = dest_arr.size
         self._check_target(target, offset, count)
         spec = self.ctx.spec
+        obs = self._obs
+        if obs is not None:
+            obs.record(
+                self.ctx.rank, "mpi.rget", count * self._dtype().itemsize,
+                self._origin_overhead(spec.mpi_rma_overhead),
+            )
         self.ctx.proc.sleep(self._origin_overhead(spec.mpi_rma_overhead))
         self._op_started(target)
         rec = self._san_access(
@@ -517,6 +531,12 @@ class Window:
         snap = snapshot(data, self._dtype())
         self._check_target(target, offset, snap.size)
         spec = self.ctx.spec
+        obs = self._obs
+        if obs is not None:
+            obs.record(
+                self.ctx.rank, "mpi.accumulate", snap.nbytes,
+                self._origin_overhead(spec.mpi_atomic_overhead),
+            )
         self.ctx.proc.sleep(self._origin_overhead(spec.mpi_atomic_overhead))
         self._op_started(target)
         self._san_access(
@@ -555,11 +575,27 @@ class Window:
 
     def get_accumulate(self, data, result, target: int, offset: int = 0, op: Op = NO_OP):
         """MPI_GET_ACCUMULATE (blocking wait on the internal request)."""
-        return self._fetch_op_common(data, result, target, offset, op).wait()
+        obs = self._obs
+        t0 = self.ctx.engine.now if obs is not None else 0.0
+        out = self._fetch_op_common(data, result, target, offset, op).wait()
+        if obs is not None:
+            obs.record(
+                self.ctx.rank, "mpi.fetch_op",
+                np.asarray(result).nbytes, self.ctx.engine.now - t0,
+            )
+        return out
 
     def fetch_and_op(self, value, result, target: int, offset: int = 0, op: Op = NO_OP):
         """MPI_FETCH_AND_OP: single-element fast path of GET_ACCUMULATE."""
-        return self._fetch_op_common(value, result, target, offset, op).wait()
+        obs = self._obs
+        t0 = self.ctx.engine.now if obs is not None else 0.0
+        out = self._fetch_op_common(value, result, target, offset, op).wait()
+        if obs is not None:
+            obs.record(
+                self.ctx.rank, "mpi.fetch_op",
+                np.asarray(result).nbytes, self.ctx.engine.now - t0,
+            )
+        return out
 
     def _fetch_op_common(self, data, result, target: int, offset: int, op: Op) -> Request:
         snap = snapshot(data, self._dtype())
@@ -618,6 +654,8 @@ class Window:
         result_arr = np.asarray(result).reshape(-1)
         self._check_target(target, offset, 1)
         spec = self.ctx.spec
+        obs = self._obs
+        t0 = self.ctx.engine.now if obs is not None else 0.0
         self.ctx.proc.sleep(self._origin_overhead(spec.mpi_atomic_overhead))
         self._op_started(target)
         rec = self._san_access(
@@ -661,6 +699,10 @@ class Window:
             reliable=True,
         )
         req.wait()
+        if obs is not None:
+            obs.record(
+                self.ctx.rank, "mpi.cas", dtype.itemsize, self.ctx.engine.now - t0
+            )
         return result_arr[0]
 
     # -- passive-target synchronization ------------------------------------------
@@ -690,6 +732,13 @@ class Window:
         for off, length in runs:
             self._check_target(target, int(off), int(length))
         spec = self.ctx.spec
+        obs = self._obs
+        if obs is not None:
+            obs.record(
+                self.ctx.rank, "mpi.put_runs", arr.nbytes,
+                self._origin_overhead(spec.mpi_rma_overhead)
+                + spec.copy_time(arr.nbytes),
+            )
         # Origin packs the section, then one wire message carries it.
         self.ctx.proc.sleep(
             self._origin_overhead(spec.mpi_rma_overhead) + spec.copy_time(arr.nbytes)
@@ -740,6 +789,13 @@ class Window:
         for off, length in runs:
             self._check_target(target, int(off), int(length))
         spec = self.ctx.spec
+        obs = self._obs
+        if obs is not None:
+            obs.record(
+                self.ctx.rank, "mpi.get_runs",
+                total * self._dtype().itemsize,
+                self._origin_overhead(spec.mpi_rma_overhead),
+            )
         self.ctx.proc.sleep(self._origin_overhead(spec.mpi_rma_overhead))
         self._op_started(target)
         rec = self._san_access(
@@ -834,6 +890,11 @@ class Window:
         this is the extension the paper asks the Forum to standardize.
         """
         self._check_target(target, 0, 0)
+        obs = self._obs
+        if obs is not None:
+            obs.record(
+                self.ctx.rank, "mpi.rflush", 0, self.ctx.spec.mpi_flush_overhead
+            )
         self.ctx.proc.sleep(self.ctx.spec.mpi_flush_overhead)
         req = Request(f"rflush(win={self.win_id},t={target})", self.ctx.proc)
         san = self._san
@@ -849,6 +910,11 @@ class Window:
     def rflush_all(self) -> Request:
         """MPI_WIN_RFLUSH_ALL: request-based remote completion to every
         target, at constant (not linear-in-P) software cost."""
+        obs = self._obs
+        if obs is not None:
+            obs.record(
+                self.ctx.rank, "mpi.rflush_all", 0, self.ctx.spec.mpi_flush_all_idle
+            )
         self.ctx.proc.sleep(self.ctx.spec.mpi_flush_all_idle)
         self.state.dirty[self.rank] = False
         req = Request(f"rflush_all(win={self.win_id})", self.ctx.proc)
@@ -890,8 +956,12 @@ class Window:
     def flush(self, target: int) -> None:
         """MPI_WIN_FLUSH: wait for remote completion of my ops at ``target``."""
         self._check_target(target, 0, 0)
+        obs = self._obs
+        t0 = self.ctx.engine.now if obs is not None else 0.0
         self.ctx.proc.sleep(self.ctx.spec.mpi_flush_overhead)
         self._wait_target_quiet(target)
+        if obs is not None:
+            obs.record(self.ctx.rank, "mpi.flush", 0, self.ctx.engine.now - t0)
         san = self._san
         if san is not None:
             san.release_window(
@@ -908,6 +978,8 @@ class Window:
         spec = self.ctx.spec
         state = self.state
         origin = self.rank
+        obs = self._obs
+        t0 = self.ctx.engine.now if obs is not None else 0.0
         if state.dirty[origin]:
             self.ctx.proc.sleep(self.group_size * spec.mpi_flush_all_per_target)
             state.dirty[origin] = False
@@ -921,6 +993,8 @@ class Window:
             ev = SimEvent(f"flush_all(win={self.win_id},o={origin})")
             state.quiet_waiters.setdefault(origin, []).append(ev)
             ev.wait(self.ctx.proc)
+        if obs is not None:
+            obs.record(self.ctx.rank, "mpi.flush_all", 0, self.ctx.engine.now - t0)
         san = self._san
         if san is not None:
             san.release_window(self.win_id, self._world(self.rank))

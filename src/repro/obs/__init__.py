@@ -1,0 +1,52 @@
+"""repro.obs: op-level metrics, communication matrix, critical path, reports.
+
+The observability layer the paper's own evidence is made of: Figures 4 and 8
+are per-category decompositions whose *explanations* live in per-op
+statistics — how many ``MPI_WIN_FLUSH_ALL`` calls ``event_notify`` issued and
+what each cost as P grew, which P x P traffic pattern an all-to-all produced,
+which rank chain actually determined the makespan.
+
+Components
+----------
+* :class:`Metrics` — per-rank, per-op-kind counters/bytes/virtual-time with
+  log-bucketed size and latency histograms; zero engine interaction, so
+  timelines are bit-identical with metrics on or off.
+* :class:`CommMatrix` — P x P messages/bytes fed by the fabric.
+* :func:`critical_path` — backward dependency walk over trace events.
+* :class:`RunReport` / :func:`build_report` — the deterministic JSON
+  artifact, with Prometheus text export and a diff for regression triage.
+* :mod:`repro.obs.capture` — process-wide capture so the experiments runner
+  emits reports without code changes.
+
+Enable per run with ``run_caf(..., metrics=True)`` (add ``trace=True`` for
+the critical path), or ``python -m repro.apps <app> --metrics out.json``.
+``python -m repro.obs render/diff/validate`` works the artifacts.
+"""
+
+from repro.obs import capture
+from repro.obs.critical import CriticalPath, PathStep, critical_path
+from repro.obs.metrics import CommMatrix, Metrics, OpStats
+from repro.obs.report import (
+    ReportDiff,
+    RunReport,
+    SchemaError,
+    build_report,
+    diff_reports,
+    validate_report,
+)
+
+__all__ = [
+    "CommMatrix",
+    "CriticalPath",
+    "Metrics",
+    "OpStats",
+    "PathStep",
+    "ReportDiff",
+    "RunReport",
+    "SchemaError",
+    "build_report",
+    "capture",
+    "critical_path",
+    "diff_reports",
+    "validate_report",
+]

@@ -1,0 +1,79 @@
+"""Process-wide capture: make every ``run_caf`` emit observability artifacts.
+
+The experiments runner (and anything else that builds clusters internally)
+cannot thread ``metrics=True`` through every call site; this module is the
+same force-enable pattern the sanitizer uses. While a capture is active,
+``run_caf`` enables metrics (and optionally tracing) on every cluster it
+builds and writes one ``run-NNNN.report.json`` (and ``run-NNNN.trace.json``)
+per run into the capture directory, tagged with the program name so sweeps
+stay attributable.
+
+Scope it with the context manager::
+
+    with obs.capture(out_dir, trace=False):
+        ...  # every run_caf inside emits run-NNNN.report.json
+
+or drive it imperatively (the CLI flags do) with :func:`start` / :func:`stop`.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import pathlib
+from typing import Any
+
+_state: dict[str, Any] = {"dir": None, "trace": False, "seq": 0, "written": []}
+
+
+def start(out_dir: str | os.PathLike, *, trace: bool = False) -> None:
+    """Begin capturing: subsequent ``run_caf`` calls emit artifacts."""
+    path = pathlib.Path(out_dir)
+    path.mkdir(parents=True, exist_ok=True)
+    _state.update(dir=path, trace=trace, seq=0, written=[])
+
+
+def stop() -> list[pathlib.Path]:
+    """End the capture; returns the artifact paths written."""
+    written = list(_state["written"])
+    _state.update(dir=None, trace=False, seq=0, written=[])
+    return written
+
+
+def active() -> bool:
+    return _state["dir"] is not None
+
+
+def trace_forced() -> bool:
+    return active() and bool(_state["trace"])
+
+
+@contextlib.contextmanager
+def capture(out_dir: str | os.PathLike, *, trace: bool = False):
+    """Context-managed capture window; yields the output directory."""
+    start(out_dir, trace=trace)
+    try:
+        yield pathlib.Path(out_dir)
+    finally:
+        stop()
+
+
+def emit(cluster, *, backend: str | None = None, app: str | None = None) -> None:
+    """Write this run's artifacts if a capture is active (run_caf calls it)."""
+    out: pathlib.Path | None = _state["dir"]
+    if out is None:
+        return
+    from repro.obs.report import build_report
+
+    seq = _state["seq"]
+    _state["seq"] = seq + 1
+    label = f"run-{seq:04d}" + (f"-{app}" if app else "")
+    report_path = out / f"run-{seq:04d}.report.json"
+    build_report(cluster, backend=backend, label=label, app=app).to_json(
+        str(report_path)
+    )
+    _state["written"].append(report_path)
+    if _state["trace"] and cluster.tracer.events:
+        trace_path = out / f"run-{seq:04d}.trace.json"
+        cluster.tracer.to_chrome_trace(str(trace_path))
+        _state["written"].append(trace_path)

@@ -1,0 +1,89 @@
+"""CLI: render, validate, and diff RunReport artifacts.
+
+Usage::
+
+    python -m repro.obs render RUNREPORT.json            # human tables
+    python -m repro.obs render RUNREPORT.json --prom     # Prometheus text
+    python -m repro.obs validate RUNREPORT.json          # schema check
+    python -m repro.obs diff OLD.json NEW.json           # regression triage
+    python -m repro.obs diff OLD.json NEW.json --threshold 5 --fail
+
+``diff --fail`` exits 1 when any metric moved beyond the threshold — the
+bench-regression tripwire CI uses on archived reports.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+from repro.obs.report import RunReport, SchemaError, diff_reports
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Render, validate, and diff repro run reports.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_render = sub.add_parser("render", help="pretty-print a report")
+    p_render.add_argument("report", type=pathlib.Path)
+    p_render.add_argument(
+        "--prom", action="store_true", help="emit Prometheus text instead of tables"
+    )
+
+    p_validate = sub.add_parser("validate", help="schema-check a report")
+    p_validate.add_argument("reports", type=pathlib.Path, nargs="+")
+
+    p_diff = sub.add_parser("diff", help="compare two reports")
+    p_diff.add_argument("old", type=pathlib.Path)
+    p_diff.add_argument("new", type=pathlib.Path)
+    p_diff.add_argument(
+        "--threshold",
+        type=float,
+        default=5.0,
+        help="percent change considered significant (default 5)",
+    )
+    p_diff.add_argument(
+        "--fail",
+        action="store_true",
+        help="exit 1 if any metric moved beyond the threshold",
+    )
+
+    args = parser.parse_args(argv)
+
+    try:
+        if args.command == "render":
+            report = RunReport.load(str(args.report))
+            print(report.to_prometheus() if args.prom else report.render(), end="")
+            if not args.prom:
+                print()
+            return 0
+        if args.command == "validate":
+            for path in args.reports:
+                RunReport.load(str(path))
+                print(f"{path}: ok")
+            return 0
+        # diff
+        old = RunReport.load(str(args.old))
+        new = RunReport.load(str(args.new))
+        diff = diff_reports(
+            old, new, a_label=args.old.name, b_label=args.new.name
+        )
+        threshold = args.threshold / 100.0
+        print(diff.render(threshold=threshold))
+        if args.fail and diff.regressions(threshold):
+            return 1
+        return 0
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except SchemaError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - module entry
+    sys.exit(main())

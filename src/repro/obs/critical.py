@@ -1,0 +1,201 @@
+"""Critical-path analysis over trace events.
+
+The profiler's breakdown says *where the mean rank spent time*; this module
+answers the sharper question the paper's Figure 4/8 discussions turn on:
+*which dependency chain actually determines the makespan*. Starting from the
+last-finishing activity, it walks backwards through the trace — staying on a
+rank while local work chains, hopping along a message (a ``transfer`` event)
+when an arrival is what unblocked the rank — and attributes every segment of
+the resulting path to its innermost profiler category, ``network`` for wire
+time, or ``idle`` for unattributed gaps.
+
+The walk is a heuristic (the trace records activities, not explicit
+dependence edges) but a deterministic one: ties are broken by fixed keys, so
+the same trace always yields the same path. It needs a run with tracing
+enabled (``run_caf(..., trace=True)``); with no events it returns an empty
+path.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_right
+from dataclasses import dataclass, field
+from typing import Any
+
+#: Two trace timestamps closer than this are "the same instant" (virtual
+#: times are exact float sums of modeled costs; 1 ps is far below any cost).
+_EPS = 1e-12
+
+#: Safety cap on path length (a step consumes at least one event, so this
+#: only triggers on pathological multi-million-event traces).
+_MAX_STEPS = 200_000
+
+
+@dataclass(frozen=True)
+class PathStep:
+    """One backward segment of the critical path."""
+
+    kind: str  # "region" | "transfer" | "idle"
+    rank: int  # the rank doing the work (transfer: the *source*)
+    category: str  # profiler category, "network", or "idle"
+    t0: float
+    t1: float
+    detail: dict[str, Any] = field(default_factory=dict, hash=False, compare=False)
+
+    @property
+    def duration(self) -> float:
+        return self.t1 - self.t0
+
+
+@dataclass
+class CriticalPath:
+    """The dependency chain ending at the makespan, plus its attribution."""
+
+    makespan: float
+    steps: list[PathStep]  # ordered from t=0 towards the makespan
+    by_category: dict[str, float]
+    #: Fraction of the makespan the walk attributed (1.0 = gap-free path).
+    coverage: float
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "makespan": self.makespan,
+            "coverage": self.coverage,
+            "by_category": {k: self.by_category[k] for k in sorted(self.by_category)},
+            "steps": [
+                {
+                    "kind": s.kind,
+                    "rank": s.rank,
+                    "category": s.category,
+                    "t0": s.t0,
+                    "t1": s.t1,
+                    **({"detail": s.detail} if s.detail else {}),
+                }
+                for s in self.steps
+            ],
+        }
+
+
+def critical_path(events, makespan: float | None = None) -> CriticalPath:
+    """Walk the dependency chain ending at the makespan.
+
+    ``events`` is a sequence of :class:`repro.sim.trace.TraceEvent`; only
+    ``region`` and ``transfer`` events participate. Returns a
+    :class:`CriticalPath` whose ``by_category`` sums path time by profiler
+    category (plus ``network`` and ``idle``).
+    """
+    regions: dict[int, list] = {}
+    arrivals: dict[int, list] = {}
+    end = 0.0
+    for e in events:
+        if not math.isfinite(e.t1):
+            continue  # dropped/blackholed transfers never delivered
+        if e.kind == "region":
+            regions.setdefault(e.rank, []).append(e)
+            end = max(end, e.t1)
+        elif e.kind == "transfer":
+            dst = e.detail.get("dst")
+            if dst is None or e.detail.get("fault"):
+                continue
+            arrivals.setdefault(dst, []).append(e)
+            end = max(end, e.t1)
+    if makespan is None:
+        makespan = end
+    if not regions and not arrivals:
+        return CriticalPath(makespan=makespan, steps=[], by_category={}, coverage=0.0)
+
+    # Sorted by end time; parallel key lists for bisect. Ties in t1 order by
+    # t0 so the innermost (latest-starting) nested region sorts last.
+    for lst in regions.values():
+        lst.sort(key=lambda e: (e.t1, e.t0, e.rank))
+    for lst in arrivals.values():
+        lst.sort(key=lambda e: (e.t1, e.t0, e.rank))
+    reg_ends = {r: [e.t1 for e in lst] for r, lst in regions.items()}
+    arr_ends = {r: [e.t1 for e in lst] for r, lst in arrivals.items()}
+    # Per-rank consumption pointers (exclusive upper bound into the sorted
+    # lists). Pointers only move left, bounding total work by event count.
+    reg_ptr = {r: len(lst) for r, lst in regions.items()}
+    arr_ptr = {r: len(lst) for r, lst in arrivals.items()}
+
+    # Start on the rank whose last region finishes the run (smallest rank on
+    # ties); fall back to the latest arrival's destination.
+    start_rank, start_t = None, -1.0
+    for r in sorted(regions):
+        t1 = regions[r][-1].t1
+        if t1 > start_t + _EPS:
+            start_rank, start_t = r, t1
+    if start_rank is None:
+        for r in sorted(arrivals):
+            t1 = arrivals[r][-1].t1
+            if t1 > start_t + _EPS:
+                start_rank, start_t = r, t1
+    assert start_rank is not None
+
+    steps: list[PathStep] = []
+    rank, t = start_rank, start_t
+
+    def _candidate(lists, ends, ptrs):
+        """Latest unconsumed event on ``rank`` ending at or before ``t``;
+        returns (event, index) or (None, -1)."""
+        lst = lists.get(rank)
+        if not lst:
+            return None, -1
+        hi = min(ptrs[rank], bisect_right(ends[rank], t + _EPS))
+        if hi <= 0:
+            return None, -1
+        # Among ties in end time, the sort already placed the innermost
+        # (max t0) last — exactly the event we want.
+        return lst[hi - 1], hi - 1
+
+    while t > _EPS and len(steps) < _MAX_STEPS:
+        reg, ri = _candidate(regions, reg_ends, reg_ptr)
+        arr, ai = _candidate(arrivals, arr_ends, arr_ptr)
+        if reg is None and arr is None:
+            break
+        # Prefer the message when it ends at (or after) the local event's
+        # end: an arrival at the instant a wait-region closes is the true
+        # cross-rank dependency (the notify behind an event_wait).
+        use_arrival = arr is not None and (reg is None or arr.t1 >= reg.t1 - _EPS)
+        chosen = arr if use_arrival else reg
+        if chosen.t1 < t - _EPS:
+            steps.append(
+                PathStep(kind="idle", rank=rank, category="idle", t0=chosen.t1, t1=t)
+            )
+        if use_arrival:
+            arr_ptr[rank] = ai
+            steps.append(
+                PathStep(
+                    kind="transfer",
+                    rank=arr.rank,
+                    category="network",
+                    t0=arr.t0,
+                    t1=min(arr.t1, t),
+                    detail={"src": arr.rank, "dst": rank, "nbytes": arr.detail.get("nbytes", 0)},
+                )
+            )
+            rank, t = arr.rank, arr.t0
+        else:
+            reg_ptr[rank] = ri
+            steps.append(
+                PathStep(
+                    kind="region",
+                    rank=rank,
+                    category=str(reg.detail.get("category", "uncategorized")),
+                    t0=reg.t0,
+                    t1=min(reg.t1, t),
+                )
+            )
+            t = reg.t0
+
+    steps.reverse()
+    by_category: dict[str, float] = {}
+    attributed = 0.0
+    for s in steps:
+        d = max(s.duration, 0.0)
+        by_category[s.category] = by_category.get(s.category, 0.0) + d
+        attributed += d
+    coverage = attributed / makespan if makespan > 0 else 0.0
+    return CriticalPath(
+        makespan=makespan, steps=steps, by_category=by_category, coverage=coverage
+    )

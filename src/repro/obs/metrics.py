@@ -1,0 +1,211 @@
+"""Structured op-level metrics: counters, gauges, log-bucketed histograms.
+
+The registry records, per rank and per op kind (``mpi.rput``, ``mpi.flush_all``,
+``gasnet.am``, ``caf.event_notify``, ...), how many times the op was called,
+how many payload bytes it moved, and how much *virtual* time the caller spent
+inside it — the per-op RMA statistics that separate "slow" from "why slow" in
+the paper's Figure 4/8 analyses (e.g. ``mpi.flush_all`` time-per-call growing
+linearly in P is the RandomAccess ``event_notify`` story, readable straight
+off the report).
+
+Cost discipline mirrors the sanitizer's: the metrics handle is fixed at
+cluster construction and cached on every hot object (``RankCtx.metrics``,
+``Window._obs``, ``GasnetRank`` ...), so a disabled run pays exactly one
+attribute load plus one ``is None`` test per instrumented op, and an enabled
+run never touches the engine (no sleeps, no events) — virtual timelines and
+event-order digests are bit-identical with metrics on or off.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+__all__ = ["OpStats", "Metrics", "CommMatrix", "size_bucket", "latency_bucket"]
+
+
+def size_bucket(nbytes: int) -> int:
+    """Log2 bucket index for a message size: bucket ``b`` covers
+    ``[2**(b-1), 2**b)`` bytes, with bucket 0 = zero bytes."""
+    return int(nbytes).bit_length()
+
+
+def latency_bucket(seconds: float) -> int:
+    """Log2 bucket index over integer nanoseconds (bucket 0 = sub-ns/zero)."""
+    return int(seconds * 1e9).bit_length()
+
+
+def bucket_bounds(bucket: int) -> tuple[int, int]:
+    """Inclusive-exclusive integer bounds covered by a log2 bucket."""
+    if bucket <= 0:
+        return (0, 1)
+    return (1 << (bucket - 1), 1 << bucket)
+
+
+class OpStats:
+    """Accumulated statistics of one (rank, op kind) pair."""
+
+    __slots__ = ("calls", "nbytes", "time", "size_hist", "lat_hist")
+
+    def __init__(self) -> None:
+        self.calls = 0
+        self.nbytes = 0
+        self.time = 0.0
+        # bucket index -> count; dicts stay tiny (a handful of buckets).
+        self.size_hist: dict[int, int] = {}
+        self.lat_hist: dict[int, int] = {}
+
+    def add(self, nbytes: int, seconds: float) -> None:
+        self.calls += 1
+        self.nbytes += nbytes
+        self.time += seconds
+        sb = int(nbytes).bit_length()
+        self.size_hist[sb] = self.size_hist.get(sb, 0) + 1
+        lb = int(seconds * 1e9).bit_length()
+        self.lat_hist[lb] = self.lat_hist.get(lb, 0) + 1
+
+    def merge(self, other: "OpStats") -> None:
+        self.calls += other.calls
+        self.nbytes += other.nbytes
+        self.time += other.time
+        for b, c in other.size_hist.items():
+            self.size_hist[b] = self.size_hist.get(b, 0) + c
+        for b, c in other.lat_hist.items():
+            self.lat_hist[b] = self.lat_hist.get(b, 0) + c
+
+    @property
+    def time_per_call(self) -> float:
+        return self.time / self.calls if self.calls else 0.0
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "calls": self.calls,
+            "bytes": self.nbytes,
+            "time": self.time,
+            "size_hist": {str(b): self.size_hist[b] for b in sorted(self.size_hist)},
+            "lat_hist": {str(b): self.lat_hist[b] for b in sorted(self.lat_hist)},
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<OpStats calls={self.calls} bytes={self.nbytes} time={self.time:.3e}>"
+
+
+class Metrics:
+    """Per-rank, per-op-kind metrics registry plus named counters/gauges.
+
+    ``record`` is the hot path; everything else is assembly-time reporting.
+    """
+
+    def __init__(self, nranks: int):
+        self.nranks = nranks
+        #: rank -> op kind -> OpStats
+        self.ops: list[dict[str, OpStats]] = [{} for _ in range(nranks)]
+        self.counters: dict[str, int] = {}
+        self.gauges: dict[str, float] = {}
+
+    # -- hot path --------------------------------------------------------
+
+    def record(self, rank: int, kind: str, nbytes: int = 0, seconds: float = 0.0) -> None:
+        """Record one completed op of ``kind`` on ``rank``."""
+        per_rank = self.ops[rank]
+        stats = per_rank.get(kind)
+        if stats is None:
+            stats = per_rank[kind] = OpStats()
+        stats.add(nbytes, seconds)
+
+    def count(self, name: str, delta: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + delta
+
+    def gauge(self, name: str, value: float) -> None:
+        self.gauges[name] = value
+
+    # -- queries ---------------------------------------------------------
+
+    def op(self, rank: int, kind: str) -> OpStats:
+        """The (rank, kind) stats, creating an empty record if absent."""
+        per_rank = self.ops[rank]
+        stats = per_rank.get(kind)
+        if stats is None:
+            stats = per_rank[kind] = OpStats()
+        return stats
+
+    def kinds(self) -> list[str]:
+        seen: set[str] = set()
+        for per_rank in self.ops:
+            seen.update(per_rank)
+        return sorted(seen)
+
+    def aggregate(self, kind: str) -> OpStats:
+        """One ``kind``'s stats merged across all ranks."""
+        out = OpStats()
+        for per_rank in self.ops:
+            stats = per_rank.get(kind)
+            if stats is not None:
+                out.merge(stats)
+        return out
+
+    def by_kind(self) -> dict[str, OpStats]:
+        return {k: self.aggregate(k) for k in self.kinds()}
+
+    def total_calls(self) -> int:
+        return sum(s.calls for per_rank in self.ops for s in per_rank.values())
+
+    def to_dict(self) -> dict[str, Any]:
+        """Deterministically-ordered plain-dict form (report assembly)."""
+        return {
+            "kinds": {k: s.to_dict() for k, s in sorted(self.by_kind().items())},
+            "per_rank": [
+                {
+                    k: {
+                        "calls": s.calls,
+                        "bytes": s.nbytes,
+                        "time": s.time,
+                    }
+                    for k, s in sorted(per_rank.items())
+                }
+                for per_rank in self.ops
+            ],
+            "counters": {k: self.counters[k] for k in sorted(self.counters)},
+            "gauges": {k: self.gauges[k] for k in sorted(self.gauges)},
+        }
+
+
+class CommMatrix:
+    """P x P traffic accounting (messages and bytes), fed by the fabric.
+
+    One ``record`` per :meth:`NetFabric.transfer`; numpy int64 grids keep it
+    O(1) per message and O(P^2) memory only when metrics are enabled.
+    """
+
+    def __init__(self, nranks: int):
+        self.nranks = nranks
+        self.messages = np.zeros((nranks, nranks), np.int64)
+        self.bytes = np.zeros((nranks, nranks), np.int64)
+
+    def record(self, src: int, dst: int, nbytes: int) -> None:
+        self.messages[src, dst] += 1
+        self.bytes[src, dst] += nbytes
+
+    def total_messages(self) -> int:
+        return int(self.messages.sum())
+
+    def total_bytes(self) -> int:
+        return int(self.bytes.sum())
+
+    def top_pairs(self, k: int = 10) -> list[tuple[int, int, int, int]]:
+        """The ``k`` heaviest (src, dst, messages, bytes) pairs by bytes,
+        ties broken by (src, dst) for determinism."""
+        pairs = [
+            (int(s), int(d), int(self.messages[s, d]), int(self.bytes[s, d]))
+            for s, d in zip(*np.nonzero(self.messages))
+        ]
+        pairs.sort(key=lambda p: (-p[3], -p[2], p[0], p[1]))
+        return pairs[:k]
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "nranks": self.nranks,
+            "messages": self.messages.tolist(),
+            "bytes": self.bytes.tolist(),
+        }

@@ -1,0 +1,398 @@
+"""RunReport: the JSON-serializable artifact one simulated run explains
+itself with.
+
+Assembled from the :class:`~repro.obs.metrics.Metrics` registry, the
+profiler's per-category time decomposition, the fabric's
+:class:`~repro.obs.metrics.CommMatrix`, and (when the run was traced) the
+:mod:`~repro.obs.critical` path. Field ordering is deterministic — the same
+run always serializes byte-identically — so reports diff cleanly and CI can
+archive them next to ``BENCH_wallclock.json``.
+
+Exporters: canonical JSON (:meth:`RunReport.to_json`), Prometheus-style
+text (:meth:`RunReport.to_prometheus`), and the existing Chrome-trace export
+on the tracer for the time axis. ``python -m repro.obs`` renders and diffs
+report files (bench-regression triage).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.obs.critical import critical_path
+from repro.util.tables import format_table
+
+SCHEMA_NAME = "repro.obs/run-report"
+SCHEMA_VERSION = 1
+
+#: Keep the serialized comm matrix dense only up to this many ranks; larger
+#: runs store the top pairs (the matrix itself stays queryable in-process).
+_DENSE_MATRIX_LIMIT = 256
+
+
+class SchemaError(ValueError):
+    """A document does not conform to the RunReport schema."""
+
+
+@dataclass
+class RunReport:
+    """One run's observability artifact (a thin typed wrapper over the
+    canonical dict form, which is what serializes/validates/diffs)."""
+
+    data: dict[str, Any] = field(default_factory=dict)
+
+    # -- accessors -------------------------------------------------------
+
+    @property
+    def meta(self) -> dict[str, Any]:
+        return self.data["meta"]
+
+    @property
+    def ops(self) -> dict[str, Any]:
+        """Aggregated per-kind op stats: kind -> {calls, bytes, time, ...}."""
+        return self.data["ops"]["kinds"]
+
+    @property
+    def makespan(self) -> float:
+        return self.data["meta"]["makespan"]
+
+    def op(self, kind: str) -> dict[str, Any]:
+        return self.data["ops"]["kinds"].get(
+            kind, {"calls": 0, "bytes": 0, "time": 0.0}
+        )
+
+    # -- serialization ---------------------------------------------------
+
+    def to_json(self, path: str | None = None, *, indent: int = 2) -> str:
+        """Canonical JSON text (sorted keys); optionally written to ``path``."""
+        text = json.dumps(self.data, indent=indent, sort_keys=True) + "\n"
+        if path is not None:
+            with open(path, "w") as fh:
+                fh.write(text)
+        return text
+
+    @classmethod
+    def load(cls, path: str) -> "RunReport":
+        with open(path) as fh:
+            data = json.load(fh)
+        validate_report(data)
+        return cls(data)
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "RunReport":
+        validate_report(data)
+        return cls(data)
+
+    # -- exporters -------------------------------------------------------
+
+    def to_prometheus(self) -> str:
+        """Prometheus text exposition of the scalar metrics.
+
+        Virtual-time metrics carry a ``repro_`` prefix; labels identify the
+        op kind / category. Scrape-ready for pushgateway-style archiving.
+        """
+        lines: list[str] = []
+        meta = self.data["meta"]
+        lab = f'backend="{meta.get("backend", "")}",nranks="{meta["nranks"]}"'
+        lines.append("# TYPE repro_run_makespan_seconds gauge")
+        lines.append(f"repro_run_makespan_seconds{{{lab}}} {meta['makespan']:.9e}")
+        lines.append("# TYPE repro_op_calls_total counter")
+        lines.append("# TYPE repro_op_bytes_total counter")
+        lines.append("# TYPE repro_op_time_seconds_total counter")
+        for kind in sorted(self.data["ops"]["kinds"]):
+            s = self.data["ops"]["kinds"][kind]
+            klab = f'kind="{kind}",{lab}'
+            lines.append(f"repro_op_calls_total{{{klab}}} {s['calls']}")
+            lines.append(f"repro_op_bytes_total{{{klab}}} {s['bytes']}")
+            lines.append(f"repro_op_time_seconds_total{{{klab}}} {s['time']:.9e}")
+        lines.append("# TYPE repro_profiler_category_seconds gauge")
+        for cat in sorted(self.data["profiler"]["breakdown"]):
+            v = self.data["profiler"]["breakdown"][cat]
+            lines.append(
+                f'repro_profiler_category_seconds{{category="{cat}",{lab}}} {v:.9e}'
+            )
+        fabric = self.data["fabric"]
+        lines.append("# TYPE repro_fabric_messages_total counter")
+        lines.append(f"repro_fabric_messages_total{{{lab}}} {fabric['messages']}")
+        lines.append("# TYPE repro_fabric_bytes_total counter")
+        lines.append(f"repro_fabric_bytes_total{{{lab}}} {fabric['bytes']}")
+        for name in sorted(self.data.get("counters", {})):
+            lines.append(
+                f'repro_counter_total{{name="{name}",{lab}}} '
+                f"{self.data['counters'][name]}"
+            )
+        return "\n".join(lines) + "\n"
+
+    def render(self, *, top: int = 12) -> str:
+        """Human-readable multi-table rendering (the CLI's output)."""
+        meta = self.data["meta"]
+        out = [
+            f"== run report: {meta.get('label') or meta.get('app') or 'run'} "
+            f"x{meta['nranks']} images (backend={meta.get('backend', '?')}, "
+            f"spec={meta.get('spec', '?')}) ==",
+            f"virtual makespan: {meta['makespan'] * 1e3:.3f} ms",
+        ]
+        breakdown = self.data["profiler"]["breakdown"]
+        if breakdown:
+            rows = sorted(breakdown.items(), key=lambda kv: (-kv[1], kv[0]))
+            out.append(
+                format_table(
+                    ["category", "mean s/image"], rows, title="time decomposition"
+                )
+            )
+        kinds = self.data["ops"]["kinds"]
+        if kinds:
+            rows = [
+                [
+                    k,
+                    s["calls"],
+                    s["bytes"],
+                    f"{s['time']:.3e}",
+                    f"{(s['time'] / s['calls'] if s['calls'] else 0.0):.3e}",
+                ]
+                for k, s in sorted(
+                    kinds.items(), key=lambda kv: (-kv[1]["time"], kv[0])
+                )
+            ]
+            out.append(
+                format_table(
+                    ["op kind", "calls", "bytes", "time (s)", "s/call"],
+                    rows,
+                    title="op-level metrics (all ranks)",
+                )
+            )
+        cm = self.data.get("comm_matrix")
+        if cm and cm.get("top_pairs"):
+            rows = [[f"{s}->{d}", m, b] for s, d, m, b in cm["top_pairs"][:top]]
+            out.append(
+                format_table(
+                    ["pair", "messages", "bytes"],
+                    rows,
+                    title=f"heaviest traffic pairs (of {cm['total_messages']} msgs, "
+                    f"{cm['total_bytes']} bytes)",
+                )
+            )
+        cp = self.data.get("critical_path")
+        if cp:
+            rows = sorted(
+                cp["by_category"].items(), key=lambda kv: (-kv[1], kv[0])
+            )
+            out.append(
+                format_table(
+                    ["category", "path seconds"],
+                    rows,
+                    title=f"critical path ({len(cp['steps'])} steps, "
+                    f"{cp['coverage'] * 100:.1f}% of makespan attributed)",
+                )
+            )
+        return "\n".join(out)
+
+
+def validate_report(data: Any) -> None:
+    """Structural schema check; raises :class:`SchemaError` on violation."""
+
+    def need(cond: bool, msg: str) -> None:
+        if not cond:
+            raise SchemaError(f"invalid run report: {msg}")
+
+    need(isinstance(data, dict), "not a JSON object")
+    need(data.get("schema") == SCHEMA_NAME, f"schema != {SCHEMA_NAME!r}")
+    need(data.get("version") == SCHEMA_VERSION, f"version != {SCHEMA_VERSION}")
+    meta = data.get("meta")
+    need(isinstance(meta, dict), "missing meta object")
+    need(isinstance(meta.get("nranks"), int) and meta["nranks"] > 0, "meta.nranks")
+    need(isinstance(meta.get("makespan"), (int, float)), "meta.makespan")
+    prof = data.get("profiler")
+    need(isinstance(prof, dict), "missing profiler object")
+    need(isinstance(prof.get("breakdown"), dict), "profiler.breakdown")
+    need(isinstance(prof.get("counts"), dict), "profiler.counts")
+    ops = data.get("ops")
+    need(isinstance(ops, dict) and isinstance(ops.get("kinds"), dict), "ops.kinds")
+    for kind, s in ops["kinds"].items():
+        need(isinstance(s, dict), f"ops.kinds[{kind!r}]")
+        for fld in ("calls", "bytes"):
+            need(isinstance(s.get(fld), int), f"ops.kinds[{kind!r}].{fld}")
+        need(isinstance(s.get("time"), (int, float)), f"ops.kinds[{kind!r}].time")
+    fabric = data.get("fabric")
+    need(isinstance(fabric, dict), "missing fabric object")
+    for fld in ("messages", "bytes"):
+        need(isinstance(fabric.get(fld), int), f"fabric.{fld}")
+    cm = data.get("comm_matrix")
+    if cm is not None:
+        need(isinstance(cm, dict), "comm_matrix")
+        need(isinstance(cm.get("total_messages"), int), "comm_matrix.total_messages")
+    cp = data.get("critical_path")
+    if cp is not None:
+        need(isinstance(cp, dict), "critical_path")
+        need(isinstance(cp.get("steps"), list), "critical_path.steps")
+        need(isinstance(cp.get("by_category"), dict), "critical_path.by_category")
+
+
+def build_report(
+    cluster,
+    *,
+    backend: str | None = None,
+    label: str | None = None,
+    app: str | None = None,
+) -> RunReport:
+    """Assemble a :class:`RunReport` from a finished cluster's services.
+
+    Works with or without metrics/tracing enabled: absent subsystems yield
+    empty/None sections, so a bare profiler-only run still reports.
+    """
+    profiler = cluster.profiler
+    counts: dict[str, int] = {}
+    for per_rank in profiler.counts:
+        for cat, n in per_rank.items():
+            counts[cat] = counts.get(cat, 0) + n
+    fabric = cluster.fabric
+    data: dict[str, Any] = {
+        "schema": SCHEMA_NAME,
+        "version": SCHEMA_VERSION,
+        "meta": {
+            "nranks": cluster.nranks,
+            "backend": backend,
+            "label": label,
+            "app": app,
+            "spec": cluster.spec.name,
+            "seed": cluster.seed,
+            "makespan": cluster.elapsed,
+            "metrics_enabled": cluster.metrics is not None,
+            "traced": bool(cluster.tracer.events),
+        },
+        "profiler": {
+            "breakdown": dict(sorted(profiler.breakdown().items())),
+            "counts": dict(sorted(counts.items())),
+            "per_rank": [
+                dict(sorted(times.items())) for times in profiler.times
+            ],
+        },
+        "ops": (
+            cluster.metrics.to_dict()
+            if cluster.metrics is not None
+            else {"kinds": {}, "per_rank": [], "counters": {}, "gauges": {}}
+        ),
+        "counters": (
+            dict(sorted(cluster.metrics.counters.items()))
+            if cluster.metrics is not None
+            else {}
+        ),
+        "fabric": {
+            "messages": fabric.messages_sent,
+            "bytes": fabric.bytes_sent,
+            "dropped": fabric.dropped,
+            "corrupted": fabric.corrupted,
+            "duplicated": fabric.duplicated,
+            "delayed": fabric.delayed,
+            "blackholed": fabric.blackholed,
+        },
+        "comm_matrix": None,
+        "critical_path": None,
+    }
+    cm = cluster.comm_matrix
+    if cm is not None:
+        entry: dict[str, Any] = {
+            "nranks": cm.nranks,
+            "total_messages": cm.total_messages(),
+            "total_bytes": cm.total_bytes(),
+            "top_pairs": [list(p) for p in cm.top_pairs(16)],
+        }
+        if cm.nranks <= _DENSE_MATRIX_LIMIT:
+            entry["messages"] = cm.messages.tolist()
+            entry["bytes"] = cm.bytes.tolist()
+        data["comm_matrix"] = entry
+    if cluster.tracer.events:
+        data["critical_path"] = critical_path(
+            cluster.tracer.events, makespan=cluster.elapsed
+        ).to_dict()
+    validate_report(data)
+    return RunReport(data)
+
+
+# -- diffing ---------------------------------------------------------------
+
+
+def _rel(old: float, new: float) -> float | None:
+    if old == 0:
+        return None if new == 0 else float("inf")
+    return (new - old) / old
+
+
+@dataclass
+class ReportDiff:
+    """Structured comparison of two run reports (bench-regression triage)."""
+
+    a_label: str
+    b_label: str
+    rows: list[tuple[str, float, float, float | None]]  # metric, a, b, rel
+
+    def regressions(self, threshold: float) -> list[tuple[str, float, float, float]]:
+        """Rows whose relative change exceeds ``threshold`` (e.g. 0.05)."""
+        out = []
+        for metric, a, b, rel in self.rows:
+            if rel is not None and rel != 0 and abs(rel) > threshold:
+                out.append((metric, a, b, rel))
+        return out
+
+    def render(self, *, threshold: float | None = None, limit: int = 40) -> str:
+        rows = [
+            (m, a, b, rel)
+            for m, a, b, rel in self.rows
+            if rel is not None and rel != 0
+        ]
+        rows.sort(key=lambda r: (-abs(r[3]), r[0]))
+        table_rows = [
+            [m, f"{a:g}", f"{b:g}", f"{rel * 100:+.2f}%"]
+            for m, a, b, rel in rows[:limit]
+        ]
+        if not table_rows:
+            return f"no differences: {self.a_label} == {self.b_label}"
+        text = format_table(
+            ["metric", self.a_label, self.b_label, "change"],
+            table_rows,
+            title=f"report diff ({len(rows)} changed metrics)",
+        )
+        if threshold is not None:
+            bad = self.regressions(threshold)
+            text += (
+                f"\n{len(bad)} metric(s) changed beyond {threshold * 100:.1f}%"
+                if bad
+                else f"\nall changes within {threshold * 100:.1f}%"
+            )
+        return text
+
+
+def diff_reports(
+    a: RunReport, b: RunReport, *, a_label: str = "a", b_label: str = "b"
+) -> ReportDiff:
+    """Flatten both reports to scalar metrics and compare them pairwise."""
+
+    def flatten(r: RunReport) -> dict[str, float]:
+        out: dict[str, float] = {"meta.makespan": r.data["meta"]["makespan"]}
+        for cat, v in r.data["profiler"]["breakdown"].items():
+            out[f"profiler.{cat}.mean_s"] = v
+        for cat, v in r.data["profiler"]["counts"].items():
+            out[f"profiler.{cat}.count"] = v
+        for kind, s in r.data["ops"]["kinds"].items():
+            out[f"ops.{kind}.calls"] = s["calls"]
+            out[f"ops.{kind}.bytes"] = s["bytes"]
+            out[f"ops.{kind}.time_s"] = s["time"]
+        for name, v in r.data.get("counters", {}).items():
+            out[f"counters.{name}"] = v
+        fabric = r.data["fabric"]
+        out["fabric.messages"] = fabric["messages"]
+        out["fabric.bytes"] = fabric["bytes"]
+        cp = r.data.get("critical_path")
+        if cp:
+            for cat, v in cp["by_category"].items():
+                out[f"critical_path.{cat}.s"] = v
+        return out
+
+    fa, fb = flatten(a), flatten(b)
+    rows = [
+        (metric, fa.get(metric, 0.0), fb.get(metric, 0.0),
+         _rel(fa.get(metric, 0.0), fb.get(metric, 0.0)))
+        for metric in sorted(set(fa) | set(fb))
+    ]
+    return ReportDiff(a_label=a_label, b_label=b_label, rows=rows)

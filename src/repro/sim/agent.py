@@ -37,6 +37,7 @@ class AgentCtx:
         self.profiler = base.profiler
         self.memory = base.memory
         self.sanitizer = base.sanitizer
+        self.metrics = base.metrics
         self.rng = base.rng
 
     @property

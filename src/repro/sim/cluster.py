@@ -36,9 +36,10 @@ class RankCtx:
         self.spec = cluster.spec
         self.profiler = cluster.profiler
         self.memory = cluster.memory
-        # Fixed at cluster construction; cached so per-op sanitizer guards
-        # are one attribute load instead of two.
+        # Fixed at cluster construction; cached so per-op sanitizer and
+        # metrics guards are one attribute load instead of two.
         self.sanitizer = cluster.sanitizer
+        self.metrics = cluster.metrics
         self.rng = rank_rng(cluster.seed, rank)
 
     # -- time -----------------------------------------------------------
@@ -79,6 +80,7 @@ class Cluster:
         faults: FaultPlan | None = None,
         reliable: bool = False,
         sanitize: bool = False,
+        metrics: bool = False,
     ):
         if nranks <= 0:
             raise SimulationError(f"nranks must be positive, got {nranks}")
@@ -119,6 +121,16 @@ class Cluster:
             self.sanitizer = Sanitizer(nranks, self.engine)
             self.engine.sanitizer = self.sanitizer
             self.fabric.sanitizer = self.sanitizer
+        #: Op-level metrics + P x P traffic accounting (None = zero-cost
+        #: off state; every instrumented site guards on a cached handle).
+        self.metrics = None
+        self.comm_matrix = None
+        if metrics:
+            from repro.obs.metrics import CommMatrix, Metrics
+
+            self.metrics = Metrics(nranks)
+            self.comm_matrix = CommMatrix(nranks)
+            self.fabric.comm_matrix = self.comm_matrix
 
     def shared(self, key: Any, factory: Callable[[], Any]) -> Any:
         """Get-or-create a cross-rank singleton (e.g. the MPI world)."""

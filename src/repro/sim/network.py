@@ -167,6 +167,10 @@ class NetFabric:
         #: Attached by ``Cluster(sanitize=True)``: the checker counts every
         #: transfer it watched (a coverage figure for its reports).
         self.sanitizer = None
+        #: Attached by ``Cluster(metrics=True)``: per-(src, dst) traffic
+        #: accounting (:class:`repro.obs.metrics.CommMatrix`). One predicate
+        #: guard per transfer; None keeps the hot path untouched.
+        self.comm_matrix = None
 
     def _check_rank(self, rank: int) -> None:
         if not 0 <= rank < self.nranks:
@@ -215,6 +219,8 @@ class NetFabric:
         self.bytes_sent += nbytes
         if self.sanitizer is not None:
             self.sanitizer.stats["transfers"] += 1
+        if self.comm_matrix is not None:
+            self.comm_matrix.record(src, dst, nbytes)
         pair = src * nranks + dst
         cost = self._pair_cost.get(pair)
         if cost is None:

@@ -79,7 +79,7 @@ class Tracer:
             ["t (us)", "dur (us)", "rank", "kind", "detail"],
             rows,
             title=f"trace: {len(self.events)} events"
-            + (f" (showing {len(events)})" if limit else ""),
+            + (f" (showing {len(events)})" if limit is not None else ""),
         )
 
     # -- export ------------------------------------------------------------
@@ -89,9 +89,18 @@ class Tracer:
 
         Each event becomes a complete ("X") event: ``ts``/``dur`` in
         microseconds, ``pid``/``tid`` the acting rank (so the viewer draws
-        one track per rank), detail fields under ``args``.
+        one track per rank), detail fields under ``args``. Process-name
+        metadata ("M") events label each track ``rank N`` in the viewer.
         """
-        out = []
+        out: list[dict[str, Any]] = [
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": r,
+                "args": {"name": f"rank {r}"},
+            }
+            for r in sorted({e.rank for e in self.events})
+        ]
         for e in sorted(self.events, key=lambda e: (e.t0, e.rank)):
             args = {
                 k: v if isinstance(v, (int, float, str, bool)) else repr(v)

@@ -1,0 +1,76 @@
+"""Process-wide capture: run_caf emits per-run artifacts while active."""
+
+import json
+
+import numpy as np
+
+from repro.caf import run_caf
+from repro.obs import capture
+from repro.obs.report import RunReport
+
+
+def program(img):
+    co = img.allocate_coarray(8, np.float64)
+    img.sync_all()
+    co.write((img.rank + 1) % img.nranks, np.ones(8))
+    img.sync_all()
+
+
+def test_inactive_by_default():
+    assert not capture.active()
+    assert not capture.trace_forced()
+
+
+def test_capture_context_emits_one_report_per_run(tmp_path):
+    out = tmp_path / "obs"
+    with capture.capture(out):
+        assert capture.active()
+        run_caf(program, 2, backend="mpi")
+        run_caf(program, 2, backend="gasnet")
+    assert not capture.active()
+    reports = sorted(out.glob("run-*.report.json"))
+    assert [p.name for p in reports] == [
+        "run-0000.report.json",
+        "run-0001.report.json",
+    ]
+    r0 = RunReport.load(str(reports[0]))
+    assert r0.meta["backend"] == "mpi"
+    assert r0.meta["metrics_enabled"] is True  # capture force-enables metrics
+    assert r0.op("caf.coarray_write")["calls"] == 2
+    assert RunReport.load(str(reports[1])).meta["backend"] == "gasnet"
+
+
+def test_capture_with_trace_also_writes_chrome_json(tmp_path):
+    out = tmp_path / "obs"
+    capture.start(out, trace=True)
+    try:
+        assert capture.trace_forced()
+        run_caf(program, 2, backend="mpi")
+    finally:
+        written = capture.stop()
+    names = sorted(p.name for p in written)
+    assert names == ["run-0000.report.json", "run-0000.trace.json"]
+    trace = json.loads((out / "run-0000.trace.json").read_text())
+    assert any(e["ph"] == "X" for e in trace["traceEvents"])
+    report = RunReport.load(str(out / "run-0000.report.json"))
+    assert report.meta["traced"] is True
+    assert report.data["critical_path"] is not None
+
+
+def test_stop_returns_written_paths_and_resets(tmp_path):
+    capture.start(tmp_path / "a")
+    run_caf(program, 2)
+    first = capture.stop()
+    assert len(first) == 1
+    # A fresh capture restarts the sequence at run-0000.
+    capture.start(tmp_path / "b")
+    run_caf(program, 2)
+    second = capture.stop()
+    assert [p.name for p in second] == ["run-0000.report.json"]
+    assert capture.stop() == []  # idempotent when inactive
+
+
+def test_emit_without_active_capture_is_a_noop(tmp_path):
+    run = run_caf(program, 2)
+    capture.emit(run.cluster, backend="mpi")  # must not raise or write
+    assert list(tmp_path.iterdir()) == []

@@ -1,0 +1,91 @@
+"""The ``python -m repro.obs`` CLI: render, validate, diff, exit codes."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.caf import run_caf
+from repro.obs.cli import main
+
+
+def ring_program(img):
+    co = img.allocate_coarray(8, np.float64)
+    img.sync_all()
+    co.write((img.rank + 1) % img.nranks, np.ones(8))
+    img.sync_all()
+
+
+@pytest.fixture(scope="module")
+def report_path(tmp_path_factory):
+    run = run_caf(ring_program, 2, backend="mpi", metrics=True)
+    path = tmp_path_factory.mktemp("obs") / "run.report.json"
+    run.report(label="cli-test").to_json(str(path))
+    return path
+
+
+def test_render(report_path, capsys):
+    assert main(["render", str(report_path)]) == 0
+    out = capsys.readouterr().out
+    assert "run report: cli-test" in out
+    assert "op-level metrics" in out
+
+
+def test_render_prometheus(report_path, capsys):
+    assert main(["render", str(report_path), "--prom"]) == 0
+    out = capsys.readouterr().out
+    assert "repro_run_makespan_seconds" in out
+
+
+def test_validate_ok(report_path, capsys):
+    assert main(["validate", str(report_path), str(report_path)]) == 0
+    assert capsys.readouterr().out.count(": ok") == 2
+
+
+def test_validate_bad_schema_exits_2(tmp_path, capsys):
+    bad = tmp_path / "bad.json"
+    bad.write_text(json.dumps({"schema": "nope"}))
+    assert main(["validate", str(bad)]) == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_missing_file_exits_2(tmp_path, capsys):
+    assert main(["render", str(tmp_path / "absent.json")]) == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_diff_self_is_clean(report_path, capsys):
+    assert main(["diff", str(report_path), str(report_path), "--fail"]) == 0
+    assert "no differences" in capsys.readouterr().out
+
+
+def test_diff_fail_trips_on_regression(report_path, tmp_path, capsys):
+    data = json.loads(report_path.read_text())
+    data["meta"]["makespan"] *= 2.0
+    worse = tmp_path / "worse.json"
+    worse.write_text(json.dumps(data))
+    assert main(["diff", str(report_path), str(worse), "--threshold", "5"]) == 0
+    assert (
+        main(["diff", str(report_path), str(worse), "--threshold", "5", "--fail"])
+        == 1
+    )
+    out = capsys.readouterr().out
+    assert "meta.makespan" in out
+
+
+def test_module_entrypoint_runs(report_path):
+    import os
+    import pathlib
+    import subprocess
+    import sys
+
+    src = pathlib.Path(__file__).resolve().parents[2] / "src"
+    env = dict(os.environ, PYTHONPATH=str(src))
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.obs", "validate", str(report_path)],
+        capture_output=True,
+        text=True,
+        env=env,
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert ": ok" in proc.stdout

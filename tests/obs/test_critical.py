@@ -1,0 +1,119 @@
+"""Critical-path analysis over synthetic and real traces."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.caf import run_caf
+from repro.obs.critical import critical_path
+from repro.sim.trace import TraceEvent
+
+
+def region(rank, t0, t1, category):
+    return TraceEvent("region", rank, t0, t1, {"category": category})
+
+
+def transfer(src, dst, t0, t1, nbytes=8):
+    return TraceEvent("transfer", src, t0, t1, {"dst": dst, "nbytes": nbytes})
+
+
+def test_empty_trace_yields_empty_path():
+    cp = critical_path([])
+    assert cp.steps == []
+    assert cp.coverage == 0.0
+
+
+def test_single_rank_chain_fully_attributed():
+    events = [
+        region(0, 0.0, 2.0, "compute"),
+        region(0, 2.0, 3.0, "barrier"),
+    ]
+    cp = critical_path(events)
+    assert cp.makespan == 3.0
+    assert [s.category for s in cp.steps] == ["compute", "barrier"]
+    assert cp.by_category == {
+        "compute": pytest.approx(2.0),
+        "barrier": pytest.approx(1.0),
+    }
+    assert cp.coverage == pytest.approx(1.0)
+
+
+def test_path_hops_along_the_unblocking_message():
+    # Rank 0 computes then sends; rank 1 waits and finishes last. The path
+    # must be: r0 compute -> wire -> r1 tail region.
+    events = [
+        region(0, 0.0, 2.0, "compute"),
+        transfer(0, 1, 2.0, 2.5, nbytes=64),
+        region(1, 0.0, 2.5, "event_wait"),
+        region(1, 2.5, 3.0, "compute"),
+    ]
+    cp = critical_path(events)
+    kinds = [s.kind for s in cp.steps]
+    assert "transfer" in kinds
+    hop = cp.steps[kinds.index("transfer")]
+    assert (hop.rank, hop.detail["dst"]) == (0, 1)
+    assert cp.by_category["network"] == pytest.approx(0.5)
+    # Time before the hop is attributed on rank 0, after it on rank 1.
+    assert cp.steps[0].rank == 0
+    assert cp.steps[-1].rank == 1
+
+
+def test_unattributed_gap_becomes_idle_step():
+    events = [
+        region(0, 0.0, 1.0, "compute"),
+        region(0, 3.0, 4.0, "compute"),
+    ]
+    cp = critical_path(events)
+    idle = [s for s in cp.steps if s.kind == "idle"]
+    assert len(idle) == 1
+    assert idle[0].duration == pytest.approx(2.0)
+    assert cp.by_category["idle"] == pytest.approx(2.0)
+    assert cp.coverage == pytest.approx(1.0)
+
+
+def test_faulted_and_undelivered_transfers_are_ignored():
+    events = [
+        region(0, 0.0, 1.0, "compute"),
+        TraceEvent("transfer", 1, 0.0, math.inf, {"dst": 0, "nbytes": 8}),
+        TraceEvent(
+            "transfer", 1, 0.0, 0.5, {"dst": 0, "nbytes": 8, "fault": "corrupt"}
+        ),
+    ]
+    cp = critical_path(events)
+    assert all(s.kind != "transfer" for s in cp.steps)
+
+
+def test_explicit_makespan_scales_coverage():
+    cp = critical_path([region(0, 0.0, 1.0, "c")], makespan=4.0)
+    assert cp.makespan == 4.0
+    assert cp.coverage == pytest.approx(0.25)
+
+
+def test_deterministic_across_event_order():
+    events = [
+        region(0, 0.0, 2.0, "compute"),
+        transfer(0, 1, 2.0, 2.5),
+        region(1, 2.5, 3.0, "compute"),
+        region(1, 0.0, 2.5, "event_wait"),
+    ]
+    a = critical_path(events).to_dict()
+    b = critical_path(list(reversed(events))).to_dict()
+    assert a == b
+
+
+def test_real_run_path_covers_most_of_the_makespan():
+    def program(img):
+        co = img.allocate_coarray(32, np.float64)
+        img.sync_all()
+        co.write((img.rank + 1) % img.nranks, np.full(32, img.rank))
+        img.sync_all()
+
+    run = run_caf(program, 4, backend="mpi", trace=True)
+    cp = critical_path(run.tracer.events, makespan=run.elapsed)
+    assert cp.steps
+    assert 0.5 < cp.coverage <= 1.0 + 1e-9
+    # Steps are time-ordered from start toward the makespan.
+    for prev, nxt in zip(cp.steps, cp.steps[1:]):
+        assert prev.t1 <= nxt.t1 + 1e-12
+    assert cp.steps[-1].t1 == pytest.approx(run.elapsed)

@@ -1,0 +1,117 @@
+"""End-to-end metrics instrumentation: coverage, zero perturbation, and the
+paper's flush/event_notify linear-in-P story read off a RunReport."""
+
+import numpy as np
+import pytest
+
+from repro.apps.randomaccess import run_randomaccess
+from repro.caf import run_caf
+
+RA_KW = dict(table_bits_per_image=6, updates_per_image=128, batches=4)
+
+
+def ring_program(img):
+    co = img.allocate_coarray(16, np.float64)
+    ev = img.allocate_events(1)
+    img.sync_all()
+    co.write((img.rank + 1) % img.nranks, np.full(16, float(img.rank)))
+    ev.notify(target=(img.rank + 1) % img.nranks)
+    ev.wait()
+    got = co.read(img.rank)
+    img.sync_all()
+    return float(got[0])
+
+
+@pytest.mark.parametrize("backend", ["mpi", "gasnet"])
+def test_caf_ops_recorded_on_both_backends(backend):
+    run = run_caf(ring_program, 4, backend=backend, metrics=True)
+    kinds = set(run.metrics.kinds())
+    assert {"caf.coarray_write", "caf.coarray_read",
+            "caf.event_notify", "caf.event_wait"} <= kinds
+    writes = run.metrics.aggregate("caf.coarray_write")
+    assert writes.calls == 4
+    assert writes.nbytes == 4 * 16 * 8
+    assert writes.time > 0.0
+    # Backend-level ops appear under their namespace.
+    if backend == "gasnet":
+        assert any(k.startswith("gasnet.") for k in kinds)
+    else:
+        assert any(k.startswith("mpi.") for k in kinds)
+
+
+def test_comm_matrix_matches_fabric_totals():
+    run = run_caf(ring_program, 4, backend="mpi", metrics=True)
+    cm = run.comm_matrix
+    assert cm.total_messages() == run.fabric.messages_sent
+    assert cm.total_bytes() == run.fabric.bytes_sent
+    # The ring writes produce off-diagonal traffic between neighbours.
+    assert all(cm.messages[r, (r + 1) % 4] > 0 for r in range(4))
+
+
+def test_metrics_disabled_by_default():
+    run = run_caf(ring_program, 2, backend="mpi")
+    assert run.metrics is None
+    assert run.comm_matrix is None
+
+
+def test_collectives_recorded():
+    from repro.mpi.constants import SUM
+
+    def program(img):
+        x = np.full(4, float(img.rank))
+        out = np.empty_like(x)
+        img.team_allreduce(x, out, SUM)
+        img.barrier()
+
+    run = run_caf(program, 4, backend="mpi", metrics=True)
+    ar = run.metrics.aggregate("caf.coll.allreduce")
+    assert ar.calls == 4
+    assert ar.nbytes == 4 * 4 * 8
+    assert run.metrics.aggregate("caf.coll.barrier").calls == 4
+
+
+@pytest.mark.parametrize("backend", ["mpi", "gasnet"])
+def test_virtual_time_identical_with_metrics_on_and_off(backend):
+    off = run_caf(ring_program, 4, backend=backend, **{})
+    on = run_caf(ring_program, 4, backend=backend, metrics=True)
+    assert on.elapsed == off.elapsed
+    assert on.results == off.results
+
+
+def test_event_order_digest_bit_identical_with_metrics(monkeypatch):
+    monkeypatch.setenv("REPRO_SIM_DIGEST", "1")
+
+    def digest(metrics):
+        run = run_caf(run_randomaccess, 4, metrics=metrics, **RA_KW)
+        return run.cluster.engine.order_digest()
+
+    d_off, d_on = digest(False), digest(True)
+    assert d_off is not None
+    assert d_off == d_on
+
+
+def test_randomaccess_flush_cost_grows_with_ranks():
+    """The paper's Fig. 4 observation: event_notify rides MPI_Win_flush_all,
+    whose per-call cost is linear in P — readable straight off the metrics."""
+
+    def per_call(nranks, kind):
+        run = run_caf(run_randomaccess, nranks, metrics=True, **RA_KW)
+        return run.metrics.aggregate(kind).time_per_call
+
+    notify4, notify8 = per_call(4, "caf.event_notify"), per_call(8, "caf.event_notify")
+    flush4, flush8 = per_call(4, "mpi.flush_all"), per_call(8, "mpi.flush_all")
+    assert notify8 > notify4 > 0.0
+    assert flush8 > flush4 > 0.0
+    # Doubling P roughly doubles the linear term (loose bounds: the constant
+    # part dilutes the ratio below 2x).
+    assert notify8 / notify4 > 1.2
+    assert flush8 / flush4 > 1.2
+
+
+def test_report_from_randomaccess_has_the_decomposition():
+    run = run_caf(run_randomaccess, 4, metrics=True, trace=True, **RA_KW)
+    report = run.report(label="ra-x4", app="randomaccess")
+    assert report.op("caf.event_notify")["calls"] > 0
+    assert report.op("mpi.flush_all")["calls"] > 0
+    assert "event_notify" in report.data["profiler"]["breakdown"]
+    assert report.data["critical_path"]["coverage"] > 0.5

@@ -1,0 +1,136 @@
+"""Unit tests for the metrics registry: OpStats, histograms, CommMatrix."""
+
+import pytest
+
+from repro.obs.metrics import (
+    CommMatrix,
+    Metrics,
+    OpStats,
+    bucket_bounds,
+    latency_bucket,
+    size_bucket,
+)
+
+
+def test_size_bucket_is_log2():
+    assert size_bucket(0) == 0
+    assert size_bucket(1) == 1
+    assert size_bucket(2) == 2
+    assert size_bucket(3) == 2
+    assert size_bucket(4) == 3
+    assert size_bucket(1024) == 11
+
+
+def test_latency_bucket_over_nanoseconds():
+    assert latency_bucket(0.0) == 0
+    assert latency_bucket(1e-9) == 1
+    assert latency_bucket(3e-9) == 2
+    assert latency_bucket(1e-6) == 10  # 1000 ns -> bit_length 10
+
+
+def test_bucket_bounds_cover_the_bucketed_value():
+    for nbytes in [0, 1, 2, 7, 8, 255, 256, 10_000]:
+        lo, hi = bucket_bounds(size_bucket(nbytes))
+        assert lo <= max(nbytes, 0) < hi or (nbytes == 0 and (lo, hi) == (0, 1))
+
+
+def test_opstats_add_and_merge():
+    a = OpStats()
+    a.add(100, 1e-6)
+    a.add(100, 3e-6)
+    assert a.calls == 2
+    assert a.nbytes == 200
+    assert a.time == pytest.approx(4e-6)
+    assert a.time_per_call == pytest.approx(2e-6)
+    b = OpStats()
+    b.add(8, 1e-9)
+    b.merge(a)
+    assert b.calls == 3
+    assert b.nbytes == 208
+    assert sum(b.size_hist.values()) == 3
+    assert sum(b.lat_hist.values()) == 3
+
+
+def test_opstats_empty_time_per_call_is_zero():
+    assert OpStats().time_per_call == 0.0
+
+
+def test_opstats_to_dict_sorted_buckets():
+    s = OpStats()
+    for nbytes in [1024, 1, 64]:
+        s.add(nbytes, 1e-6)
+    d = s.to_dict()
+    assert list(d["size_hist"]) == sorted(d["size_hist"], key=int)
+    assert d["calls"] == 3 and d["bytes"] == 1089
+
+
+def test_metrics_record_and_aggregate():
+    m = Metrics(3)
+    m.record(0, "mpi.rput", 64, 1e-6)
+    m.record(0, "mpi.rput", 64, 1e-6)
+    m.record(2, "mpi.rput", 128, 2e-6)
+    m.record(1, "caf.event_notify", 0, 5e-7)
+    agg = m.aggregate("mpi.rput")
+    assert agg.calls == 3
+    assert agg.nbytes == 256
+    assert agg.time == pytest.approx(4e-6)
+    assert m.kinds() == ["caf.event_notify", "mpi.rput"]
+    assert m.total_calls() == 4
+    assert m.op(2, "mpi.rput").calls == 1
+    # op() creates empty records without disturbing totals
+    assert m.op(1, "never.seen").calls == 0
+    assert m.total_calls() == 4
+
+
+def test_metrics_counters_and_gauges():
+    m = Metrics(1)
+    m.count("windows_created")
+    m.count("windows_created", 2)
+    m.gauge("peak_inflight", 7.0)
+    d = m.to_dict()
+    assert d["counters"] == {"windows_created": 3}
+    assert d["gauges"] == {"peak_inflight": 7.0}
+
+
+def test_metrics_to_dict_is_deterministic():
+    def build():
+        m = Metrics(2)
+        m.record(1, "b.op", 8, 1e-9)
+        m.record(0, "a.op", 4, 2e-9)
+        m.record(0, "b.op", 8, 1e-9)
+        return m.to_dict()
+
+    assert build() == build()
+    assert list(build()["kinds"]) == ["a.op", "b.op"]
+
+
+def test_comm_matrix_records_and_totals():
+    cm = CommMatrix(4)
+    cm.record(0, 1, 100)
+    cm.record(0, 1, 100)
+    cm.record(3, 2, 50)
+    assert cm.total_messages() == 3
+    assert cm.total_bytes() == 250
+    assert cm.messages[0, 1] == 2
+    assert cm.bytes[3, 2] == 50
+
+
+def test_comm_matrix_top_pairs_deterministic_order():
+    cm = CommMatrix(4)
+    cm.record(2, 3, 10)  # tie in bytes with (1, 0): ordered by (src, dst)
+    cm.record(1, 0, 10)
+    cm.record(0, 1, 999)
+    top = cm.top_pairs(3)
+    assert top[0] == (0, 1, 1, 999)
+    assert top[1] == (1, 0, 1, 10)
+    assert top[2] == (2, 3, 1, 10)
+    assert cm.top_pairs(1) == [(0, 1, 1, 999)]
+
+
+def test_comm_matrix_to_dict_round_trips_shape():
+    cm = CommMatrix(2)
+    cm.record(0, 1, 5)
+    d = cm.to_dict()
+    assert d["nranks"] == 2
+    assert d["messages"] == [[0, 1], [0, 0]]
+    assert d["bytes"] == [[0, 5], [0, 0]]

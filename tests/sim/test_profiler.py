@@ -111,3 +111,78 @@ def test_breakdown_reports_all_categories():
 
     prof = run_profiled(body)
     assert prof.breakdown() == {"a": pytest.approx(1.0), "b": pytest.approx(2.0)}
+
+
+def test_nested_region_pauses_parent_clock():
+    # The inner region's time must not also accrue to the outer category,
+    # and resuming the outer region must restart its clock exactly.
+    def body(p, prof):
+        with prof.region(0, "outer"):
+            p.sleep(0.25)
+            with prof.region(0, "inner"):
+                p.sleep(4.0)
+            with prof.region(0, "inner"):
+                p.sleep(2.0)
+            p.sleep(0.75)
+
+    prof = run_profiled(body)
+    assert prof.rank_total(0, "outer") == pytest.approx(1.0)
+    assert prof.rank_total(0, "inner") == pytest.approx(6.0)
+    assert prof.counts[0] == {"outer": 1, "inner": 2}
+
+
+def test_sleep_in_equivalent_to_region_form():
+    """sleep_in is the unrolled hot path; accounting, counts, and the trace
+    record must match the ``with region(...)`` spelling exactly."""
+    from repro.sim.trace import Tracer
+
+    def run(use_sleep_in):
+        eng = Engine()
+        tracer = Tracer()
+        tracer.enable()
+        prof = Profiler(eng, 1, tracer)
+
+        def body(p):
+            with prof.region(0, "outer"):
+                p.sleep(1.0)
+                if use_sleep_in:
+                    prof.sleep_in(0, p, "io", 2.5)
+                else:
+                    with prof.region(0, "io"):
+                        p.sleep(2.5)
+                p.sleep(0.5)
+
+        eng.spawn(body)
+        eng.run()
+        return prof, tracer
+
+    prof_a, tr_a = run(True)
+    prof_b, tr_b = run(False)
+    assert prof_a.times == prof_b.times
+    assert prof_a.counts == prof_b.counts
+    events_a = [(e.kind, e.rank, e.t0, e.t1, dict(e.detail)) for e in tr_a.events]
+    events_b = [(e.kind, e.rank, e.t0, e.t1, dict(e.detail)) for e in tr_b.events]
+    assert events_a == events_b
+
+
+def test_breakdown_deterministic_across_dispatchers(monkeypatch):
+    """The legacy and fast-path dispatchers must agree on profiler output."""
+    import numpy as np
+
+    from repro.caf import run_caf
+
+    def program(img):
+        co = img.allocate_coarray(16, np.float64)
+        img.sync_all()
+        co.write((img.rank + 1) % img.nranks, np.ones(16))
+        img.sync_all()
+
+    def breakdown(fastpath):
+        monkeypatch.setenv("REPRO_SIM_FASTPATH", fastpath)
+        run = run_caf(program, 4, backend="mpi")
+        return run.profiler.breakdown(), run.elapsed
+
+    slow, slow_elapsed = breakdown("0")
+    fast, fast_elapsed = breakdown("1")
+    assert slow == fast
+    assert slow_elapsed == fast_elapsed

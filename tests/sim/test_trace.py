@@ -45,6 +45,17 @@ def test_to_text_renders_sorted_limited():
     assert len(lines) == 3 + 3  # title + header + rule + 3 rows
 
 
+def test_to_text_limit_zero_and_none():
+    t = Tracer()
+    t.enable()
+    for i in range(3):
+        t.record("op", 0, float(i), float(i + 1))
+    # limit=0 is a real limit (historically dropped because 0 is falsy).
+    assert "showing 0" in t.to_text(limit=0)
+    # limit=None means unlimited: no "showing" qualifier at all.
+    assert "showing" not in t.to_text(limit=None)
+
+
 @pytest.mark.parametrize("backend", ["mpi", "gasnet"])
 def test_caf_run_with_tracing_captures_transfers(backend):
     def program(img):
@@ -99,12 +110,16 @@ def test_chrome_trace_round_trips(tmp_path):
     t.record("region", 1, 2e-6, 4e-6, category="compute", label="fft")
     path = tmp_path / "trace.json"
     n = t.to_chrome_trace(str(path))
-    assert n == 2
+    assert n == 4  # 2 process-name metadata + 2 complete events
     payload = json.loads(path.read_text())
-    events = payload["traceEvents"]
+    meta = [e for e in payload["traceEvents"] if e["ph"] == "M"]
+    assert [(m["pid"], m["args"]["name"]) for m in meta] == [
+        (0, "rank 0"),
+        (1, "rank 1"),
+    ]
+    events = [e for e in payload["traceEvents"] if e["ph"] == "X"]
     assert len(events) == 2
     first = events[0]
-    assert first["ph"] == "X"
     assert first["cat"] == "transfer"
     assert first["pid"] == first["tid"] == 0
     assert first["ts"] == pytest.approx(1.0)  # us
@@ -126,10 +141,12 @@ def test_chrome_trace_from_real_run(tmp_path):
     run = run_caf(program, 2, backend="mpi", trace=True)
     path = tmp_path / "run.json"
     n = run.tracer.to_chrome_trace(str(path))
-    assert n == len(run.tracer.events) > 0
+    ranks = {e.rank for e in run.tracer.events}
+    assert n == len(run.tracer.events) + len(ranks) > 0
     import json
 
     payload = json.loads(path.read_text())
     assert {e["pid"] for e in payload["traceEvents"]} <= {0, 1}
+    slices = [e for e in payload["traceEvents"] if e["ph"] == "X"]
     # Chrome disallows negative durations; virtual time is monotone.
-    assert all(e["dur"] >= 0 for e in payload["traceEvents"])
+    assert all(e["dur"] >= 0 for e in slices)

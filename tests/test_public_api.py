@@ -16,6 +16,7 @@ def test_subpackages_importable():
     for mod in [
         "repro.sim", "repro.mpi", "repro.gasnet", "repro.caf",
         "repro.apps", "repro.platforms", "repro.experiments", "repro.util",
+        "repro.obs",
     ]:
         importlib.import_module(mod)
 
