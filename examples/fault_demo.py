@@ -86,16 +86,22 @@ def demo_crash_surfacing():
 
 
 def _hang_program(img):
+    # The survivor must block in an operation naming no peer: eager
+    # ULFM-style checks fail pending point-to-point traffic with the
+    # corpse as MpiProcFailedError, so only a peer-less event wait can
+    # still hang and reach the watchdog.
     comm = img.mpi().COMM_WORLD
+    ev = img.allocate_events(1)
     buf = np.zeros(4)
     comm.barrier()
     t_after_barrier = img.now
     if img.rank == 0:
-        comm.send(np.ones(4), 1)
-        comm.recv(buf, 1)  # the reply never comes
+        comm.send(np.ones(4), 1)  # frame in flight when image 1 dies
+        ev.wait(0)  # only (dead) image 1 would notify
     else:
         comm.recv(buf, 0)
-        comm.send(np.ones(4), 0)
+        img.compute(seconds=1.0)  # killed long before notifying
+        ev.notify(0)
     return t_after_barrier
 
 

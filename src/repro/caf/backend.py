@@ -94,6 +94,19 @@ class RuntimeBackend(abc.ABC):
         their own collective underneath).
         """
 
+    def shrink_team_handle(self, parent: "Team", team: "Team") -> Any:
+        """Survivor-only handle construction for a post-failure shrink.
+
+        ``team`` is the already-agreed survivor team (fresh id, contiguous
+        renumbering). Dead images cannot participate, so implementations
+        must not run collectives over ``parent`` — only barrier-free
+        survivor agreement (see
+        :func:`repro.caf.backends.common.survivor_agree`).
+        """
+        raise NotImplementedError(
+            f"backend {self.name} does not support team shrink"
+        )
+
     # -- coarrays -----------------------------------------------------------
 
     @abc.abstractmethod
@@ -194,6 +207,18 @@ class RuntimeBackend(abc.ABC):
     @abc.abstractmethod
     def kick(self) -> None:
         """Wake this image's progress engine so it re-evaluates predicates."""
+
+    def kick_rank(self, world_rank: int) -> None:
+        """Wake *another* image's progress engine (scheduler-safe).
+
+        Survivor-only agreement deposits into a shared board and then must
+        wake the other participants' ``progress_wait`` loops — a barrier
+        would hang on the dead images, so a direct cross-rank kick is the
+        only wake-up channel available.
+        """
+        raise NotImplementedError(
+            f"backend {self.name} cannot kick remote progress engines"
+        )
 
     # -- deferred work (runtime continuations) --------------------------------
 

@@ -47,6 +47,44 @@ def collective_agree(
     return board["result"]
 
 
+def survivor_agree(
+    backend: "RuntimeBackend",
+    cluster: "Cluster",
+    key: Any,
+    my_world: int,
+    participants: tuple[int, ...],
+    contribution: Any,
+    combine: Callable[[dict[int, Any]], Any],
+) -> Any:
+    """Barrier-free agreement among ``participants`` (world ranks).
+
+    After an image failure the regular board-plus-barrier protocol is
+    unusable: dead images never reach the barrier. Survivors instead
+    deposit into a board keyed by ``key``, kick every other participant's
+    progress engine, and spin in ``progress_wait`` until the board is
+    full. The first image to see a full board computes the combined
+    result; everyone returns it. Every participant must call with the
+    same ``key`` and ``participants`` (guaranteed upstream by deriving
+    both from the agreed survivor set).
+    """
+    boards = cluster.shared("caf-survivor-agree", dict)
+    board = boards.setdefault(key, {"args": {}, "result": _UNSET})
+    board["args"][my_world] = contribution
+    for w in participants:
+        if w != my_world:
+            try:
+                backend.kick_rank(w)
+            except KeyError:  # participant not yet registered; it will poll
+                pass
+    backend.progress_wait(
+        lambda: len(board["args"]) >= len(participants),
+        f"survivor_agree({key!r})",
+    )
+    if board["result"] is _UNSET:
+        board["result"] = combine(board["args"])
+    return board["result"]
+
+
 class _Unset:
     __slots__ = ()
 

@@ -27,7 +27,7 @@ from typing import TYPE_CHECKING, Any
 import numpy as np
 
 from repro.caf.backend import AsyncHandle, EventStorage, RuntimeBackend
-from repro.caf.backends.common import collective_agree, next_global_id
+from repro.caf.backends.common import collective_agree, next_global_id, survivor_agree
 from repro.gasnet.collectives import TEAM_SIGNAL_HANDLER_BASE, TeamExchange
 from repro.gasnet.core import GasnetWorld, Handle, Token
 from repro.gasnet.segment import SegmentAllocator
@@ -174,6 +174,30 @@ class GasnetBackend(RuntimeBackend):
         }
         exchange.peer_arena_bases = tuple(by_world[w][0] for w in members)
         exchange.peer_flag_bases = tuple(by_world[w][1] for w in members)
+        exchange.peer_drain_bases = tuple(
+            b + (exchange.drain_base - exchange.flags_base)
+            for b in exchange.peer_flag_bases
+        )
+        return exchange
+
+    def shrink_team_handle(self, parent: "Team", team: "Team"):
+        # Survivor-only base exchange: same shape as split_team_handle but
+        # over the barrier-free agreement (dead images can't barrier).
+        exchange = TeamExchange(
+            self.gasnet, team.team_id, team.members, team.my_index, self.allocator
+        )
+        my_world = team.members[team.my_index]
+        table = survivor_agree(
+            self,
+            self.ctx.cluster,
+            ("caf-gasnet-shrink-bases", team.team_id),
+            my_world,
+            team.members,
+            (exchange.arena_base, exchange.flags_base),
+            lambda args: dict(args),
+        )
+        exchange.peer_arena_bases = tuple(table[w][0] for w in team.members)
+        exchange.peer_flag_bases = tuple(table[w][1] for w in team.members)
         exchange.peer_drain_bases = tuple(
             b + (exchange.drain_base - exchange.flags_base)
             for b in exchange.peer_flag_bases
@@ -357,6 +381,9 @@ class GasnetBackend(RuntimeBackend):
 
     def kick(self) -> None:
         self.gasnet.activity.add()
+
+    def kick_rank(self, world_rank: int) -> None:
+        self._backends[world_rank].gasnet.activity.add()
 
     def event_notify(self, storage: EventStorage, target: int, slot: int) -> None:
         # GASNet handles already represent remote completion, so the release

@@ -137,6 +137,11 @@ class MpiBackend(RuntimeBackend):
     def split_team_handle(self, parent: "Team", color: int, key: int, entry):
         return parent.handle.split(color, key)
 
+    def shrink_team_handle(self, parent: "Team", team: "Team"):
+        # ULFM MPIX_COMM_SHRINK over the survivors; agreement runs through
+        # the cluster board, not a barrier, so dead images are not needed.
+        return parent.handle.shrink()
+
     # -- Active Messages over MPI_ISEND (§3.2) ------------------------------------
 
     def _send_am(self, target_world: int, wire_bytes: int, thunk: Callable[[], None]) -> None:
@@ -316,6 +321,9 @@ class MpiBackend(RuntimeBackend):
 
     def kick(self) -> None:
         self._am_matching.arrivals[self.ctx.rank].add()
+
+    def kick_rank(self, world_rank: int) -> None:
+        self._backends[world_rank]._am_matching.arrivals[world_rank].add()
 
     def _release_barrier(self) -> None:
         """§3.4: local completion of all initiated ops, then remote

@@ -82,20 +82,68 @@ class Image:
 
     # -- allocation -------------------------------------------------------------
 
+    @property
+    def resilience(self):
+        """This image's resilience handle (checkpoint/restore hooks), or
+        None when the run has no resilience service attached."""
+        service = getattr(self.cluster, "resilience", None)
+        if service is None:
+            return None
+        return service.image_handle(self)
+
     def allocate_coarray(self, shape, dtype=np.float64, team: Team | None = None) -> Coarray:
         """Collective over ``team``: allocate a symmetric coarray."""
-        return Coarray(self, team or self.team_world, shape, dtype)
+        co = Coarray(self, team or self.team_world, shape, dtype)
+        service = getattr(self.cluster, "resilience", None)
+        if service is not None:
+            service.register_coarray(self, co)
+        return co
 
     def allocate_events(self, nslots: int = 1, team: Team | None = None) -> EventArray:
         """Collective: allocate ``nslots`` events on every team member
         (event_init on an event coarray)."""
-        return EventArray(self, team or self.team_world, nslots)
+        ev = EventArray(self, team or self.team_world, nslots)
+        service = getattr(self.cluster, "resilience", None)
+        if service is not None:
+            service.register_events(self, ev)
+        return ev
 
     # -- teams ---------------------------------------------------------------------
 
     def team_split(self, team: Team, color: int, key: int | None = None) -> Team | None:
         """CAF 2.0 team_split (collective over ``team``)."""
         return split_team(self, team, color, key)
+
+    def shrink_team(self, team: Team | None = None) -> Team:
+        """Survivor-only team over ``team``'s live members (ULFM shrink).
+
+        Every *surviving* member of ``team`` must call this after a
+        failure; dead images are excluded and never participate (the
+        agreement is barrier-free). Survivors keep their relative order
+        and are renumbered contiguously.
+        """
+        team = team or self.team_world
+        failed = self.cluster.failed_ranks
+        if self.rank in failed:  # pragma: no cover - defensive
+            raise CafError("shrink_team() called by a failed image")
+        survivors = tuple(w for w in team.members if w not in failed)
+        if self.rank not in survivors:
+            raise CafError(
+                f"image {self.rank} is not a member of team {team.team_id}"
+            )
+
+        def fresh_id() -> int:
+            ids = self.cluster.shared("caf-team-ids", lambda: [1])
+            team_id = ids[0]
+            ids[0] += 1
+            return team_id
+
+        team_id = self.cluster.shared(
+            ("caf-shrink-id", team.team_id, survivors), fresh_id
+        )
+        new_team = Team(team_id, survivors, survivors.index(self.rank))
+        new_team.handle = self.backend.shrink_team_handle(team, new_team)
+        return new_team
 
     # -- synchronization --------------------------------------------------------------
 

@@ -108,6 +108,9 @@ def run_caf(
     deadline: float | None = None,
     sanitize: bool = False,
     metrics: bool = False,
+    checkpoint_every: int | None = None,
+    checkpoint_store: Any | None = None,
+    resume_from: Any | None = None,
     **program_kwargs: Any,
 ) -> CafRun:
     """Run ``program(img, **program_kwargs)`` on ``nranks`` images.
@@ -133,6 +136,19 @@ def run_caf(
     :class:`~repro.obs.report.RunReport`. Recording never touches the
     engine, so the virtual timeline (and its event-order digest) is
     bit-identical with metrics on or off.
+
+    ``checkpoint_every`` / ``checkpoint_store`` / ``resume_from`` attach a
+    :class:`~repro.resilience.checkpoint.ResilienceService`: images reach
+    it via ``img.resilience``, checkpoints are cut every N calls of
+    ``img.resilience.step()``, and ``resume_from`` (a
+    :class:`~repro.resilience.checkpoint.Checkpoint`, or ``"latest"`` to
+    take the store's newest) transparently refills re-made allocations.
+
+    When the run fails — a fault-induced hang, a crash surfacing as an
+    error, a program bug — the raised exception carries the half-built
+    cluster as ``exc.caf_cluster`` (with ``elapsed`` set to the time of
+    death), and an active obs capture still emits a partial RunReport
+    with ``meta.outcome == "failed"`` plus the failure record.
     """
     if backend not in BACKENDS:
         raise CafError(f"unknown backend {backend!r}; choose from {sorted(BACKENDS)}")
@@ -151,6 +167,20 @@ def run_caf(
     )
     if trace:
         cluster.tracer.enable()
+    if (
+        checkpoint_every is not None
+        or checkpoint_store is not None
+        or resume_from is not None
+    ):
+        from repro.resilience.checkpoint import CheckpointStore, ResilienceService
+
+        store = checkpoint_store if checkpoint_store is not None else CheckpointStore()
+        resume = resume_from
+        if resume == "latest":
+            resume = store.latest()
+        cluster.resilience = ResilienceService(
+            cluster, every=checkpoint_every, store=store, resume=resume
+        )
     backend_cls = BACKENDS[backend]
 
     def wrapper(ctx, **kwargs):
@@ -159,7 +189,25 @@ def run_caf(
         ctx.cluster.shared("caf-images", dict)[ctx.rank] = img
         return program(img, **kwargs)
 
-    results = cluster.run(wrapper, program_kwargs=dict(program_kwargs), deadline=deadline)
+    try:
+        results = cluster.run(
+            wrapper, program_kwargs=dict(program_kwargs), deadline=deadline
+        )
+    except Exception as exc:
+        # The run died (fault-induced hang, crash surfacing as an error, a
+        # program bug). Stamp the cluster onto the exception so resilience
+        # drivers can read the failure log, and still emit a (partial)
+        # observability artifact for post-mortem triage.
+        cluster.elapsed = cluster.engine.now
+        exc.caf_cluster = cluster  # type: ignore[attr-defined]
+        if captured:
+            _capture.emit(
+                cluster,
+                backend=backend,
+                app=getattr(program, "__name__", ""),
+                failure=exc,
+            )
+        raise
     if captured:
         _capture.emit(
             cluster, backend=backend, app=getattr(program, "__name__", "")

@@ -25,7 +25,7 @@ import numpy as np
 from repro.sim.cluster import Cluster, RankCtx
 from repro.sim.memory import MB
 from repro.sim.sync import Counter, SimEvent
-from repro.util.errors import GasnetError
+from repro.util.errors import GasnetError, GasnetProcFailedError
 
 AM_MAX_ARGS = 16
 AM_MAX_MEDIUM = 65536  # bytes of medium-AM payload
@@ -161,7 +161,7 @@ class GasnetRank:
         fails eagerly. Only called from API entry points (never from
         delivery callbacks, which must survive a peer dying mid-flight)."""
         if rank in self.ctx.cluster.failed_ranks:
-            raise GasnetError(f"rank {rank} has failed (node crash)")
+            raise GasnetProcFailedError(rank)
 
     def segment_of(self, rank: int) -> np.ndarray:
         self._check_rank(rank)

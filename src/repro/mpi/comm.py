@@ -18,7 +18,7 @@ from repro.mpi.constants import ANY_SOURCE, ANY_TAG
 from repro.mpi.p2p import Matching
 from repro.mpi.request import Request
 from repro.mpi.status import Status
-from repro.util.errors import MpiError, MpiProcFailedError
+from repro.util.errors import MpiError, MpiProcFailedError, MpiRevokedError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.mpi.world import MpiRank, MpiWorld
@@ -43,6 +43,65 @@ class _CommState:
         # Split coordination: split_seq -> {"args": {rank: (color,key)}, "result": ...}
         self.split_boards: dict[int, dict[str, Any]] = {}
         self.split_count = [0] * n
+        #: ULFM revocation flag: set by :meth:`Comm.revoke`, checked on
+        #: every p2p entry so the error propagates comm-wide.
+        self.revoked = False
+        # ULFM eager failure: when a group member dies, pending receives
+        # from it (and rendezvous sends parked at it) complete in error
+        # instead of hanging forever.
+        world.cluster.failure_listeners.append(self._on_rank_failure)
+
+    def _on_rank_failure(self, world_rank: int) -> None:
+        """Scheduler-context: a world rank died; fail pending ops on it."""
+        if world_rank not in self.group:
+            return
+        c = self.group.index(world_rank)
+        for matching in (self.user, self.coll, self.nbc):
+            for dst in range(len(self.group)):
+                if dst == c:
+                    continue
+                still = []
+                for posted in matching.posted[dst]:
+                    if posted.src == c:
+                        posted.request._fail(
+                            MpiProcFailedError(
+                                world_rank,
+                                f"pending receive from failed peer {c} "
+                                f"(world rank {world_rank})",
+                            )
+                        )
+                    else:
+                        still.append(posted)
+                matching.posted[dst][:] = still
+            # Rendezvous RTS envelopes parked at the dead rank: the payload
+            # will never move, so the senders' requests fail now.
+            for env in matching.unexpected[c]:
+                if env.rendezvous is not None:
+                    env.rendezvous.send_request._fail(
+                        MpiProcFailedError(
+                            world_rank,
+                            f"rendezvous send to failed peer {c} "
+                            f"(world rank {world_rank})",
+                        )
+                    )
+            matching.unexpected[c].clear()
+
+    def _revoke(self) -> None:
+        """Scheduler-safe revocation: fail every pending p2p operation."""
+        if self.revoked:
+            return
+        self.revoked = True
+        exc = MpiRevokedError(self.context_id)
+        for matching in (self.user, self.coll, self.nbc):
+            for dst in range(len(self.group)):
+                pending, matching.posted[dst][:] = matching.posted[dst][:], []
+                for posted in pending:
+                    posted.request._fail(exc)
+                for env in matching.unexpected[dst]:
+                    if env.rendezvous is not None:
+                        env.rendezvous.send_request._fail(exc)
+                # Wake blocked probes so they re-check the flag.
+                matching.arrivals[dst].add()
 
 
 class Comm:
@@ -90,6 +149,23 @@ class Comm:
         (ULFM's MPIX_Comm_failure_ack/get_acked query)."""
         failed = self.ctx.cluster.failed_ranks
         return [r for r, w in enumerate(self.state.group) if w in failed]
+
+    def check_revoked(self) -> None:
+        """Raise :class:`MpiRevokedError` if this communicator is revoked."""
+        if self.state.revoked:
+            raise MpiRevokedError(self.state.context_id)
+
+    def revoke(self) -> None:
+        """ULFM's MPIX_COMM_REVOKE: poison the communicator everywhere.
+
+        Any surviving rank that has detected a failure calls this; every
+        pending receive (on any rank) completes with
+        :class:`MpiRevokedError` and every future operation raises it, so
+        ranks blocked on *live* peers — who themselves stopped because of
+        the dead one — are interrupted too. Recovery then proceeds through
+        :meth:`shrink`.
+        """
+        self.state._revoke()
 
     def shrink(self) -> "Comm":
         """ULFM's MPIX_COMM_SHRINK: a new communicator over the survivors.

@@ -197,6 +197,7 @@ def isend(comm: "Comm", matching: Matching, buf, dest: int, tag: int) -> Request
     """Nonblocking send. The payload is snapshotted at call time."""
     ctx = comm.ctx
     spec = ctx.spec
+    comm.check_revoked()
     comm.check_peer(dest)
     view = _as_bytes_view(buf if buf is not None else np.empty(0, np.uint8))
     nbytes = view.nbytes
@@ -255,6 +256,7 @@ def irecv(comm: "Comm", matching: Matching, buf, source: int, tag: int) -> Reque
     """Nonblocking receive into ``buf`` (a writable contiguous numpy array)."""
     ctx = comm.ctx
     spec = ctx.spec
+    comm.check_revoked()
     if source != ANY_SOURCE:
         comm.check_peer(source)
     view = _as_bytes_view(buf if buf is not None else np.empty(0, np.uint8))
@@ -287,6 +289,7 @@ def probe(
 ) -> _Envelope | None:
     """Check for a matching unexpected message without receiving it."""
     while True:
+        comm.check_revoked()
         for env in matching.unexpected[comm.rank]:
             if _filters_match(source, tag, env):
                 return env

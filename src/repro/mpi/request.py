@@ -23,11 +23,22 @@ class Request:
         self._proc = proc
         self._event = SimEvent(f"req:{kind}")
         self.status = Status()
+        #: Set by :meth:`_fail`; re-raised from :meth:`wait` — the ULFM
+        #: model where a pending operation involving a failed process
+        #: completes in error instead of hanging.
+        self.error: Exception | None = None
 
     # -- completion (library side) ---------------------------------------
 
     def _complete(self, value=None) -> None:
         self._event.fire(value)
+
+    def _fail(self, exc: Exception) -> None:
+        """Complete the request in error (idempotent, scheduler context)."""
+        if self._event.is_set:
+            return
+        self.error = exc
+        self._event.fire(None)
 
     @property
     def completed(self) -> bool:
@@ -38,11 +49,15 @@ class Request:
     def wait(self) -> Status:
         """Block until the operation completes; returns its status."""
         self._event.wait(self._proc)
+        if self.error is not None:
+            raise self.error
         return self.status
 
     def test(self) -> tuple[bool, Status | None]:
         """Nonblocking completion check."""
         if self._event.is_set:
+            if self.error is not None:
+                raise self.error
             return True, self.status
         return False, None
 

@@ -58,8 +58,19 @@ def capture(out_dir: str | os.PathLike, *, trace: bool = False):
         stop()
 
 
-def emit(cluster, *, backend: str | None = None, app: str | None = None) -> None:
-    """Write this run's artifacts if a capture is active (run_caf calls it)."""
+def emit(
+    cluster,
+    *,
+    backend: str | None = None,
+    app: str | None = None,
+    failure: BaseException | None = None,
+) -> None:
+    """Write this run's artifacts if a capture is active (run_caf calls it).
+
+    ``failure`` marks the artifact as a partial, failed-run report (see
+    :func:`repro.obs.report.build_report`); run_caf passes the exception
+    through on its error path so crashed/hung runs still leave evidence.
+    """
     out: pathlib.Path | None = _state["dir"]
     if out is None:
         return
@@ -69,9 +80,9 @@ def emit(cluster, *, backend: str | None = None, app: str | None = None) -> None
     _state["seq"] = seq + 1
     label = f"run-{seq:04d}" + (f"-{app}" if app else "")
     report_path = out / f"run-{seq:04d}.report.json"
-    build_report(cluster, backend=backend, label=label, app=app).to_json(
-        str(report_path)
-    )
+    build_report(
+        cluster, backend=backend, label=label, app=app, failure=failure
+    ).to_json(str(report_path))
     _state["written"].append(report_path)
     if _state["trace"] and cluster.tracer.events:
         trace_path = out / f"run-{seq:04d}.trace.json"

@@ -133,6 +133,13 @@ class RunReport:
             f"spec={meta.get('spec', '?')}) ==",
             f"virtual makespan: {meta['makespan'] * 1e3:.3f} ms",
         ]
+        fail = self.data.get("failure")
+        if fail:
+            out.append(
+                f"outcome: FAILED ({fail['error']}) — {fail['message']}"
+            )
+            if fail.get("failed_images"):
+                out.append(f"failed images: {fail['failed_images']}")
         breakdown = self.data["profiler"]["breakdown"]
         if breakdown:
             rows = sorted(breakdown.items(), key=lambda kv: (-kv[1], kv[0]))
@@ -203,6 +210,15 @@ def validate_report(data: Any) -> None:
     need(isinstance(meta, dict), "missing meta object")
     need(isinstance(meta.get("nranks"), int) and meta["nranks"] > 0, "meta.nranks")
     need(isinstance(meta.get("makespan"), (int, float)), "meta.makespan")
+    if "outcome" in meta:
+        need(meta["outcome"] in ("ok", "failed"), "meta.outcome")
+    fail = data.get("failure")
+    if fail is not None:
+        need(isinstance(fail, dict), "failure")
+        need(isinstance(fail.get("error"), str), "failure.error")
+        need(isinstance(fail.get("message"), str), "failure.message")
+        need(isinstance(fail.get("failed_images"), list), "failure.failed_images")
+        need(meta.get("outcome") == "failed", "failure present but outcome != failed")
     prof = data.get("profiler")
     need(isinstance(prof, dict), "missing profiler object")
     need(isinstance(prof.get("breakdown"), dict), "profiler.breakdown")
@@ -235,11 +251,17 @@ def build_report(
     backend: str | None = None,
     label: str | None = None,
     app: str | None = None,
+    failure: BaseException | None = None,
 ) -> RunReport:
     """Assemble a :class:`RunReport` from a finished cluster's services.
 
     Works with or without metrics/tracing enabled: absent subsystems yield
     empty/None sections, so a bare profiler-only run still reports.
+
+    ``failure`` marks the report as a *partial* one cut at the moment the
+    run died: ``meta.outcome`` becomes ``"failed"`` and a ``failure``
+    section records the error, the failed-image set, and the cluster's
+    failure log — enough for post-mortem triage without rerunning.
     """
     profiler = cluster.profiler
     counts: dict[str, int] = {}
@@ -260,6 +282,7 @@ def build_report(
             "makespan": cluster.elapsed,
             "metrics_enabled": cluster.metrics is not None,
             "traced": bool(cluster.tracer.events),
+            "outcome": "failed" if failure is not None else "ok",
         },
         "profiler": {
             "breakdown": dict(sorted(profiler.breakdown().items())),
@@ -290,6 +313,13 @@ def build_report(
         "comm_matrix": None,
         "critical_path": None,
     }
+    if failure is not None:
+        data["failure"] = {
+            "error": type(failure).__name__,
+            "message": str(failure),
+            "failed_images": sorted(getattr(cluster, "failed_ranks", ())),
+            "failure_log": [dict(e) for e in getattr(cluster, "failure_log", [])],
+        }
     cm = cluster.comm_matrix
     if cm is not None:
         entry: dict[str, Any] = {

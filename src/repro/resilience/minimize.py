@@ -1,0 +1,118 @@
+"""Failing-seed minimization: delta-debug a recorded FaultPlan.
+
+A chaos campaign run that violates an invariant leaves behind the exact
+sequence of non-clean fault rulings it suffered (``FaultPlan.record=True``
+→ ``plan.events``). Because the simulator consults the plan in
+deterministic order, any *subset* of those events replays faithfully
+through a :class:`~repro.sim.faults.ScriptedFaultPlan` — removing one
+event never perturbs which message another event lands on. That makes the
+classic ddmin algorithm sound here: the minimizer hands back a (locally)
+minimal set of fault events that still reproduces the violation, typically
+one or two, turning "seed 1337 fails" into "dropping message #42 from
+rank 0 to rank 1 hangs the barrier".
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass, field
+
+from repro.sim.faults import FaultEvent, ScriptedFaultPlan
+
+
+@dataclass
+class MinimizeResult:
+    """Outcome of one ddmin run."""
+
+    events: list[FaultEvent]  # minimal failing subset
+    tests: int  # how many candidate replays were executed
+    initial: int  # size of the recorded event list
+    history: list[tuple[int, bool]] = field(default_factory=list)
+
+    @property
+    def reduction(self) -> float:
+        return 1.0 - (len(self.events) / self.initial) if self.initial else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "initial_events": self.initial,
+            "minimal_events": [e.to_dict() for e in self.events],
+            "tests": self.tests,
+        }
+
+
+def _chunks(seq: Sequence[FaultEvent], n: int) -> list[list[FaultEvent]]:
+    size, rem = divmod(len(seq), n)
+    out, pos = [], 0
+    for i in range(n):
+        end = pos + size + (1 if i < rem else 0)
+        out.append(list(seq[pos:end]))
+        pos = end
+    return [c for c in out if c]
+
+
+def ddmin(
+    events: Sequence[FaultEvent],
+    failing: Callable[[list[FaultEvent]], bool],
+    *,
+    max_tests: int = 256,
+) -> MinimizeResult:
+    """Zeller's ddmin: a 1-minimal subset of ``events`` for which
+    ``failing`` still holds.
+
+    ``failing`` must be deterministic (it replays the subset through a
+    scripted plan) and must hold for the full list. ``max_tests`` bounds
+    the replay budget; on exhaustion the best-so-far subset is returned.
+    """
+    current = list(events)
+    tests = 0
+    history: list[tuple[int, bool]] = []
+    if not failing(current):
+        raise ValueError("ddmin needs a failing starting point")
+    tests += 1
+    history.append((len(current), True))
+
+    n = 2
+    while len(current) >= 2 and tests < max_tests:
+        chunks = _chunks(current, n)
+        reduced = False
+        for i in range(len(chunks)):
+            complement = [e for j, c in enumerate(chunks) for e in c if j != i]
+            if not complement:
+                continue
+            fails = failing(complement)
+            tests += 1
+            history.append((len(complement), fails))
+            if fails:
+                current = complement
+                n = max(n - 1, 2)
+                reduced = True
+                break
+            if tests >= max_tests:
+                break
+        if not reduced:
+            if n >= len(current):
+                break
+            n = min(n * 2, len(current))
+    return MinimizeResult(
+        events=current, tests=tests, initial=len(events), history=history
+    )
+
+
+def minimize_plan(
+    events: Sequence[FaultEvent],
+    run_with_plan: Callable[[ScriptedFaultPlan], bool],
+    *,
+    crashes: list[tuple[int, float]] | None = None,
+    max_tests: int = 256,
+) -> MinimizeResult:
+    """Minimize over message-fault events; ``run_with_plan(plan)`` returns
+    True when the violation reproduces under ``plan``. Scheduled crashes
+    (if the failing case had any) are carried into every candidate plan
+    unchanged — ddmin shrinks the message-fault script around them."""
+
+    def failing(subset: list[FaultEvent]) -> bool:
+        plan = ScriptedFaultPlan(list(subset), crashes=list(crashes or []))
+        return run_with_plan(plan)
+
+    return ddmin(events, failing, max_tests=max_tests)

@@ -19,7 +19,7 @@ from repro.sim.network import MachineSpec, NetFabric
 from repro.sim.profiler import Profiler
 from repro.sim.reliable import ReliableTransport
 from repro.sim.trace import Tracer
-from repro.util.errors import SimulationError
+from repro.util.errors import DeadlockError, SimTimeoutError, SimulationError
 from repro.util.rng import rank_rng
 
 
@@ -95,11 +95,17 @@ class Cluster:
         self.ctxs: list[RankCtx] = []
         self._shared: dict[Any, Any] = {}
         self.elapsed = 0.0  # virtual makespan after run()
-        #: World ranks whose image has crashed (via an injected fault).
-        #: Failure-notification layers (ULFM-style MPI errors, CAF
-        #: ``failed_images``) read this set.
+        #: World ranks whose image has crashed (via an injected fault) or
+        #: been declared dead (transport give-up). Failure-notification
+        #: layers (ULFM-style MPI errors, CAF ``failed_images``) read this.
         self.failed_ranks: set[int] = set()
         self.fabric.failed_ranks = self.failed_ranks  # shared: dead NICs go silent
+        #: Scheduler-context callbacks invoked once per failed rank, after
+        #: it enters ``failed_ranks`` — ULFM layers register here to fail
+        #: pending operations that involve the dead rank.
+        self.failure_listeners: list[Callable[[int], None]] = []
+        #: ``[{"rank", "time", "reason"}, ...]`` in failure order.
+        self.failure_log: list[dict[str, Any]] = []
         self.faults = faults
         if faults is not None:
             for rank, _when in faults.crashes:
@@ -109,7 +115,10 @@ class Cluster:
                     )
             self.fabric.faults = faults
         if reliable:
-            self.fabric.reliable = ReliableTransport(self.fabric)
+            self.fabric.reliable = ReliableTransport(
+                self.fabric, rng=rank_rng(seed, 0, "reliable")
+            )
+            self.fabric.reliable.on_give_up = self._on_transport_give_up
         self.sanitizer = None
         if not sanitize:
             from repro import sanitizer as _san_mod
@@ -143,7 +152,47 @@ class Cluster:
         if rank in self.failed_ranks:
             return
         self.failed_ranks.add(rank)
+        self.failure_log.append(
+            {"rank": rank, "time": self.engine.now, "reason": "crash"}
+        )
         self.ctxs[rank].proc._crash()
+        for listener in list(self.failure_listeners):
+            listener(rank)
+
+    def declare_failed(self, rank: int, *, reason: str = "declared") -> None:
+        """Mark ``rank`` failed without killing its process.
+
+        This is the transport-level suspicion path: the rank may in fact
+        be alive (e.g. every ack was lost), but the system treats it as
+        dead — its NIC is blackholed and peers' operations on it raise
+        ``ImageFailedError``/``MpiProcFailedError``, exactly as for a real
+        crash.
+        """
+        if rank in self.failed_ranks:
+            return
+        self.failed_ranks.add(rank)
+        self.failure_log.append(
+            {"rank": rank, "time": self.engine.now, "reason": reason}
+        )
+        for listener in list(self.failure_listeners):
+            listener(rank)
+
+    def _on_transport_give_up(self, src: int, dst: int) -> None:
+        self.declare_failed(
+            dst,
+            reason=(
+                f"transport: rank {src} exhausted retransmissions to "
+                f"rank {dst} with no ack"
+            ),
+        )
+
+    def _annotate_failure(self, exc: Exception) -> None:
+        """Stamp watchdog/deadlock errors with the failed-image set."""
+        exc.failed_ranks = sorted(self.failed_ranks)  # type: ignore[attr-defined]
+        if self.failed_ranks and exc.args:
+            exc.args = (
+                f"{exc.args[0]}; failed images: {sorted(self.failed_ranks)}",
+            ) + exc.args[1:]
 
     def run(
         self,
@@ -173,7 +222,11 @@ class Cluster:
         if self.faults is not None:
             for rank, when in self.faults.crashes:
                 self.engine.call_at(when, lambda r=rank: self._crash_rank(r))
-        self.engine.run(deadline=deadline)
+        try:
+            self.engine.run(deadline=deadline)
+        except (DeadlockError, SimTimeoutError) as exc:
+            self._annotate_failure(exc)
+            raise
         self.elapsed = self.engine.now
         if self.sanitizer is not None:
             self.sanitizer.finalize()

@@ -48,8 +48,66 @@ class FaultDecision:
         """True when the delivery callback must not run (drop or corrupt)."""
         return self.drop or self.corrupt
 
+    @property
+    def kind(self) -> str:
+        if self.drop:
+            return "drop"
+        if self.corrupt:
+            return "corrupt"
+        if self.duplicate:
+            return "duplicate"
+        if self.extra_delay:
+            return "delay"
+        return "clean"
+
 
 _CLEAN = FaultDecision()
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One non-clean ruling, pinned to its position in the message stream.
+
+    ``index`` is the value of the plan's ``drawn`` cursor when the ruling
+    was made: the engine consults the plan in deterministic order, so a
+    recorded event replays onto the *same* message when fed back through a
+    :class:`ScriptedFaultPlan`.
+    """
+
+    index: int
+    src: int
+    dst: int
+    nbytes: int
+    decision: FaultDecision
+
+    def to_dict(self) -> dict:
+        return {
+            "index": self.index,
+            "src": self.src,
+            "dst": self.dst,
+            "nbytes": self.nbytes,
+            "kind": self.decision.kind,
+            "extra_delay": self.decision.extra_delay,
+            "duplicate_lag": self.decision.duplicate_lag,
+        }
+
+    @staticmethod
+    def from_dict(d: dict) -> "FaultEvent":
+        kind = d["kind"]
+        decision = FaultDecision(
+            drop=kind == "drop",
+            corrupt=kind == "corrupt",
+            duplicate=kind == "duplicate",
+            extra_delay=float(d.get("extra_delay", 0.0)),
+            duplicate_lag=float(d.get("duplicate_lag", 0.0)),
+        )
+        return FaultEvent(
+            index=int(d["index"]),
+            src=int(d["src"]),
+            dst=int(d["dst"]),
+            nbytes=int(d["nbytes"]),
+            decision=decision,
+        )
 
 
 @dataclass
@@ -72,6 +130,11 @@ class FaultPlan:
     crashes:
         ``[(rank, virtual_time), ...]`` image-kill events, delivered
         through the engine by :class:`repro.sim.cluster.Cluster`.
+    record:
+        When True, every non-clean ruling is appended to :attr:`events` as
+        a :class:`FaultEvent`. A recorded run can then be replayed — and
+        delta-debugged — through a :class:`ScriptedFaultPlan` built from
+        any subset of those events.
     """
 
     seed: int = 0
@@ -82,9 +145,12 @@ class FaultPlan:
     delay_jitter: float = 50e-6
     dup_lag: float = 10e-6
     crashes: list[tuple[int, float]] = field(default_factory=list)
+    record: bool = False
 
     # counters (what the plan actually did this run)
     drawn: int = field(default=0, init=False)
+    #: Non-clean rulings recorded this run (``record=True`` only).
+    events: list[FaultEvent] = field(default_factory=list, init=False)
 
     def __post_init__(self) -> None:
         rates = (self.drop_rate, self.corrupt_rate, self.dup_rate, self.delay_rate)
@@ -108,6 +174,7 @@ class FaultPlan:
         """Rewind the RNG so the same instance can replay identically."""
         self._rng = rank_rng(self.seed, 0, "faults")
         self.drawn = 0
+        self.events = []
 
     @property
     def active(self) -> bool:
@@ -118,11 +185,17 @@ class FaultPlan:
 
     def draw(self, src: int, dst: int, nbytes: int) -> FaultDecision:
         """Rule on one message. Called by the fabric once per transfer, in
-        deterministic engine order; src/dst/nbytes are currently unused but
-        keep the hook open for targeted plans."""
+        deterministic engine order."""
+        index = self.drawn
         self.drawn += 1
         if not self.active:
             return _CLEAN
+        decision = self._decide()
+        if self.record and decision is not _CLEAN:
+            self.events.append(FaultEvent(index, src, dst, nbytes, decision))
+        return decision
+
+    def _decide(self) -> FaultDecision:
         u = self._rng.random()
         edge = self.drop_rate
         if u < edge:
@@ -139,3 +212,44 @@ class FaultPlan:
             extra = self.delay_jitter * max(self._rng.random(), 1e-3)
             return FaultDecision(extra_delay=extra)
         return _CLEAN
+
+
+class ScriptedFaultPlan(FaultPlan):
+    """A fault plan that replays an explicit list of :class:`FaultEvent`.
+
+    Unlike the stochastic parent, the ruling for message *i* is looked up
+    in a table; every message without an entry is clean. This is what the
+    delta-debugging minimizer runs candidate subsets through: removing an
+    event never perturbs the ruling of any other message, so each
+    candidate is a faithful partial replay of the recorded run.
+    """
+
+    def __init__(
+        self,
+        events: list[FaultEvent] = (),
+        *,
+        crashes: list[tuple[int, float]] | None = None,
+        record: bool = False,
+    ):
+        self._decisions = {e.index: e.decision for e in events}
+        self.scripted_events = list(events)
+        super().__init__(crashes=list(crashes or []), record=record)
+
+    @property
+    def active(self) -> bool:
+        return bool(self._decisions)
+
+    def reset(self) -> None:
+        self.drawn = 0
+        self.events = []
+
+    def _decide(self) -> FaultDecision:  # pragma: no cover - not used
+        raise SimulationError("scripted plans do not draw from an RNG")
+
+    def draw(self, src: int, dst: int, nbytes: int) -> FaultDecision:
+        index = self.drawn
+        self.drawn += 1
+        decision = self._decisions.get(index, _CLEAN)
+        if self.record and decision is not _CLEAN:
+            self.events.append(FaultEvent(index, src, dst, nbytes, decision))
+        return decision

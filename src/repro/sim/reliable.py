@@ -12,9 +12,12 @@ delivery on top of it, the way every reliable link layer does:
 * every arrival is **acknowledged** with a small message (acks ride the
   same faulty fabric and can themselves be lost);
 * the sender retransmits on a virtual-time timeout with **exponential
-  backoff**, giving up after ``max_retries`` (a peer that never acks is
-  dead — surfacing that is the job of the failure-notification layer and
-  the engine watchdog, not the transport).
+  backoff plus seeded jitter** (desynchronizing retry storms while keeping
+  the run deterministic), giving up after ``max_retries``: a peer that
+  never acks is presumed dead, and the transport reports it through
+  :attr:`ReliableTransport.on_give_up` so the failure-notification layer
+  can mark the rank failed (the same ``ImageFailedError`` path an injected
+  crash takes) instead of the run hanging in silent retries forever.
 
 The transport is installed on the fabric by ``Cluster(reliable=True)`` and
 used by layers that call ``fabric.send(..., reliable=True)``; with no
@@ -47,11 +50,22 @@ class ReliableTransport:
         base_timeout: float = 100e-6,
         backoff: float = 2.0,
         max_retries: int = 10,
+        jitter: float = 0.25,
+        rng=None,
     ):
         self.fabric = fabric
         self.base_timeout = base_timeout
         self.backoff = backoff
         self.max_retries = max_retries
+        #: Fractional retry-timeout jitter: each interval is scaled by a
+        #: uniform draw from [1 - jitter, 1 + jitter]. Zero (or no rng)
+        #: restores pure exponential backoff.
+        self.jitter = jitter
+        self._rng = rng
+        #: Called as ``on_give_up(src, dst)`` when ``max_retries``
+        #: retransmissions to ``dst`` all went unacknowledged. The cluster
+        #: installs a hook that declares ``dst`` failed.
+        self.on_give_up: Callable[[int, int], None] | None = None
         self._next_seq: dict[tuple[int, int], int] = {}
         # Per-pair [low_water, out_of_order]: every seq <= low_water was
         # delivered; out_of_order holds delivered seqs above the mark.
@@ -115,12 +129,17 @@ class ReliableTransport:
             n = state["attempts"]
             if n > self.max_retries:
                 self.gave_up += 1
+                if self.on_give_up is not None:
+                    self.on_give_up(src, dst)
                 return
             state["attempts"] = n + 1
             if n:
                 self.retransmits += 1
             fabric.transfer(src, dst, wire, deliver, rx_extra=rx_extra)
-            engine.call_in(timeout0 * (self.backoff**n), attempt)
+            interval = timeout0 * (self.backoff**n)
+            if self._rng is not None and self.jitter:
+                interval *= 1.0 + self.jitter * (2.0 * self._rng.random() - 1.0)
+            engine.call_in(interval, attempt)
 
         attempt()
         return math.inf

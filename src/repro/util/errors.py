@@ -101,8 +101,33 @@ class MpiProcFailedError(MpiError):
         )
 
 
+class MpiRevokedError(MpiError):
+    """ULFM-style MPI_ERR_REVOKED: the communicator has been revoked.
+
+    After any rank calls ``Comm.revoke()``, every pending and future
+    operation on that communicator completes with this error, so failure
+    knowledge propagates to ranks that never directly touched the dead
+    process.
+    """
+
+    def __init__(self, context_id: int, message: str | None = None):
+        self.context_id = context_id
+        super().__init__(
+            message or f"communicator (context {context_id}) has been revoked"
+        )
+
+
 class GasnetError(ReproError):
     """A GASNet routine was invoked with invalid arguments or in a bad state."""
+
+
+class GasnetProcFailedError(GasnetError):
+    """A GASNet operation named a crashed node (the conduit analogue of
+    ULFM's MPI_ERR_PROC_FAILED). ``failed_rank`` is the dead world rank."""
+
+    def __init__(self, failed_rank: int, message: str | None = None):
+        self.failed_rank = failed_rank
+        super().__init__(message or f"rank {failed_rank} has failed (node crash)")
 
 
 class CafError(ReproError):
@@ -122,3 +147,8 @@ class ImageFailedError(CafError):
 
 class CafTimeoutError(CafError):
     """A CAF wait with ``timeout=`` expired before its condition held."""
+
+
+class ResilienceError(ReproError):
+    """Checkpoint/restart or shrink-recovery machinery misused or exhausted
+    (e.g. no checkpoint to resume from, or the restart budget ran out)."""

@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.caf import run_caf
+from repro.mpi.constants import SUM
 from repro.sim.faults import FaultPlan
 from repro.util.errors import CafError, CafTimeoutError, ImageFailedError
 
@@ -63,6 +64,44 @@ def test_crash_surfaces_everywhere(backend):
         for label in ("write", "read", "notify", "spawn", "sync_images"):
             assert out[label] == VICTIM  # error identifies the failed rank
         assert out["wait"] == "timeout"
+
+
+def test_shrink_team_yields_working_survivor_team(backend):
+    """ULFM-style recovery at the CAF level: survivors shrink TEAM_WORLD
+    and the new team supports allocation, RMA, and collectives."""
+
+    def program(img):
+        img.sync_all()
+        if img.rank == VICTIM:
+            img.compute(seconds=1.0)
+            return "unreachable"
+        img.compute(seconds=3 * CRASH_AT)
+        assert img.failed_images() == [VICTIM]
+        small = img.shrink_team()
+        assert small.size == img.nranks - 1
+        assert img.failed_images(small) == []
+        me = img.this_image(small)
+        # Fresh allocations over the shrunken team work.
+        co = img.allocate_coarray(4, np.float64, team=small)
+        ev = img.allocate_events(1, team=small)
+        img.barrier(small)
+        # RMA to a survivor neighbor through the new handle.
+        right = (me + 1) % small.size
+        co.write(right, np.full(4, float(me)))
+        ev.notify(right, 0)
+        ev.wait(0)
+        img.barrier(small)
+        left = (me - 1) % small.size
+        assert np.all(co.local == float(left))
+        # A collective over the survivors computes the right value.
+        recv = np.zeros(1)
+        img.team_allreduce(np.array([1.0]), recv, SUM, team=small)
+        assert recv[0] == float(small.size)
+        return me
+
+    result = _crash_run(program, backend)
+    survivors = [r for i, r in enumerate(result.results) if i != VICTIM]
+    assert sorted(survivors) == [0, 1, 2]
 
 
 def test_event_wait_timeout_consumes_nothing(backend):

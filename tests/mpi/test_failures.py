@@ -7,7 +7,7 @@ from repro.mpi.world import MpiWorld
 from repro.sim.cluster import Cluster
 from repro.sim.faults import FaultPlan
 from repro.sim.network import MachineSpec
-from repro.util.errors import MpiError, MpiProcFailedError
+from repro.util.errors import MpiError, MpiProcFailedError, MpiRevokedError
 
 CRASH_AT = 2e-3
 VICTIM = 3
@@ -80,6 +80,75 @@ def test_rma_on_failed_rank_raises_eagerly():
 
     _, results = crash_run(program)
     assert all(r == VICTIM for i, r in enumerate(results) if i != VICTIM)
+
+
+def test_pending_recv_from_dead_rank_fails_eagerly():
+    """ULFM: a receive already blocked on the victim when it dies must
+    complete with MPI_ERR_PROC_FAILED instead of hanging forever."""
+
+    def program(mpi, ctx):
+        comm = mpi.COMM_WORLD
+        if ctx.rank == VICTIM:
+            ctx.proc.sleep(1.0)  # never sends; dies at CRASH_AT
+            return None
+        if ctx.rank == 0:
+            # Post the receive *before* the crash, then block in wait().
+            with pytest.raises(MpiProcFailedError) as exc_info:
+                comm.recv(np.zeros(4), source=VICTIM)
+            return exc_info.value.failed_rank
+        return "idle"
+
+    cluster, results = crash_run(program)
+    assert results[0] == VICTIM
+    assert cluster.elapsed < 1.5  # woke at the crash, not at a watchdog
+
+
+def test_revoke_interrupts_receives_from_live_peers():
+    """A rank blocked on a *live* peer (which itself stalled on the dead
+    one) is freed when any survivor revokes the communicator."""
+
+    def program(mpi, ctx):
+        comm = mpi.COMM_WORLD
+        if ctx.rank == VICTIM:
+            ctx.proc.sleep(1.0)
+            return None
+        if ctx.rank == 0:
+            # Blocked on rank 1 — alive, but it will never send.
+            with pytest.raises(MpiRevokedError):
+                comm.recv(np.zeros(4), source=1)
+            return "revoked-out"
+        if ctx.rank == 1:
+            # Detects the failure directly, then poisons the comm.
+            with pytest.raises(MpiProcFailedError):
+                comm.recv(np.zeros(4), source=VICTIM)
+            comm.revoke()
+            with pytest.raises(MpiRevokedError):
+                comm.send(np.ones(4), 0)
+            return "detected"
+        return "idle"
+
+    _, results = crash_run(program)
+    assert results[0] == "revoked-out"
+    assert results[1] == "detected"
+
+
+def test_shrink_after_revoke_gives_a_clean_comm():
+    def program(mpi, ctx):
+        comm = mpi.COMM_WORLD
+        if ctx.rank == VICTIM:
+            ctx.proc.sleep(1.0)
+            return None
+        ctx.proc.sleep(3 * CRASH_AT)
+        comm.revoke()
+        small = comm.shrink()
+        assert not small.state.revoked
+        send = np.array([1.0])
+        recv = np.zeros(1)
+        small.allreduce(send, recv)
+        return recv[0]
+
+    _, results = crash_run(program)
+    assert all(r == 3.0 for i, r in enumerate(results) if i != VICTIM)
 
 
 def test_shrink_yields_a_working_survivor_comm():

@@ -89,3 +89,47 @@ def test_module_entrypoint_runs(report_path):
     )
     assert proc.returncode == 0, proc.stderr
     assert ": ok" in proc.stdout
+
+
+# -- failed runs: capture emits a partial report the CLI can read ---------
+
+
+@pytest.fixture(scope="module")
+def failed_report_path(tmp_path_factory):
+    from repro.obs import capture
+    from repro.sim.faults import FaultPlan
+    from repro.util.errors import ReproError
+
+    def doomed(img):
+        img.sync_all()
+        if img.rank == 1:
+            img.compute(seconds=1.0)
+            return
+        img.compute(seconds=6e-3)
+        img.barrier()
+
+    out = tmp_path_factory.mktemp("obs-failed")
+    with capture.capture(out):
+        with pytest.raises(ReproError):
+            run_caf(doomed, 2, backend="mpi", metrics=True, deadline=5.0,
+                    faults=FaultPlan(seed=2, crashes=[(1, 2e-3)]))
+    (path,) = sorted(out.glob("run-*.report.json"))
+    return path
+
+
+def test_capture_marks_failed_outcome(failed_report_path):
+    body = json.loads(failed_report_path.read_text())
+    assert body["meta"]["outcome"] == "failed"
+    assert body["failure"]["failed_images"] == [1]
+
+
+def test_render_failed_report(failed_report_path, capsys):
+    assert main(["render", str(failed_report_path)]) == 0
+    out = capsys.readouterr().out
+    assert "outcome: FAILED" in out
+    assert "failed images: [1]" in out
+
+
+def test_validate_failed_report(failed_report_path, capsys):
+    assert main(["validate", str(failed_report_path)]) == 0
+    assert ": ok" in capsys.readouterr().out

@@ -137,3 +137,48 @@ def test_diff_handles_metrics_present_on_one_side_only(report):
     rows = {m: rel for m, _, _, rel in diff.rows}
     # Present -> absent reads as a change to zero, not a crash.
     assert rows["ops.caf.coarray_write.calls"] == pytest.approx(-1.0)
+
+
+# -- partial reports for failed runs --------------------------------------
+
+
+def _doomed(img):
+    img.sync_all()
+    if img.rank == 1:
+        img.compute(seconds=1.0)  # killed mid-flight
+        return
+    img.compute(seconds=6e-3)
+    img.barrier()  # names the corpse
+
+
+def _failed_cluster():
+    from repro.sim.faults import FaultPlan
+    from repro.util.errors import ReproError
+
+    with pytest.raises(ReproError) as exc_info:
+        run_caf(_doomed, 2, backend="mpi", metrics=True,
+                faults=FaultPlan(seed=2, crashes=[(1, 2e-3)]), deadline=5.0)
+    return exc_info.value
+
+
+def test_failed_run_builds_partial_report():
+    exc = _failed_cluster()
+    report = build_report(exc.caf_cluster, backend="mpi", failure=exc)
+    assert report.meta["outcome"] == "failed"
+    fail = report.data["failure"]
+    assert fail["error"] == type(exc).__name__
+    assert fail["failed_images"] == [1]
+    assert any(e["reason"] == "crash" for e in fail["failure_log"])
+    validate_report(report.data)
+    text = report.render()
+    assert "outcome: FAILED" in text
+    assert "failed images: [1]" in text
+
+
+def test_validate_rejects_failure_with_ok_outcome():
+    exc = _failed_cluster()
+    report = build_report(exc.caf_cluster, backend="mpi", failure=exc)
+    data = json.loads(report.to_json())
+    data["meta"]["outcome"] = "ok"  # lie about the outcome
+    with pytest.raises(SchemaError, match="outcome"):
+        validate_report(data)

@@ -1,0 +1,10 @@
+"""Shared fixtures for resilience tests: everything runs on both backends."""
+
+import pytest
+
+BACKENDS = ["mpi", "gasnet"]
+
+
+@pytest.fixture(params=BACKENDS)
+def backend(request):
+    return request.param

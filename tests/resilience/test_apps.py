@@ -1,0 +1,138 @@
+"""Resilient RandomAccess and CGPOP: verified answers under mid-run crashes.
+
+Crash times are expressed as fractions of the fault-free makespan. Shrink
+recovery has unprotected windows (a crash landing inside the checkpoint
+collective can deadlock the agreement — the classic blocking-coordinated-
+checkpoint caveat), so the shrink tests probe a few fractions and require
+at least one to recover end-to-end; the simulator is deterministic, so
+whichever fraction works keeps working.
+"""
+
+import numpy as np
+import pytest
+
+from repro.caf.program import run_caf
+from repro.resilience import run_resilient
+from repro.resilience.apps import (
+    cg_true_residual,
+    ra_reference,
+    run_resilient_cgpop,
+    run_resilient_randomaccess,
+)
+from repro.sim.faults import FaultPlan
+
+NR = 4
+RA_KW = dict(table_bits=6, updates_per_batch=64, batches=4)
+CG_KW = dict(ny=32, nx=16, tol=1e-8)
+SHRINK_FRACS = (0.55, 0.7, 0.85, 0.95)
+
+
+def _ra_verified(cluster):
+    tables = cluster.shared("ra-res-tables", dict)
+    ref = ra_reference(42, NR, RA_KW["table_bits"], RA_KW["updates_per_batch"],
+                       RA_KW["batches"])
+    return (sorted(tables) == list(range(NR))
+            and all(np.array_equal(tables[d], ref[d]) for d in range(NR)))
+
+
+def _cg_verified(cluster):
+    sol = cluster.shared("cgpop-res-solution", dict)
+    return cg_true_residual(sol, CG_KW["ny"], CG_KW["nx"], 11) < 1e-6
+
+
+def _work_elapsed(program, backend, **kw):
+    return run_caf(program, NR, backend=backend, wait_timeout=None, **kw).elapsed
+
+
+# -- RandomAccess ---------------------------------------------------------
+
+
+def test_ra_faultfree_matches_reference(backend):
+    run = run_caf(run_resilient_randomaccess, NR, backend=backend, **RA_KW)
+    assert _ra_verified(run.cluster)
+    assert all(r["recoveries"] == 0 for r in run.results)
+
+
+def test_ra_restart_recovers_from_crash(backend):
+    t = _work_elapsed(run_resilient_randomaccess, backend, **RA_KW) * 0.6
+    plan = FaultPlan(seed=3, crashes=[(1, t)])
+    out = run_resilient(run_resilient_randomaccess, NR, mode="restart",
+                        backend=backend, checkpoint_every=2, faults=plan,
+                        deadline=10.0, **RA_KW)
+    assert out.restarts >= 1
+    assert out.attempts[0]["failed_images"] == [1]
+    assert _ra_verified(out.cluster)
+
+
+def test_ra_shrink_recovers_from_crash(backend):
+    elapsed = _work_elapsed(run_resilient_randomaccess, backend, **RA_KW)
+    recovered = []
+    for frac in SHRINK_FRACS:
+        plan = FaultPlan(seed=3, crashes=[(1, elapsed * frac)])
+        try:
+            out = run_resilient(run_resilient_randomaccess, NR, mode="shrink",
+                                backend=backend, checkpoint_every=2,
+                                faults=plan, deadline=10.0,
+                                recovery="shrink", **RA_KW)
+        except Exception:
+            continue  # crash landed in an unprotected collective window
+        if 1 not in out.cluster.failed_ranks:
+            continue  # run finished before the crash fired
+        live = [r for r in out.results if r is not None]
+        assert sorted(r["rank"] for r in live) == [0, 2, 3]
+        assert all(r["team_size"] == NR - 1 for r in live)
+        assert all(r["recoveries"] >= 1 for r in live)
+        assert _ra_verified(out.cluster)
+        recovered.append(frac)
+    assert recovered, "no crash fraction produced a successful shrink recovery"
+
+
+# -- CGPOP ----------------------------------------------------------------
+
+
+def test_cgpop_faultfree_converges(backend):
+    run = run_caf(run_resilient_cgpop, NR, backend=backend, **CG_KW)
+    assert all(r["converged"] for r in run.results)
+    assert _cg_verified(run.cluster)
+
+
+def test_cgpop_restart_recovers_from_crash(backend):
+    t = _work_elapsed(run_resilient_cgpop, backend, **CG_KW) * 0.5
+    plan = FaultPlan(seed=5, crashes=[(2, t)])
+    out = run_resilient(run_resilient_cgpop, NR, mode="restart",
+                        backend=backend, checkpoint_every=10, faults=plan,
+                        deadline=30.0, **CG_KW)
+    assert out.restarts >= 1
+    assert out.attempts[0]["failed_images"] == [2]
+    assert all(r["converged"] for r in out.results)
+    assert _cg_verified(out.cluster)
+
+
+def test_cgpop_shrink_recovers_from_crash(backend):
+    elapsed = _work_elapsed(run_resilient_cgpop, backend, **CG_KW)
+    recovered = []
+    for frac in SHRINK_FRACS:
+        plan = FaultPlan(seed=5, crashes=[(2, elapsed * frac)])
+        try:
+            out = run_resilient(run_resilient_cgpop, NR, mode="shrink",
+                                backend=backend, checkpoint_every=10,
+                                faults=plan, deadline=30.0,
+                                recovery="shrink", **CG_KW)
+        except Exception:
+            continue
+        if 2 not in out.cluster.failed_ranks:
+            continue
+        live = [r for r in out.results if r is not None]
+        assert all(r["team_size"] == NR - 1 for r in live)
+        assert all(r["recoveries"] >= 1 for r in live)
+        assert all(r["converged"] for r in live)
+        assert _cg_verified(out.cluster)
+        recovered.append(frac)
+    assert recovered, "no crash fraction produced a successful shrink recovery"
+
+
+def test_ra_rejects_non_power_of_two():
+    from repro.util.errors import CafError
+
+    with pytest.raises(CafError, match="power of two"):
+        run_caf(run_resilient_randomaccess, 3, backend="mpi", **RA_KW)

@@ -1,0 +1,75 @@
+"""event_wait(timeout) racing an injected network delay.
+
+The notify's delivery time is stretched by a seeded fault-plan delay while
+the waiter arms a timeout: whichever fires first is a genuine race in
+virtual time. The simulator must pick the SAME winner on every run and on
+both dispatchers (``REPRO_SIM_FASTPATH=0`` legacy scheduler-thread loop vs
+the fast-path), pinned by the event-order digest being bit-identical.
+"""
+
+import pytest
+
+from repro.caf.program import run_caf
+from repro.sim.faults import FaultPlan
+from repro.util.errors import CafTimeoutError
+
+# Spans both sides of the delayed notify's arrival (notifier computes
+# ~5 ms before sending, the fault plan stretches delivery by up to 2 ms):
+# the small timeouts lose to the clock, the large ones see the post, and
+# the middle ones sit inside the injected-delay window where the winner
+# depends on the exact seeded draw. Each must be stable.
+TIMEOUTS = (1e-4, 3e-3, 4e-3, 5e-3, 5e-2)
+
+
+def racer(img, *, timeout):
+    ev = img.allocate_events(1)
+    img.sync_all()
+    if img.rank == 0:
+        img.compute(seconds=5e-3)  # let rank 1 arm its timeout first
+        ev.notify(1)
+        out = "sent"
+    else:
+        try:
+            ev.wait(0, timeout=timeout)
+            out = "posted"
+        except CafTimeoutError:
+            out = "timeout"
+    img.sync_all()
+    return out
+
+
+def _race(timeout):
+    plan = FaultPlan(seed=21, delay_rate=1.0, delay_jitter=2e-3)
+    run = run_caf(racer, 2, backend="mpi", faults=plan, deadline=5.0,
+                  timeout=timeout)
+    return run.results[1], run.cluster.engine.order_digest()
+
+
+@pytest.mark.parametrize("timeout", TIMEOUTS)
+def test_race_winner_and_digest_pinned_across_dispatchers(monkeypatch, timeout):
+    monkeypatch.setenv("REPRO_SIM_DIGEST", "1")
+    outcomes = {}
+    for fastpath in ("0", "1"):
+        monkeypatch.setenv("REPRO_SIM_FASTPATH", fastpath)
+        outcomes[fastpath] = [_race(timeout) for _ in range(2)]
+
+    for fastpath, runs in outcomes.items():
+        winners = [w for w, _ in runs]
+        digests = [d for _, d in runs]
+        assert winners[0] == winners[1], f"winner flapped (fastpath={fastpath})"
+        assert winners[0] in ("posted", "timeout")
+        assert digests[0] is not None and digests[0] == digests[1]
+
+    # Same winner AND bit-identical event order on both dispatchers.
+    assert outcomes["0"][0][0] == outcomes["1"][0][0]
+    assert outcomes["0"][0][1] == outcomes["1"][0][1]
+
+
+def test_race_actually_has_two_outcomes(monkeypatch):
+    """The parametrized sweep is a real race: the extremes land on
+    opposite sides of the delayed arrival."""
+    monkeypatch.delenv("REPRO_SIM_DIGEST", raising=False)
+    lose, _ = _race(TIMEOUTS[0])
+    win, _ = _race(TIMEOUTS[-1])
+    assert lose == "timeout"
+    assert win == "posted"

@@ -6,7 +6,12 @@ import pytest
 
 from repro.sim.cluster import Cluster
 from repro.sim.engine import Engine
-from repro.sim.faults import FaultDecision, FaultPlan
+from repro.sim.faults import (
+    FaultDecision,
+    FaultEvent,
+    FaultPlan,
+    ScriptedFaultPlan,
+)
 from repro.sim.network import MachineSpec, NetFabric
 from repro.util.errors import SimulationError
 
@@ -161,6 +166,53 @@ def test_fault_free_run_is_bit_identical_with_and_without_plan():
     _, clean = _run_transfers(None, 5)
     _, planned = _run_transfers(FaultPlan(seed=9), 5)
     assert clean == planned
+
+
+# -- recording and scripted replay --------------------------------------------
+
+
+def test_recording_captures_every_non_clean_ruling():
+    plan = FaultPlan(seed=42, drop_rate=0.2, dup_rate=0.2, delay_rate=0.2, record=True)
+    decisions = [plan.draw(0, 1, 64) for _ in range(100)]
+    non_clean = [i for i, d in enumerate(decisions) if d != FaultDecision()]
+    assert [e.index for e in plan.events] == non_clean
+    for e in plan.events:
+        assert e.decision == decisions[e.index]
+        assert (e.src, e.dst, e.nbytes) == (0, 1, 64)
+
+
+def test_scripted_plan_replays_recorded_run_exactly():
+    plan = FaultPlan(seed=42, drop_rate=0.2, dup_rate=0.2, delay_rate=0.2, record=True)
+    decisions = [plan.draw(0, 1, 64) for _ in range(100)]
+    scripted = ScriptedFaultPlan(plan.events)
+    assert [scripted.draw(0, 1, 64) for _ in range(100)] == decisions
+
+
+def test_scripted_subset_leaves_other_messages_clean():
+    events = [
+        FaultEvent(3, 0, 1, 8, FaultDecision(drop=True)),
+        FaultEvent(7, 1, 0, 8, FaultDecision(extra_delay=1e-6)),
+    ]
+    plan = ScriptedFaultPlan(events[:1])
+    drawn = [plan.draw(0, 1, 8) for _ in range(10)]
+    assert drawn[3].drop
+    assert all(d == FaultDecision() for i, d in enumerate(drawn) if i != 3)
+    plan.reset()
+    assert [plan.draw(0, 1, 8) for _ in range(10)] == drawn
+
+
+def test_fault_event_round_trips_through_dict():
+    events = [
+        FaultEvent(0, 2, 3, 100, FaultDecision(corrupt=True)),
+        FaultEvent(5, 1, 0, 64, FaultDecision(duplicate=True, duplicate_lag=2e-6)),
+    ]
+    assert [FaultEvent.from_dict(e.to_dict()) for e in events] == events
+
+
+def test_empty_scripted_plan_is_inactive():
+    plan = ScriptedFaultPlan([])
+    assert not plan.active
+    assert plan.draw(0, 1, 8) == FaultDecision()
 
 
 # -- scheduled crashes through the cluster ------------------------------------

@@ -98,6 +98,57 @@ def test_total_loss_gives_up_after_max_retries():
     assert fabric.reliable.retransmits == 3 * 4
 
 
+def test_give_up_invokes_failure_hook_with_the_dead_pair():
+    plan = FaultPlan(seed=11, drop_rate=1.0)
+    eng = Engine()
+    fabric = NetFabric(eng, 2, make_spec())
+    fabric.faults = plan
+    fabric.reliable = ReliableTransport(fabric, max_retries=3)
+    gave_up = []
+    fabric.reliable.on_give_up = lambda src, dst: gave_up.append((src, dst))
+
+    def body(p):
+        fabric.send(0, 1, 500, lambda: None, reliable=True)
+        p.sleep(60.0)
+
+    eng.spawn(body)
+    eng.run()
+    assert gave_up == [(0, 1)]
+    assert fabric.reliable.gave_up == 1
+
+
+def test_jittered_backoff_is_deterministic_and_bounded():
+    from repro.util.rng import rank_rng
+
+    def timed_run(**transport_kw):
+        eng = Engine()
+        fabric = NetFabric(eng, 2, make_spec())
+        fabric.faults = FaultPlan(seed=17, drop_rate=0.25)
+        fabric.reliable = ReliableTransport(fabric, **transport_kw)
+        delivered = []
+
+        def body(p):
+            for i in range(30):
+                fabric.send(
+                    0, 1, 1000, lambda i=i: delivered.append((i, eng.now)),
+                    reliable=True,
+                )
+            p.sleep(60.0)
+
+        eng.spawn(body)
+        eng.run()
+        return delivered
+
+    first = timed_run(jitter=0.25, rng=rank_rng(5, 0, "reliable"))
+    second = timed_run(jitter=0.25, rng=rank_rng(5, 0, "reliable"))
+    assert first == second
+    assert sorted(i for i, _ in first) == list(range(30))
+    # Jitter perturbs retransmit timing relative to the unjittered schedule.
+    unjittered = timed_run()
+    assert sorted(i for i, _ in unjittered) == list(range(30))
+    assert unjittered != first
+
+
 def test_send_without_transport_degrades_to_plain_transfer():
     eng = Engine()
     fabric = NetFabric(eng, 2, make_spec())

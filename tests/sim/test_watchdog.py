@@ -98,7 +98,12 @@ def test_crash_plus_retransmits_become_sim_timeout():
     The frame still lands but the dead NIC's ack blackholes, so the
     survivor retransmits on a timer; the live timers defeat deadlock
     detection — only the watchdog can convert the hang into
-    SimTimeoutError naming who is stuck where."""
+    SimTimeoutError naming who is stuck where.
+
+    The survivor must block in an operation that names no peer (an event
+    wait): ULFM-style eager checks fail pending point-to-point traffic
+    with the corpse as MpiProcFailedError (see tests/mpi/test_failures),
+    so only peer-less waits still reach the watchdog."""
     import numpy as np
 
     from repro.caf.program import run_caf
@@ -108,15 +113,17 @@ def test_crash_plus_retransmits_become_sim_timeout():
 
     def program(img):
         comm = img.mpi().COMM_WORLD
+        ev = img.allocate_events(1)
         buf = np.zeros(4)
         comm.barrier()
         t_after_barrier = img.now
         if img.rank == 0:
-            comm.send(np.ones(4), 1)  # eager: completes locally at once
-            comm.recv(buf, 1)  # the reply never comes
+            comm.send(np.ones(4), 1)  # eager: frame in flight at the crash
+            ev.wait(0)  # only (dead) rank 1 would notify; names no peer
         else:
             comm.recv(buf, 0)
-            comm.send(np.ones(4), 0)
+            img.compute(seconds=1.0)  # killed long before notifying
+            ev.notify(0)
         return t_after_barrier
 
     # Runs are deterministic: a fault-free probe run measures when the
@@ -139,7 +146,8 @@ def test_crash_plus_retransmits_become_sim_timeout():
     assert exc.deadline == crash_at + 0.05
     assert 0 in exc.blocked  # rank 0 reported with its blocking call site
     assert 1 not in exc.blocked  # the crashed rank is not "blocked"
-    assert "irecv(src=1" in exc.blocked[0]
+    assert "wait" in exc.blocked[0]
+    assert "failed images: [1]" in str(exc)
     assert exc.last_progress[0] <= exc.deadline
 
 

@@ -166,6 +166,59 @@ def test_caf_misuse_raises_caf_error():
     assert all(run.results)
 
 
+def test_transport_give_up_feeds_image_failed_path():
+    """A peer that never acks is declared failed after max_retries: the
+    sender's later API calls on it raise ImageFailedError, exactly as if
+    the image had crashed (the transport-level failure taxonomy)."""
+    from repro.sim.faults import FaultDecision, FaultPlan
+
+    class PartitionPlan(FaultPlan):
+        """Once armed, drops every frame addressed to ``victim``."""
+
+        def __init__(self, victim):
+            self.victim = victim
+            self.armed = False
+            super().__init__()
+
+        @property
+        def active(self):
+            return True
+
+        def draw(self, src, dst, nbytes):
+            self.drawn += 1
+            if self.armed and dst == self.victim:
+                return FaultDecision(drop=True)
+            return FaultDecision()
+
+    plan = PartitionPlan(victim=1)
+
+    def program(img):
+        ev = img.allocate_events(1)
+        co = img.allocate_coarray(4)
+        img.sync_all()
+        if img.rank == 0:
+            img.ctx.fabric.reliable.max_retries = 3
+            plan.armed = True
+            ev.notify(1, 0)  # frame is dropped; retries all drop too
+            img.ctx.proc.sleep(0.5)  # past the give-up horizon
+            assert 1 in img.failed_images()
+            with pytest.raises(ImageFailedError):
+                co.write(1, np.ones(4))
+            return "gave-up"
+        try:
+            ev.wait(0, timeout=1.0)
+        except CafTimeoutError:
+            return "timed-out"
+        return "notified"
+
+    run = run_caf(program, 2, backend="mpi", reliable=True, faults=plan, deadline=10.0)
+    assert run.results[0] == "gave-up"
+    assert run.results[1] == "timed-out"
+    log = run.cluster.failure_log
+    assert len(log) == 1 and log[0]["rank"] == 1
+    assert log[0]["reason"].startswith("transport")
+
+
 def test_unknown_backend_is_caf_error():
     with pytest.raises(CafError):
         run_caf(lambda img: None, 2, backend="upc")
