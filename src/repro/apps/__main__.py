@@ -54,7 +54,8 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--procs", type=int, default=8)
     parser.add_argument("--backend", choices=["mpi", "gasnet"], default="mpi")
     parser.add_argument(
-        "--platform", choices=sorted(PLATFORMS), default="laptop"
+        "--platform", choices=sorted(PLATFORMS), default=None,
+        help="machine spec (default: laptop; with --replay-ir: the recorded spec)",
     )
     parser.add_argument("--m", type=int, default=1 << 14, help="FFT size")
     parser.add_argument("--n", type=int, default=96, help="HPL matrix order")
@@ -72,16 +73,31 @@ def main(argv: list[str] | None = None) -> int:
         "--metrics", metavar="PATH", default=None,
         help="enable op-level metrics and write the RunReport JSON to PATH",
     )
+    parser.add_argument(
+        "--record-ir", metavar="PATH", default=None,
+        help="record the run's op-stream trace to PATH (stem for .npz + .json)",
+    )
+    parser.add_argument(
+        "--replay-ir", metavar="PATH", default=None,
+        help="skip the live run: re-price the recorded trace at PATH under "
+        "--platform (default: the recorded spec)",
+    )
     args = parser.parse_args(argv)
 
-    spec = PLATFORMS[args.platform]
+    if args.replay_ir is not None:
+        return _replay_ir(args)
+    spec = PLATFORMS[args.platform or "laptop"]
+    if args.record_ir is not None:
+        from repro.ir import record as ir_record
+
+        ir_record.start(args.record_ir)
     common = dict(
         backend=args.backend,
         trace=args.trace is not None,
         metrics=args.metrics is not None,
     )
     print(
-        f"== {args.app} on {args.platform} x{args.procs} images "
+        f"== {args.app} on {spec.name} x{args.procs} images "
         f"(CAF-{args.backend.upper()}) =="
     )
 
@@ -151,7 +167,25 @@ def main(argv: list[str] | None = None) -> int:
         report = run.report(label=f"{args.app}-x{args.procs}", app=args.app)
         report.to_json(args.metrics)
         print(f"metrics: run report -> {args.metrics}")
+    if args.record_ir is not None:
+        from repro.ir import record as ir_record
+
+        written = ir_record.stop()
+        trace = ir_record.last_trace()
+        nops = trace.nops if trace is not None else 0
+        for path in written:
+            print(f"ir: {nops} ops -> {path}")
     return 0
+
+
+def _replay_ir(args) -> int:
+    """``--replay-ir``: re-price a recorded trace instead of running live."""
+    from repro.ir.cli import main as ir_main
+
+    ir_argv = ["replay", "--trace", args.replay_ir]
+    if args.platform:
+        ir_argv += ["--platform", args.platform]
+    return ir_main(ir_argv)
 
 
 if __name__ == "__main__":

@@ -153,6 +153,7 @@ def run_caf(
     if backend not in BACKENDS:
         raise CafError(f"unknown backend {backend!r}; choose from {sorted(BACKENDS)}")
     spec = spec or MachineSpec(name="generic")
+    from repro.ir import record as _ir_record
     from repro.obs import capture as _capture
 
     captured = _capture.active()
@@ -161,10 +162,21 @@ def run_caf(
         # force metrics on, and tracing too when the capture asks for it.
         metrics = True
         trace = trace or _capture.trace_forced()
+    # Trace recording (--record-ir): pattern-changing faults invalidate a
+    # trace, so fault-injected / lossy runs are skipped, not recorded.
+    recording = _ir_record.active() and faults is None and not reliable
+    if recording:
+        # The obs side table rides in the trace, so the metrics layer must
+        # be armed for the hooks to fire.
+        metrics = True
     cluster = Cluster(
         nranks, spec, seed=sim_seed, faults=faults, reliable=reliable,
         sanitize=sanitize, metrics=metrics,
     )
+    if recording:
+        _ir_record.attach(
+            cluster, backend=backend, app=getattr(program, "__name__", "")
+        )
     if trace:
         cluster.tracer.enable()
     if (
@@ -200,6 +212,10 @@ def run_caf(
         # observability artifact for post-mortem triage.
         cluster.elapsed = cluster.engine.now
         exc.caf_cluster = cluster  # type: ignore[attr-defined]
+        if recording:
+            # A failed run has no meaningful makespan; drop the recording
+            # rather than persist a trace that cannot validate.
+            _ir_record.abort()
         if captured:
             _capture.emit(
                 cluster,
@@ -208,6 +224,10 @@ def run_caf(
                 failure=exc,
             )
         raise
+    if recording:
+        _ir_record.emit(
+            cluster, backend=backend, app=getattr(program, "__name__", "")
+        )
     if captured:
         _capture.emit(
             cluster, backend=backend, app=getattr(program, "__name__", "")

@@ -38,6 +38,11 @@ def main(argv: list[str] | None = None) -> int:
         "--trace", action="store_true",
         help="with --metrics: also capture a Chrome/Perfetto trace per run",
     )
+    parser.add_argument(
+        "--record-ir", type=pathlib.Path, metavar="DIR", default=None,
+        help="record an op-stream trace per simulated run into DIR "
+        "(fault-injected runs are skipped)",
+    )
     args = parser.parse_args(argv)
 
     if args.list:
@@ -56,6 +61,12 @@ def main(argv: list[str] | None = None) -> int:
         from repro.obs import capture as obs_capture
 
         obs_capture.start(args.metrics, trace=args.trace)
+    if args.record_ir is not None:
+        # Same capture pattern for trace recording: every (fault-free)
+        # run_caf inside the experiments writes a run-NNNN trace artifact.
+        from repro.ir import record as ir_record
+
+        ir_record.start(args.record_ir)
     try:
         for exp_id in ids:
             spec = get_experiment(exp_id)
@@ -70,6 +81,9 @@ def main(argv: list[str] | None = None) -> int:
         if args.metrics is not None:
             written = obs_capture.stop()
             print(f"captured {len(written)} artifact(s) in {args.metrics}")
+        if args.record_ir is not None:
+            recorded = ir_record.stop()
+            print(f"recorded {len(recorded)} trace artifact(s) in {args.record_ir}")
     return 0
 
 

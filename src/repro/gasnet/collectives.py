@@ -24,6 +24,7 @@ import functools
 import numpy as np
 
 from repro.gasnet.core import GasnetRank
+from repro.sim import irhook as _irhook
 from repro.gasnet.segment import SegmentAllocator
 from repro.util.errors import GasnetError
 
@@ -229,6 +230,7 @@ class TeamExchange:
             if vr & mask:
                 self._wait_signals(seq, 1)
                 flat[...] = self._local_arena(land, flat.nbytes)
+                _irhook.annotate(_irhook.CK_COPY, flat.nbytes)
                 self.gasnet.ctx.proc.sleep(
                     self.gasnet.ctx.spec.copy_time(flat.nbytes)
                 )
@@ -273,6 +275,7 @@ class TeamExchange:
                     continue
                 chunk = landing[i * nbytes : (i + 1) * nbytes].view(flat.dtype)
                 acc = op(acc, chunk)
+                _irhook.annotate(_irhook.CK_FLOPS, acc.size)
                 self.gasnet.ctx.proc.sleep(self.gasnet.ctx.spec.flops_time(acc.size))
             recv = np.asarray(recvbuf)
             recv.reshape(-1)[...] = acc
@@ -320,6 +323,7 @@ class TeamExchange:
                 )
         # Unpack cost: landing zone -> user buffer (MPI's collectives
         # receive in place and skip this — part of why they win).
+        _irhook.annotate(_irhook.CK_COPY, nbytes * n)
         self.gasnet.ctx.proc.sleep(self.gasnet.ctx.spec.copy_time(nbytes * n))
         self._finish_exchange(seq)
         self._arena_release(marker)
@@ -358,6 +362,7 @@ class TeamExchange:
                     .reshape(recv[i].shape)
                 )
         # Unpack cost (see allgather): landing zone -> user buffer.
+        _irhook.annotate(_irhook.CK_COPY, nbytes * n)
         self.gasnet.ctx.proc.sleep(self.gasnet.ctx.spec.copy_time(nbytes * n))
         self._finish_exchange(seq)
         self._arena_release(marker)

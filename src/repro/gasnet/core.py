@@ -22,6 +22,7 @@ from typing import Any
 
 import numpy as np
 
+from repro.sim import irhook as _irhook
 from repro.sim.cluster import Cluster, RankCtx
 from repro.sim.memory import MB
 from repro.sim.sync import Counter, SimEvent
@@ -320,6 +321,7 @@ class GasnetRank:
         spec = self.ctx.spec
         if handler_filter is None:
             handler_filter = self.default_handler_filter
+        _irhook.annotate(_irhook.CK_PARAM, _irhook.F_GASNET_POLL)
         self.ctx.proc.sleep(spec.gasnet_poll_overhead)
         for hook in self.poll_hooks:
             hook()
@@ -333,6 +335,7 @@ class GasnetRank:
             cost = spec.gasnet_handler_overhead
             if self.world.srq_enabled:
                 cost += spec.gasnet_srq_penalty
+            _irhook.annotate(_irhook.CK_HANDLER)
             self.ctx.proc.sleep(cost)
             handler = self.handlers.get(qam.handler_idx)
             if handler is None:
@@ -362,6 +365,7 @@ class GasnetRank:
                         else spec.latency
                     )
                     dest = self.rank
+                    _irhook.annotate(_irhook.CK_ACK, qam.src, self.rank)
                     self.ctx.engine.call_in(
                         back, lambda s=sender, d=dest: s._credit_returned(d)
                     )
@@ -438,6 +442,7 @@ class GasnetRank:
         obs = self._obs
         if obs is not None:
             obs.record(self.rank, "gasnet.put", arr.nbytes, spec.gasnet_put_overhead)
+        _irhook.annotate(_irhook.CK_PARAM, _irhook.F_GASNET_PUT)
         self.ctx.proc.sleep(spec.gasnet_put_overhead)
         handle = Handle(kind=f"put(dest={dest})")
         self._san_track(
@@ -461,6 +466,7 @@ class GasnetRank:
                 # The destination may be spinning on segment memory
                 # (GASNET_BLOCKUNTIL on a flag): let it re-check.
                 dest_rank.activity.add()
+            _irhook.annotate(_irhook.CK_ACK, src, dest)
             engine.call_in(ack, lambda: (handle.event.fire(), me.activity.add()))
 
         self.ctx.fabric.send(
@@ -481,6 +487,7 @@ class GasnetRank:
         obs = self._obs
         if obs is not None:
             obs.record(self.rank, "gasnet.get", nbytes, spec.gasnet_get_overhead)
+        _irhook.annotate(_irhook.CK_PARAM, _irhook.F_GASNET_GET)
         self.ctx.proc.sleep(spec.gasnet_get_overhead)
         handle = Handle(kind=f"get(src={src})")
         self._san_track(
@@ -528,6 +535,7 @@ class GasnetRank:
             )
         # Pack cost at the origin, then a single wire message. Like put_nb,
         # the source may not change until the handle syncs, so no snapshot.
+        _irhook.annotate(_irhook.CK_PARAM_COPY, _irhook.F_GASNET_PUT, arr.nbytes)
         self.ctx.proc.sleep(spec.gasnet_put_overhead + spec.copy_time(arr.nbytes))
         handle = Handle(kind=f"put_runs(dest={dest})")
         self._san_track(
@@ -551,6 +559,7 @@ class GasnetRank:
                 cursor += n
             if dest_rank is not None and dest_rank is not me:
                 dest_rank.activity.add()
+            _irhook.annotate(_irhook.CK_ACK, src, dest)
             engine.call_in(ack, lambda: (handle.event.fire(), me.activity.add()))
 
         self.ctx.fabric.send(
@@ -573,6 +582,7 @@ class GasnetRank:
         obs = self._obs
         if obs is not None:
             obs.record(self.rank, "gasnet.get_runs", total, spec.gasnet_get_overhead)
+        _irhook.annotate(_irhook.CK_PARAM, _irhook.F_GASNET_GET)
         self.ctx.proc.sleep(spec.gasnet_get_overhead)
         handle = Handle(kind=f"get_runs(src={src})")
         self._san_track(

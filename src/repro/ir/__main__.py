@@ -1,0 +1,7 @@
+"""Entry point: ``python -m repro.ir``."""
+
+import sys
+
+from repro.ir.cli import main
+
+sys.exit(main())

@@ -1,0 +1,176 @@
+"""Vectorized cost evaluation: symbolized sleep costs and obs re-pricing.
+
+Replay never re-executes the runtime layers; it re-evaluates the cost
+expressions they *would* have evaluated, in the same IEEE-float operation
+order, against the target spec. Annotated ops use the CK_* expression
+recorded at the call site; unannotated ops (CK_LIT) replay their recorded
+duration verbatim — exact at the recorded spec by construction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sim import irhook as _ck
+from repro.sim.network import MachineSpec
+
+#: Spec fields whose value changes the *communication pattern*, not just
+#: its cost. A trace records the pattern under the recorded spec; replay
+#: under a target that disagrees on these is an approximation and gets a
+#: warning (docs/ir.md spells out the validity model).
+STRUCTURE_FIELDS = (
+    "mpi_eager_threshold",
+    "mpi_rma_over_sendrecv",
+    "mpi_async_progress",
+    "gasnet_srq_threshold",
+    "gasnet_am_credits",
+    "gasnet_coll_signal",
+)
+
+
+def structure_warnings(recorded: MachineSpec, target: MachineSpec, nranks: int) -> list[str]:
+    out = []
+    for f in STRUCTURE_FIELDS:
+        rv, tv = getattr(recorded, f), getattr(target, f)
+        if rv != tv:
+            out.append(
+                f"structure parameter {f} differs (recorded {rv!r}, target "
+                f"{tv!r}): the recorded communication pattern is kept"
+            )
+    if recorded.srq_active(nranks) != target.srq_active(nranks):
+        out.append(
+            "SRQ active/inactive differs between recorded and target spec: "
+            "recorded delivery-path structure is kept"
+        )
+    return out
+
+
+def field_vector(spec: MachineSpec) -> np.ndarray:
+    return np.array([getattr(spec, f) for f in _ck.COST_FIELDS], dtype=np.float64)
+
+
+def eval_costs(
+    ck: np.ndarray,
+    c0: np.ndarray,
+    c1: np.ndarray,
+    c2: np.ndarray,
+    recorded: np.ndarray,
+    spec: MachineSpec,
+    nranks: int,
+) -> np.ndarray:
+    """Evaluate every op's cost expression under ``spec`` (one pass per kind).
+
+    Element order inside each expression mirrors the live call sites, so
+    at the recorded spec the result equals the recorded duration bit-for-bit
+    for every correctly annotated site (``validate`` cross-checks this).
+    """
+    fv = field_vector(spec)
+    out = recorded.astype(np.float64, copy=True)  # CK_LIT default
+
+    def sel(kind):
+        return np.nonzero(ck == kind)[0]
+
+    idx = sel(_ck.CK_PARAM)
+    if idx.size:
+        out[idx] = fv[c0[idx].astype(np.int64)]
+    idx = sel(_ck.CK_PARAM2)
+    if idx.size:
+        out[idx] = fv[c0[idx].astype(np.int64)] + fv[c1[idx].astype(np.int64)]
+    idx = sel(_ck.CK_COPY)
+    if idx.size:
+        out[idx] = c0[idx] / spec.mem_copy_bw
+    idx = sel(_ck.CK_PARAM_COPY)
+    if idx.size:
+        out[idx] = fv[c0[idx].astype(np.int64)] + c1[idx] / spec.mem_copy_bw
+    idx = sel(_ck.CK_PARAM2_COPY)
+    if idx.size:
+        out[idx] = (
+            fv[c0[idx].astype(np.int64)] + fv[c1[idx].astype(np.int64)]
+        ) + c2[idx] / spec.mem_copy_bw
+    idx = sel(_ck.CK_FLOPS)
+    if idx.size:
+        out[idx] = c0[idx] / spec.flops_per_sec
+    idx = sel(_ck.CK_MUL)
+    if idx.size:
+        out[idx] = c1[idx] * fv[c0[idx].astype(np.int64)]
+    idx = sel(_ck.CK_ACK)
+    if idx.size:
+        same = (c0[idx].astype(np.int64) // spec.ranks_per_node) == (
+            c1[idx].astype(np.int64) // spec.ranks_per_node
+        )
+        out[idx] = np.where(same, spec.loopback_latency, spec.latency)
+    idx = sel(_ck.CK_HANDLER)
+    if idx.size:
+        cost = spec.gasnet_handler_overhead
+        if spec.srq_active(nranks):
+            cost = spec.gasnet_handler_overhead + spec.gasnet_srq_penalty
+        out[idx] = cost
+    return out
+
+
+# -- obs (per-op totals) re-pricing ---------------------------------------
+#
+# The obs side table records (rank, kind, nbytes, seconds) per completed
+# op. At the recorded spec the recorded seconds are authoritative. Under a
+# different spec, kinds with a known closed-form origin cost are
+# re-evaluated below (branching on the *recorded* spec's structure
+# parameters — the pattern is frozen); span-measured kinds (flush waits,
+# CAF-level spans, collectives) keep their recorded values and are listed
+# in the result's warnings.
+
+
+def obs_formula(
+    kind: str,
+    nbytes: np.ndarray,
+    target: MachineSpec,
+    recorded: MachineSpec,
+    nranks: int,
+) -> np.ndarray | None:
+    """Re-priced per-call seconds for ``kind``, or None (no closed form)."""
+    nb = nbytes.astype(np.float64)
+    if kind == "mpi.send":
+        eager = nbytes <= recorded.mpi_eager_threshold
+        return np.where(
+            eager,
+            target.mpi_p2p_overhead + nb / target.mem_copy_bw,
+            np.float64(target.mpi_p2p_overhead),
+        )
+    if kind == "mpi.recv":
+        return np.full(nb.shape, target.mpi_p2p_overhead)
+    if kind in ("mpi.put", "mpi.rput", "mpi.get", "mpi.rget"):
+        return np.full(nb.shape, _origin(target, recorded, target.mpi_rma_overhead))
+    if kind in (
+        "mpi.accumulate",
+        "mpi.raccumulate",
+        "mpi.get_accumulate",
+        "mpi.fetch_and_op",
+        "mpi.cas",
+    ):
+        return np.full(nb.shape, _origin(target, recorded, target.mpi_atomic_overhead))
+    if kind == "mpi.put_runs":
+        return _origin(target, recorded, target.mpi_rma_overhead) + nb / target.mem_copy_bw
+    if kind == "mpi.get_runs":
+        return np.full(nb.shape, _origin(target, recorded, target.mpi_rma_overhead))
+    if kind in ("mpi.rflush", "mpi.lock", "mpi.lock_all", "mpi.unlock", "mpi.unlock_all"):
+        return np.full(nb.shape, target.mpi_flush_overhead)
+    if kind == "mpi.rflush_all":
+        return np.full(nb.shape, target.mpi_flush_all_idle)
+    if kind == "gasnet.am":
+        return np.full(nb.shape, target.gasnet_am_overhead)
+    if kind == "gasnet.put":
+        return np.full(nb.shape, target.gasnet_put_overhead)
+    if kind == "gasnet.get":
+        return np.full(nb.shape, target.gasnet_get_overhead)
+    if kind == "gasnet.put_runs":
+        return target.gasnet_put_overhead + nb / target.mem_copy_bw
+    if kind == "gasnet.get_runs":
+        return np.full(nb.shape, target.gasnet_get_overhead)
+    return None
+
+
+def _origin(target: MachineSpec, recorded: MachineSpec, base: float) -> float:
+    # Branch on the recorded structure (sendrecv-backed RMA or not), price
+    # with the target's fields — mirrors Window._origin_overhead.
+    if recorded.mpi_rma_over_sendrecv:
+        return base + target.mpi_sendrecv_rma_extra
+    return base

@@ -1,0 +1,373 @@
+"""Record one instrumented ``run_caf`` into a replayable op-stream trace.
+
+The :class:`Recorder` receives every hook callback declared in
+:mod:`repro.sim.irhook` and appends columnar op rows in global record
+order (``gseq`` — which, because the engine is deterministic, *is* live
+execution order; that invariant is what lets replay re-resolve same-time
+races exactly). Module-level :func:`start` / :func:`stop` /
+:func:`active` mirror :mod:`repro.obs.capture`: while a recording is
+active, ``run_caf`` attaches a recorder to every cluster it builds and
+emits one trace artifact per successful run.
+
+Recording refuses fault plans, reliable transport, and crash schedules:
+those change the communication *pattern* mid-run, and a trace is a frozen
+pattern (replay can re-price a drop-free delay FaultPlan, but recording
+under one would bake retransmissions into the stream).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import pathlib
+from collections import deque
+from typing import Any
+
+import numpy as np
+
+from repro.sim import irhook as _irhook
+from repro.ir import ops as _ops
+from repro.ir.trace import TRACE_VERSION, Trace
+
+
+class RecordError(Exception):
+    """Recording attached to an unsupported run configuration."""
+
+
+class Recorder:
+    """Accumulates the op stream of one cluster run."""
+
+    def __init__(self, cluster, *, backend: str = "", app: str = ""):
+        if cluster.faults is not None:
+            raise RecordError(
+                "cannot record under a FaultPlan: faults change the "
+                "communication pattern; record fault-free and replay with a "
+                "drop-free delay plan instead"
+            )
+        if cluster.fabric.reliable is not None:
+            raise RecordError("cannot record with the reliable transport armed")
+        self.cluster = cluster
+        self.engine = cluster.engine
+        self.nranks = cluster.nranks
+        self.backend = backend
+        self.app = app
+        #: Pending cost annotation, set by irhook.annotate() and consumed by
+        #: the next sleep / call_at hook.
+        self.pending_cost: tuple[float, float, float, float] | None = None
+        #: Chain id of the callback currently executing (CbThunk sets it).
+        self.current_cb: int | None = None
+        #: Raw delay of an in-flight ``call_in`` (set by Engine.call_in;
+        #: bit-exact where ``when - now`` is not).
+        self.pending_delay: float | None = None
+        # Columnar op storage (python lists; converted to arrays at finalize).
+        self._kind: list[int] = []
+        self._chain: list[int] = []
+        self._ck: list[int] = []
+        self._a: list[int] = []
+        self._b: list[int] = []
+        self._c: list[int] = []
+        self._c0: list[float] = []
+        self._c1: list[float] = []
+        self._c2: list[float] = []
+        self._d: list[float] = []
+        # Chains.
+        self._chain_kind: list[int] = []
+        self._chain_daemon: list[int] = []
+        self._chain_rank: list[int] = []
+        self._chain_start: list[float] = []
+        self._proc_chain: dict[int, int] = {}
+        # Obs side table.
+        self._obs_rank: list[int] = []
+        self._obs_kind: list[int] = []
+        self._obs_nbytes: list[int] = []
+        self._obs_seconds: list[float] = []
+        self._obs_kind_ids: dict[str, int] = {}
+        # Sync-object ids and channel put sequencing.
+        self._next_oid = 0
+        self._chan_seq: dict[int, int] = {}
+        # (channel id, id(item)) -> deque of (item ref pin, put seq).
+        self._chan_items: dict[tuple[int, int], deque] = {}
+
+    # -- context resolution ----------------------------------------------
+
+    def _new_chain(self, kind: int, daemon: bool, rank: int, start: float) -> int:
+        cid = len(self._chain_kind)
+        self._chain_kind.append(kind)
+        self._chain_daemon.append(1 if daemon else 0)
+        self._chain_rank.append(rank)
+        self._chain_start.append(start)
+        return cid
+
+    def _ctx(self) -> int:
+        proc = self.engine._current
+        if proc is not None:
+            cid = self._proc_chain.get(proc.pid)
+            if cid is None:
+                rank = proc.pid if proc.pid < self.nranks else -1
+                cid = self._new_chain(
+                    _ops.CHAIN_PROC, proc.daemon, rank, self.engine.now
+                )
+                self._proc_chain[proc.pid] = cid
+            return cid
+        cid = self.current_cb
+        if cid is None:
+            raise RecordError("IR op recorded outside any execution context")
+        return cid
+
+    def _oid(self, obj) -> int:
+        try:
+            return obj._ir_id
+        except AttributeError:
+            oid = self._next_oid
+            self._next_oid = oid + 1
+            obj._ir_id = oid
+            return oid
+
+    def _append(
+        self, kind: int, chain: int, ck: int, a: int, b: int, c: int,
+        c0: float, c1: float, c2: float, d: float,
+    ) -> None:
+        self._kind.append(kind)
+        self._chain.append(chain)
+        self._ck.append(ck)
+        self._a.append(a)
+        self._b.append(b)
+        self._c.append(c)
+        self._c0.append(c0)
+        self._c1.append(c1)
+        self._c2.append(c2)
+        self._d.append(d)
+
+    def _consume_cost(self) -> tuple[int, float, float, float]:
+        pc = self.pending_cost
+        if pc is None:
+            return (_irhook.CK_LIT, 0.0, 0.0, 0.0)
+        self.pending_cost = None
+        return (int(pc[0]), pc[1], pc[2], pc[3])
+
+    # -- hook callbacks ---------------------------------------------------
+
+    def on_sleep(self, duration: float) -> None:
+        chain = self._ctx()
+        ck, c0, c1, c2 = self._consume_cost()
+        self._append(_ops.OP_SLEEP, chain, ck, 0, 0, 0, c0, c1, c2, duration)
+
+    def on_call_at(self, delay: float, fn):
+        raw = self.pending_delay
+        if raw is not None:
+            self.pending_delay = None
+            delay = raw
+        if isinstance(fn, _irhook.CbThunk):
+            return fn  # a transfer delivery, already recorded and chained
+        proc = self.engine._current
+        if proc is None and self.current_cb is None:
+            # Scheduled from outside any simulated context (e.g. a driver
+            # priming the event queue before run): an external root chain
+            # with an absolute start time; no CALL op to record.
+            child = self._new_chain(
+                _ops.CHAIN_EXTERNAL, True, -1, self.engine.now + delay
+            )
+            return _irhook.CbThunk(self, child, fn)
+        chain = self._ctx()
+        child = self._new_chain(_ops.CHAIN_CB, True, -1, 0.0)
+        ck, c0, c1, c2 = self._consume_cost()
+        self._append(_ops.OP_CALL, chain, ck, child, 0, 0, c0, c1, c2, delay)
+        return _irhook.CbThunk(self, child, fn)
+
+    def on_transfer(
+        self, src: int, dst: int, nbytes: int, rx_extra: float,
+        deliver: float, fn,
+    ):
+        chain = self._ctx()
+        child = self._new_chain(_ops.CHAIN_CB, True, -1, 0.0)
+        self._append(
+            _ops.OP_XFER, chain, 0, src * self.nranks + dst, child, nbytes,
+            1.0 if rx_extra > 0.0 else 0.0, 0.0, 0.0, deliver,
+        )
+        return _irhook.CbThunk(self, child, fn)
+
+    def on_fire(self, event) -> None:
+        self._append(
+            _ops.OP_FIRE, self._ctx(), 0, self._oid(event), 0, 0, 0.0, 0.0, 0.0, 0.0
+        )
+
+    def on_wait_event(self, event) -> None:
+        self._append(
+            _ops.OP_WAITEV, self._ctx(), 0, self._oid(event), 0, 0, 0.0, 0.0, 0.0, 0.0
+        )
+
+    def on_add(self, counter, n: int) -> None:
+        self._append(
+            _ops.OP_ADD, self._ctx(), 0, self._oid(counter), n, 0, 0.0, 0.0, 0.0, 0.0
+        )
+
+    def on_wait_geq(self, counter, threshold: int) -> None:
+        self._append(
+            _ops.OP_WAITGE, self._ctx(), 0, self._oid(counter), threshold, 0,
+            0.0, 0.0, 0.0, 0.0,
+        )
+
+    def on_take(self, counter, n: int) -> None:
+        self._append(
+            _ops.OP_TAKE, self._ctx(), 0, self._oid(counter), n, 0,
+            0.0, 0.0, 0.0, 0.0,
+        )
+
+    def on_chan_put(self, channel, item) -> None:
+        cid = self._oid(channel)
+        seq = self._chan_seq.get(cid, 0)
+        self._chan_seq[cid] = seq + 1
+        self._chan_items.setdefault((cid, id(item)), deque()).append((item, seq))
+        self._append(
+            _ops.OP_PUT, self._ctx(), 0, cid, seq, 0, 0.0, 0.0, 0.0, 0.0
+        )
+
+    def on_chan_get(self, channel, item) -> None:
+        cid = self._oid(channel)
+        key = (cid, id(item))
+        entry = self._chan_items.get(key)
+        if entry:
+            _, seq = entry.popleft()
+            if not entry:
+                del self._chan_items[key]
+        else:  # item predates recording; replay treats it as always ready
+            seq = -1
+        self._append(
+            _ops.OP_CHGET, self._ctx(), 0, cid, seq, 0, 0.0, 0.0, 0.0, 0.0
+        )
+
+    def on_obs(self, rank: int, kind: str, nbytes: int, seconds: float) -> None:
+        kid = self._obs_kind_ids.get(kind)
+        if kid is None:
+            kid = self._obs_kind_ids[kind] = len(self._obs_kind_ids)
+        self._obs_rank.append(rank)
+        self._obs_kind.append(kid)
+        self._obs_nbytes.append(nbytes)
+        self._obs_seconds.append(seconds)
+
+    # -- assembly ---------------------------------------------------------
+
+    def finalize(self, *, makespan: float) -> Trace:
+        import dataclasses
+
+        spec = self.cluster.spec
+        counts: dict[str, int] = {}
+        for k in self._kind:
+            name = _ops.OP_NAMES[k]
+            counts[name] = counts.get(name, 0) + 1
+        manifest: dict[str, Any] = {
+            "ir_version": TRACE_VERSION,
+            "app": self.app,
+            "backend": self.backend,
+            "nranks": self.nranks,
+            "sim_seed": self.cluster.seed,
+            "spec": dataclasses.asdict(spec),
+            "dispatcher": "fastpath" if self.engine._fastpath else "legacy",
+            "substrate": self.engine.substrate,
+            "makespan": makespan,
+            "nops": len(self._kind),
+            "nchains": len(self._chain_kind),
+            "op_counts": counts,
+            "obs_kinds": list(self._obs_kind_ids),
+            "cost_fields": list(_irhook.COST_FIELDS),
+        }
+        arrays = {
+            "kind": np.asarray(self._kind, np.uint8),
+            "chain": np.asarray(self._chain, np.uint32),
+            "ck": np.asarray(self._ck, np.uint8),
+            "a": np.asarray(self._a, np.int64),
+            "b": np.asarray(self._b, np.int64),
+            "c": np.asarray(self._c, np.int64),
+            "c0": np.asarray(self._c0, np.float64),
+            "c1": np.asarray(self._c1, np.float64),
+            "c2": np.asarray(self._c2, np.float64),
+            "d": np.asarray(self._d, np.float64),
+            "chain_kind": np.asarray(self._chain_kind, np.uint8),
+            "chain_daemon": np.asarray(self._chain_daemon, np.uint8),
+            "chain_rank": np.asarray(self._chain_rank, np.int32),
+            "chain_start": np.asarray(self._chain_start, np.float64),
+            "obs_rank": np.asarray(self._obs_rank, np.int32),
+            "obs_kind": np.asarray(self._obs_kind, np.int32),
+            "obs_nbytes": np.asarray(self._obs_nbytes, np.int64),
+            "obs_seconds": np.asarray(self._obs_seconds, np.float64),
+        }
+        return Trace(manifest=manifest, arrays=arrays)
+
+
+# -- process-wide capture (the run_caf / CLI integration) ------------------
+
+_state: dict[str, Any] = {"path": None, "seq": 0, "written": [], "last": None}
+
+
+def start(path: str | os.PathLike) -> None:
+    """Begin recording: subsequent ``run_caf`` calls emit trace artifacts.
+
+    ``path`` ending in ``.npz``/``.json`` names a single artifact stem
+    (one run); anything else is a directory receiving one
+    ``run-NNNN[-app]`` artifact per run.
+    """
+    _state.update(path=pathlib.Path(path), seq=0, written=[], last=None)
+
+
+def stop() -> list[pathlib.Path]:
+    """End the recording; returns the artifact paths written.
+
+    ``last_trace()`` keeps the final run's trace until the next
+    :func:`start`."""
+    written = list(_state["written"])
+    _state.update(path=None, seq=0, written=[])
+    return written
+
+
+def active() -> bool:
+    return _state["path"] is not None
+
+
+def last_trace() -> Trace | None:
+    """The most recently finalized :class:`Trace` of this recording."""
+    return _state["last"]
+
+
+@contextlib.contextmanager
+def recording(path: str | os.PathLike):
+    """Context-managed recording window; yields the output path."""
+    start(path)
+    try:
+        yield pathlib.Path(path)
+    finally:
+        stop()
+
+
+def attach(cluster, *, backend: str = "", app: str = "") -> Recorder:
+    """Install a recorder on ``cluster`` (run_caf calls this when active)."""
+    if _irhook.RECORDER is not None:
+        raise RecordError("an IR recording is already attached")
+    rec = Recorder(cluster, backend=backend, app=app)
+    _irhook.RECORDER = rec
+    return rec
+
+
+def abort() -> None:
+    """Detach without writing (run_caf's failure path)."""
+    _irhook.RECORDER = None
+
+
+def emit(cluster, *, backend: str = "", app: str = "") -> Trace | None:
+    """Finalize the attached recorder and write this run's artifact."""
+    rec = _irhook.RECORDER
+    _irhook.RECORDER = None
+    if rec is None or rec.cluster is not cluster:
+        return None
+    trace = rec.finalize(makespan=cluster.elapsed)
+    _state["last"] = trace
+    out: pathlib.Path | None = _state["path"]
+    if out is not None:
+        if out.suffix in (".npz", ".json"):
+            stem = out
+        else:
+            seq = _state["seq"]
+            _state["seq"] = seq + 1
+            label = f"run-{seq:04d}" + (f"-{app}" if app else "")
+            stem = out / label
+        _state["written"].extend(trace.save(stem))
+    return trace

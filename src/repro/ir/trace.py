@@ -1,0 +1,195 @@
+"""On-disk trace artifact: columnar op stream + JSON manifest.
+
+A trace is two files sharing a stem: ``<stem>.npz`` (the numpy columns)
+and ``<stem>.json`` (the manifest). Both are deterministic — same program,
+same seed, same spec, either dispatcher, either substrate produce
+byte-identical manifests and equal arrays — and versioned: loading an
+artifact written by a different format version raises
+:class:`TraceVersionError` instead of misreading it.
+
+Column layout (all arrays share length = op count, indexed by ``gseq``):
+
+=========  ======  ====================================================
+column     dtype   meaning (per op kind; see :mod:`repro.ir.ops`)
+=========  ======  ====================================================
+kind       u8      op kind
+chain      u32     owning chain id
+ck         u8      cost kind (SLEEP/CALL; 0 elsewhere)
+a          i64     event/counter/channel id; XFER ``src*nranks+dst``;
+                   CALL child chain
+b          i64     threshold / amount / put seq; XFER child chain
+c          i64     XFER nbytes
+c0,c1,c2   f64     cost args (SLEEP/CALL); XFER: c0 = SRQ-rx flag
+d          f64     recorded duration / delay / delivery time
+=========  ======  ====================================================
+
+Chains table: ``chain_kind`` (u8), ``chain_daemon`` (u8), ``chain_rank``
+(i32, -1 for non-rank chains), ``chain_start`` (f64, absolute start for
+proc/external chains; CB chains start when their parent op delivers).
+
+Obs table (per ``Metrics.record`` call, in record order): ``obs_rank``
+(i32), ``obs_kind`` (i32, index into ``manifest["obs_kinds"]``),
+``obs_nbytes`` (i64), ``obs_seconds`` (f64).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+import numpy as np
+
+from repro.ir import ops as _ops
+
+TRACE_VERSION = 1
+
+
+class TraceVersionError(Exception):
+    """The artifact was written by an incompatible trace-format version."""
+
+
+class TraceError(Exception):
+    """Malformed or unloadable trace artifact."""
+
+
+OP_COLUMNS = ("kind", "chain", "ck", "a", "b", "c", "c0", "c1", "c2", "d")
+CHAIN_COLUMNS = ("chain_kind", "chain_daemon", "chain_rank", "chain_start")
+OBS_COLUMNS = ("obs_rank", "obs_kind", "obs_nbytes", "obs_seconds")
+
+
+def _stem(path: str | pathlib.Path) -> pathlib.Path:
+    p = pathlib.Path(path)
+    return p.with_suffix("") if p.suffix in (".npz", ".json") else p
+
+
+@dataclass
+class Trace:
+    """A recorded op-stream trace plus its manifest."""
+
+    manifest: dict[str, Any]
+    arrays: dict[str, np.ndarray] = field(default_factory=dict)
+
+    # -- convenience accessors ------------------------------------------
+
+    @property
+    def nops(self) -> int:
+        return int(self.arrays["kind"].shape[0])
+
+    @property
+    def nchains(self) -> int:
+        return int(self.arrays["chain_kind"].shape[0])
+
+    @property
+    def nranks(self) -> int:
+        return int(self.manifest["nranks"])
+
+    def recorded_spec(self):
+        from repro.sim.network import MachineSpec
+
+        return MachineSpec(**self.manifest["spec"])
+
+    def iter_ops(self) -> Iterator[_ops.IrOp]:
+        """Typed dataclass view over the columnar storage (analysis/CLI)."""
+        a = self.arrays
+        kind, chain = a["kind"], a["chain"]
+        ck, ai, bi, ci = a["ck"], a["a"], a["b"], a["c"]
+        c0, c1, c2, d = a["c0"], a["c1"], a["c2"], a["d"]
+        nranks = self.nranks
+        for i in range(self.nops):
+            k, ch = int(kind[i]), int(chain[i])
+            if k == _ops.OP_SLEEP:
+                yield _ops.SleepOp(
+                    i, ch, int(ck[i]), (float(c0[i]), float(c1[i]), float(c2[i])),
+                    float(d[i]),
+                )
+            elif k == _ops.OP_CALL:
+                yield _ops.CallOp(
+                    i, ch, int(ai[i]), int(ck[i]),
+                    (float(c0[i]), float(c1[i]), float(c2[i])), float(d[i]),
+                )
+            elif k == _ops.OP_XFER:
+                pair = int(ai[i])
+                yield _ops.TransferOp(
+                    i, ch, pair // nranks, pair % nranks, int(ci[i]),
+                    bool(c0[i]), int(bi[i]), float(d[i]),
+                )
+            elif k == _ops.OP_FIRE:
+                yield _ops.EventFireOp(i, ch, int(ai[i]))
+            elif k == _ops.OP_WAITEV:
+                yield _ops.EventWaitOp(i, ch, int(ai[i]))
+            elif k == _ops.OP_ADD:
+                yield _ops.CounterAddOp(i, ch, int(ai[i]), int(bi[i]))
+            elif k == _ops.OP_WAITGE:
+                yield _ops.CounterWaitOp(i, ch, int(ai[i]), int(bi[i]))
+            elif k == _ops.OP_TAKE:
+                yield _ops.CounterTakeOp(i, ch, int(ai[i]), int(bi[i]))
+            elif k == _ops.OP_PUT:
+                yield _ops.ChannelPutOp(i, ch, int(ai[i]), int(bi[i]))
+            elif k == _ops.OP_CHGET:
+                yield _ops.ChannelGetOp(i, ch, int(ai[i]), int(bi[i]))
+            else:  # pragma: no cover - format invariant
+                raise TraceError(f"unknown op kind {k} at gseq {i}")
+
+    # -- validation ------------------------------------------------------
+
+    def check_structure(self) -> None:
+        """Cheap structural invariants (CLI ``validate`` runs this)."""
+        a = self.arrays
+        for col in OP_COLUMNS + CHAIN_COLUMNS + OBS_COLUMNS:
+            if col not in a:
+                raise TraceError(f"missing column {col!r}")
+        n = self.nops
+        for col in OP_COLUMNS:
+            if a[col].shape[0] != n:
+                raise TraceError(f"column {col!r} length mismatch")
+        nchains = self.nchains
+        if n and int(a["chain"].max(initial=0)) >= nchains:
+            raise TraceError("op references out-of-range chain")
+        for k in (_ops.OP_CALL, _ops.OP_XFER):
+            sel = a["kind"] == k
+            child = (a["a"] if k == _ops.OP_CALL else a["b"])[sel]
+            if child.size and (child.min() < 0 or child.max() >= nchains):
+                raise TraceError("op references out-of-range child chain")
+        if self.manifest.get("nops") != n:
+            raise TraceError("manifest op count disagrees with arrays")
+
+    # -- persistence -----------------------------------------------------
+
+    def save(self, path: str | pathlib.Path) -> tuple[pathlib.Path, pathlib.Path]:
+        """Write ``<stem>.npz`` + ``<stem>.json``; returns both paths."""
+        stem = _stem(path)
+        stem.parent.mkdir(parents=True, exist_ok=True)
+        npz_path = stem.with_suffix(".npz")
+        json_path = stem.with_suffix(".json")
+        np.savez_compressed(npz_path, **self.arrays)
+        json_path.write_text(
+            json.dumps(self.manifest, indent=2, sort_keys=True) + "\n"
+        )
+        return npz_path, json_path
+
+    @classmethod
+    def load(cls, path: str | pathlib.Path) -> "Trace":
+        stem = _stem(path)
+        npz_path = stem.with_suffix(".npz")
+        json_path = stem.with_suffix(".json")
+        if not json_path.exists():
+            raise TraceError(f"missing manifest {json_path}")
+        if not npz_path.exists():
+            raise TraceError(f"missing array file {npz_path}")
+        try:
+            manifest = json.loads(json_path.read_text())
+        except ValueError as exc:
+            raise TraceError(f"unreadable manifest {json_path}: {exc}") from exc
+        version = manifest.get("ir_version")
+        if version != TRACE_VERSION:
+            raise TraceVersionError(
+                f"{json_path}: trace format version {version!r}, "
+                f"this build reads version {TRACE_VERSION}"
+            )
+        with np.load(npz_path) as data:
+            arrays = {name: data[name] for name in data.files}
+        trace = cls(manifest=manifest, arrays=arrays)
+        trace.check_structure()
+        return trace

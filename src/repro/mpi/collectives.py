@@ -19,6 +19,7 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 from repro.mpi.constants import SUM, Op
+from repro.sim import irhook as _irhook
 from repro.util.errors import MpiError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -27,12 +28,14 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 
 def _enter(comm: "Comm") -> int:
     """Charge the per-call software overhead; returns this collective's tag."""
+    _irhook.annotate(_irhook.CK_PARAM, _irhook.F_MPI_COLL)
     comm.ctx.proc.sleep(comm.ctx.spec.mpi_coll_overhead)
     return comm._next_coll_tag()
 
 
 def _charge_reduce_flops(comm: "Comm", nelems: int) -> None:
     # One combine per element; charged as virtual compute.
+    _irhook.annotate(_irhook.CK_FLOPS, nelems)
     comm.ctx.proc.sleep(comm.ctx.spec.flops_time(nelems))
 
 
@@ -147,6 +150,7 @@ def alltoall(comm: "Comm", sendbuf, recvbuf) -> None:
     if send.shape[0] != size:
         raise MpiError(f"alltoall buffers must have leading dimension {size}")
     recv[rank] = send[rank]
+    _irhook.annotate(_irhook.CK_COPY, send[rank].nbytes)
     comm.ctx.proc.sleep(comm.ctx.spec.copy_time(send[rank].nbytes))
     pow2 = size & (size - 1) == 0
     for i in range(1, size):
@@ -177,6 +181,7 @@ def alltoallv(comm: "Comm", sendchunks, recvchunks) -> None:
 
     if recvchunks[rank] is not None and sendchunks[rank] is not None:
         np.asarray(recvchunks[rank])[...] = np.asarray(sendchunks[rank])
+        _irhook.annotate(_irhook.CK_COPY, chunk(sendchunks, rank).nbytes)
         comm.ctx.proc.sleep(comm.ctx.spec.copy_time(chunk(sendchunks, rank).nbytes))
     for i in range(1, size):
         dst = (rank + i) % size
@@ -195,6 +200,7 @@ def allgather(comm: "Comm", sendbuf, recvbuf) -> None:
     if recv.shape[0] != size:
         raise MpiError(f"allgather recvbuf must have leading dimension {size}")
     recv[rank] = send
+    _irhook.annotate(_irhook.CK_COPY, send.nbytes)
     comm.ctx.proc.sleep(comm.ctx.spec.copy_time(send.nbytes))
     right = (rank + 1) % size
     left = (rank - 1) % size

@@ -33,6 +33,7 @@ import numpy as np
 
 from repro.mpi.constants import ANY_SOURCE, ANY_TAG
 from repro.mpi.request import Request
+from repro.sim import irhook as _irhook
 from repro.sim.sync import Counter
 from repro.util.errors import MpiError
 
@@ -138,6 +139,9 @@ def _complete_recv(
     delay = spec.mpi_match_overhead
     if env.rendezvous is None:
         delay += spec.copy_time(env.nbytes)
+        _irhook.annotate(_irhook.CK_PARAM_COPY, _irhook.F_MPI_MATCH, env.nbytes)
+    else:
+        _irhook.annotate(_irhook.CK_PARAM, _irhook.F_MPI_MATCH)
     if land_now:
         posted.buf[: env.nbytes] = data[: env.nbytes]
 
@@ -221,6 +225,7 @@ def isend(comm: "Comm", matching: Matching, buf, dest: int, tag: int) -> Request
         # The copy is mandatory: an eager send returns with the user buffer
         # immediately reusable.
         data = view.copy()
+        _irhook.annotate(_irhook.CK_PARAM_COPY, _irhook.F_MPI_P2P, nbytes)
         ctx.proc.sleep(spec.mpi_p2p_overhead + spec.copy_time(nbytes))
         env = _Envelope(src=comm.rank, tag=tag, nbytes=nbytes, data=data, rendezvous=None)
         if san is not None:
@@ -237,6 +242,7 @@ def isend(comm: "Comm", matching: Matching, buf, dest: int, tag: int) -> Request
         # Rendezvous: ship a view — the user buffer may not be reused until
         # the send request completes, which is when the payload lands, so
         # the only copy is the fill into the posted receive buffer.
+        _irhook.annotate(_irhook.CK_PARAM, _irhook.F_MPI_P2P)
         ctx.proc.sleep(spec.mpi_p2p_overhead)
         rv = _Rendezvous(payload=view, send_request=req, src_world=src_world)
         env = _Envelope(src=comm.rank, tag=tag, nbytes=nbytes, data=None, rendezvous=rv)
@@ -268,6 +274,7 @@ def irecv(comm: "Comm", matching: Matching, buf, source: int, tag: int) -> Reque
     obs = ctx.metrics
     if obs is not None:
         obs.record(posted.dst_world, "mpi.recv", view.nbytes, spec.mpi_p2p_overhead)
+    _irhook.annotate(_irhook.CK_PARAM, _irhook.F_MPI_P2P)
     ctx.proc.sleep(spec.mpi_p2p_overhead)
     # Search the unexpected queue in arrival order.
     queue = matching.unexpected[comm.rank]

@@ -33,6 +33,7 @@ import numpy as np
 
 from repro.mpi.constants import NO_OP, REPLACE, Op
 from repro.mpi.request import Request
+from repro.sim import irhook as _irhook
 from repro.sim.sync import SimEvent
 from repro.util.buffers import flatten, snapshot
 from repro.util.errors import MpiError
@@ -214,6 +215,7 @@ class Window:
         private = state.private_copies[self.rank]
         mask = state.rma_dirty_mask[self.rank]
         assert public is not None and private is not None and mask is not None
+        _irhook.annotate(_irhook.CK_COPY, public.nbytes)
         self.ctx.proc.sleep(self.ctx.spec.copy_time(public.nbytes))
         private[mask] = public[mask]
         mask[:] = False
@@ -311,6 +313,33 @@ class Window:
         """Target-side software delay before an op commits (send/recv mode)."""
         spec = self.ctx.spec
         return spec.mpi_match_overhead if spec.mpi_rma_over_sendrecv else 0.0
+
+    def _annotate_origin(self, field: int, nbytes: int | None = None) -> None:
+        """IR cost annotation mirroring _origin_overhead (+ optional pack copy)."""
+        if _irhook.RECORDER is None:
+            return
+        if self.ctx.spec.mpi_rma_over_sendrecv:
+            if nbytes is None:
+                _irhook.annotate(
+                    _irhook.CK_PARAM2, field, _irhook.F_MPI_SENDRECV_EXTRA
+                )
+            else:
+                _irhook.annotate(
+                    _irhook.CK_PARAM2_COPY, field,
+                    _irhook.F_MPI_SENDRECV_EXTRA, nbytes,
+                )
+        elif nbytes is None:
+            _irhook.annotate(_irhook.CK_PARAM, field)
+        else:
+            _irhook.annotate(_irhook.CK_PARAM_COPY, field, nbytes)
+
+    def _annotate_ack(self, origin: int, target: int) -> None:
+        """IR cost annotation mirroring _ack_latency."""
+        _irhook.annotate(_irhook.CK_ACK, self._world(origin), self._world(target))
+
+    def _annotate_target_delay(self) -> None:
+        """IR cost annotation for the nonzero _target_delay branch."""
+        _irhook.annotate(_irhook.CK_PARAM, _irhook.F_MPI_MATCH)
 
     def _op_started(self, target: int) -> None:
         state = self.state
@@ -411,6 +440,7 @@ class Window:
                 self.ctx.rank, "mpi.rput", arr.nbytes,
                 self._origin_overhead(spec.mpi_rma_overhead),
             )
+        self._annotate_origin(_irhook.F_MPI_RMA)
         self.ctx.proc.sleep(self._origin_overhead(spec.mpi_rma_overhead))
         self._op_started(target)
         self._san_access(
@@ -441,9 +471,11 @@ class Window:
                 else:
                     data = payload
                 self.state.write_target(target, offset, data)
+                self._annotate_ack(origin, target)
                 engine.call_in(ack, lambda: (self._op_done_at_target(origin, target), req._complete()))
 
             if target_delay:
+                self._annotate_target_delay()
                 engine.call_in(target_delay, commit)
             else:
                 commit()
@@ -481,6 +513,7 @@ class Window:
                 self.ctx.rank, "mpi.rget", count * self._dtype().itemsize,
                 self._origin_overhead(spec.mpi_rma_overhead),
             )
+        self._annotate_origin(_irhook.F_MPI_RMA)
         self.ctx.proc.sleep(self._origin_overhead(spec.mpi_rma_overhead))
         self._op_started(target)
         rec = self._san_access(
@@ -509,6 +542,7 @@ class Window:
                 )
 
             if target_delay:
+                self._annotate_target_delay()
                 engine.call_in(target_delay, respond)
             else:
                 respond()
@@ -537,6 +571,7 @@ class Window:
                 self.ctx.rank, "mpi.accumulate", snap.nbytes,
                 self._origin_overhead(spec.mpi_atomic_overhead),
             )
+        self._annotate_origin(_irhook.F_MPI_ATOMIC)
         self.ctx.proc.sleep(self._origin_overhead(spec.mpi_atomic_overhead))
         self._op_started(target)
         self._san_access(
@@ -555,9 +590,11 @@ class Window:
         def on_delivered() -> None:
             def commit() -> None:
                 self.state.apply_target(target, offset, snap, op)
+                self._annotate_ack(origin, target)
                 engine.call_in(ack, lambda: (self._op_done_at_target(origin, target), req._complete()))
 
             if target_delay:
+                self._annotate_target_delay()
                 engine.call_in(target_delay, commit)
             else:
                 commit()
@@ -602,6 +639,7 @@ class Window:
         result_arr = np.asarray(result).reshape(-1)
         self._check_target(target, offset, snap.size)
         spec = self.ctx.spec
+        self._annotate_origin(_irhook.F_MPI_ATOMIC)
         self.ctx.proc.sleep(self._origin_overhead(spec.mpi_atomic_overhead))
         self._op_started(target)
         rec = self._san_access(
@@ -633,6 +671,7 @@ class Window:
                 )
 
             if target_delay:
+                self._annotate_target_delay()
                 engine.call_in(target_delay, commit)
             else:
                 commit()
@@ -656,6 +695,7 @@ class Window:
         spec = self.ctx.spec
         obs = self._obs
         t0 = self.ctx.engine.now if obs is not None else 0.0
+        self._annotate_origin(_irhook.F_MPI_ATOMIC)
         self.ctx.proc.sleep(self._origin_overhead(spec.mpi_atomic_overhead))
         self._op_started(target)
         rec = self._san_access(
@@ -687,6 +727,7 @@ class Window:
                 )
 
             if target_delay:
+                self._annotate_target_delay()
                 engine.call_in(target_delay, commit)
             else:
                 commit()
@@ -711,6 +752,7 @@ class Window:
         """MPI_WIN_LOCK_ALL (shared): open a passive epoch to every target."""
         if self.state.lock_all_held[self.rank]:
             raise MpiError("lock_all while already holding lock_all")
+        _irhook.annotate(_irhook.CK_PARAM, _irhook.F_MPI_FLUSH)
         self.ctx.proc.sleep(self.ctx.spec.mpi_flush_overhead)
         self.state.lock_all_held[self.rank] = True
 
@@ -740,6 +782,7 @@ class Window:
                 + spec.copy_time(arr.nbytes),
             )
         # Origin packs the section, then one wire message carries it.
+        self._annotate_origin(_irhook.F_MPI_RMA, arr.nbytes)
         self.ctx.proc.sleep(
             self._origin_overhead(spec.mpi_rma_overhead) + spec.copy_time(arr.nbytes)
         )
@@ -764,9 +807,11 @@ class Window:
                         target, int(off), snap[cursor : cursor + length]
                     )
                     cursor += length
+                self._annotate_ack(origin, target)
                 engine.call_in(ack, lambda: self._op_done_at_target(origin, target))
 
             if target_delay:
+                self._annotate_target_delay()
                 engine.call_in(target_delay, commit)
             else:
                 commit()
@@ -796,6 +841,7 @@ class Window:
                 total * self._dtype().itemsize,
                 self._origin_overhead(spec.mpi_rma_overhead),
             )
+        self._annotate_origin(_irhook.F_MPI_RMA)
         self.ctx.proc.sleep(self._origin_overhead(spec.mpi_rma_overhead))
         self._op_started(target)
         rec = self._san_access(
@@ -831,6 +877,7 @@ class Window:
                 )
 
             if target_delay:
+                self._annotate_target_delay()
                 engine.call_in(target_delay, respond)
             else:
                 respond()
@@ -849,6 +896,7 @@ class Window:
         locks are held (the blocking possibility §3.3 calls out).
         """
         self._check_target(target, 0, 0)
+        _irhook.annotate(_irhook.CK_PARAM, _irhook.F_MPI_FLUSH)
         self.ctx.proc.sleep(self.ctx.spec.mpi_flush_overhead)
         lock = self.state.locks[target]
         me = (self.rank, "exclusive" if exclusive else "shared")
@@ -895,6 +943,7 @@ class Window:
             obs.record(
                 self.ctx.rank, "mpi.rflush", 0, self.ctx.spec.mpi_flush_overhead
             )
+        _irhook.annotate(_irhook.CK_PARAM, _irhook.F_MPI_FLUSH)
         self.ctx.proc.sleep(self.ctx.spec.mpi_flush_overhead)
         req = Request(f"rflush(win={self.win_id},t={target})", self.ctx.proc)
         san = self._san
@@ -915,6 +964,7 @@ class Window:
             obs.record(
                 self.ctx.rank, "mpi.rflush_all", 0, self.ctx.spec.mpi_flush_all_idle
             )
+        _irhook.annotate(_irhook.CK_PARAM, _irhook.F_MPI_FLUSH_ALL_IDLE)
         self.ctx.proc.sleep(self.ctx.spec.mpi_flush_all_idle)
         self.state.dirty[self.rank] = False
         req = Request(f"rflush_all(win={self.win_id})", self.ctx.proc)
@@ -958,6 +1008,7 @@ class Window:
         self._check_target(target, 0, 0)
         obs = self._obs
         t0 = self.ctx.engine.now if obs is not None else 0.0
+        _irhook.annotate(_irhook.CK_PARAM, _irhook.F_MPI_FLUSH)
         self.ctx.proc.sleep(self.ctx.spec.mpi_flush_overhead)
         self._wait_target_quiet(target)
         if obs is not None:
@@ -981,9 +1032,13 @@ class Window:
         obs = self._obs
         t0 = self.ctx.engine.now if obs is not None else 0.0
         if state.dirty[origin]:
+            _irhook.annotate(
+                _irhook.CK_MUL, _irhook.F_MPI_FLUSH_ALL_PER_TARGET, self.group_size
+            )
             self.ctx.proc.sleep(self.group_size * spec.mpi_flush_all_per_target)
             state.dirty[origin] = False
         else:
+            _irhook.annotate(_irhook.CK_PARAM, _irhook.F_MPI_FLUSH_ALL_IDLE)
             self.ctx.proc.sleep(spec.mpi_flush_all_idle)
         # The modeled cost above is linear in group size (MPICH behaviour);
         # the wall-clock wait is one counter check — inflight[origin] hits
@@ -1006,10 +1061,12 @@ class Window:
         private copies here — the library eats the memcpy (wall-clock only;
         the modeled cost stays the flat flush overhead)."""
         self._check_target(target, 0, 0)
+        _irhook.annotate(_irhook.CK_PARAM, _irhook.F_MPI_FLUSH)
         self.ctx.proc.sleep(self.ctx.spec.mpi_flush_overhead)
         self._buffer_unread_puts(target)
 
     def flush_local_all(self) -> None:
+        _irhook.annotate(_irhook.CK_PARAM, _irhook.F_MPI_FLUSH)
         self.ctx.proc.sleep(self.ctx.spec.mpi_flush_overhead)
         self._buffer_unread_puts(None)
 

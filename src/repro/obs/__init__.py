@@ -32,6 +32,7 @@ from repro.obs.report import (
     SchemaError,
     build_report,
     diff_reports,
+    diff_reports_all,
     validate_report,
 )
 
@@ -48,5 +49,6 @@ __all__ = [
     "capture",
     "critical_path",
     "diff_reports",
+    "diff_reports_all",
     "validate_report",
 ]

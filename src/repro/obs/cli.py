@@ -7,9 +7,12 @@ Usage::
     python -m repro.obs validate RUNREPORT.json          # schema check
     python -m repro.obs diff OLD.json NEW.json           # regression triage
     python -m repro.obs diff OLD.json NEW.json --threshold 5 --fail
+    python -m repro.obs diff BASE.json N1.json N2.json --all  # N vs baseline
 
 ``diff --fail`` exits 1 when any metric moved beyond the threshold — the
-bench-regression tripwire CI uses on archived reports.
+bench-regression tripwire CI uses on archived reports. ``--all`` compares
+every NEW report against the baseline in one invocation and exits 1 (with
+``--fail``) if any comparison regresses.
 """
 
 from __future__ import annotations
@@ -18,7 +21,7 @@ import argparse
 import pathlib
 import sys
 
-from repro.obs.report import RunReport, SchemaError, diff_reports
+from repro.obs.report import RunReport, SchemaError, diff_reports_all
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -37,9 +40,14 @@ def main(argv: list[str] | None = None) -> int:
     p_validate = sub.add_parser("validate", help="schema-check a report")
     p_validate.add_argument("reports", type=pathlib.Path, nargs="+")
 
-    p_diff = sub.add_parser("diff", help="compare two reports")
-    p_diff.add_argument("old", type=pathlib.Path)
-    p_diff.add_argument("new", type=pathlib.Path)
+    p_diff = sub.add_parser("diff", help="compare reports against a baseline")
+    p_diff.add_argument("old", type=pathlib.Path, help="baseline report")
+    p_diff.add_argument("new", type=pathlib.Path, nargs="+")
+    p_diff.add_argument(
+        "--all",
+        action="store_true",
+        help="compare every NEW report against OLD in one invocation",
+    )
     p_diff.add_argument(
         "--threshold",
         type=float,
@@ -67,14 +75,32 @@ def main(argv: list[str] | None = None) -> int:
                 print(f"{path}: ok")
             return 0
         # diff
+        if len(args.new) > 1 and not args.all:
+            parser.error("multiple NEW reports require --all")
         old = RunReport.load(str(args.old))
-        new = RunReport.load(str(args.new))
-        diff = diff_reports(
-            old, new, a_label=args.old.name, b_label=args.new.name
+        news = [RunReport.load(str(p)) for p in args.new]
+        diffs = diff_reports_all(
+            old,
+            news,
+            baseline_label=args.old.name,
+            labels=[p.name for p in args.new],
         )
         threshold = args.threshold / 100.0
-        print(diff.render(threshold=threshold))
-        if args.fail and diff.regressions(threshold):
+        failed = 0
+        for path, diff in zip(args.new, diffs):
+            if args.all:
+                print(f"== {args.old.name} vs {path.name} ==")
+            print(diff.render(threshold=threshold))
+            if args.all:
+                print()
+            if diff.regressions(threshold):
+                failed += 1
+        if args.all:
+            print(
+                f"{failed}/{len(diffs)} report(s) regressed beyond "
+                f"{args.threshold:.1f}% vs {args.old.name}"
+            )
+        if args.fail and failed:
             return 1
         return 0
     except FileNotFoundError as exc:

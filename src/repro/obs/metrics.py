@@ -22,6 +22,8 @@ from typing import Any
 
 import numpy as np
 
+from repro.sim import irhook as _irhook
+
 __all__ = ["OpStats", "Metrics", "CommMatrix", "size_bucket", "latency_bucket"]
 
 
@@ -108,6 +110,9 @@ class Metrics:
 
     def record(self, rank: int, kind: str, nbytes: int = 0, seconds: float = 0.0) -> None:
         """Record one completed op of ``kind`` on ``rank``."""
+        rec = _irhook.RECORDER
+        if rec is not None:
+            rec.on_obs(rank, kind, nbytes, seconds)
         per_rank = self.ops[rank]
         stats = per_rank.get(kind)
         if stats is None:

@@ -426,3 +426,27 @@ def diff_reports(
         for metric in sorted(set(fa) | set(fb))
     ]
     return ReportDiff(a_label=a_label, b_label=b_label, rows=rows)
+
+
+def diff_reports_all(
+    baseline: RunReport,
+    candidates: list[RunReport],
+    *,
+    baseline_label: str = "baseline",
+    labels: list[str] | None = None,
+) -> list[ReportDiff]:
+    """Compare every candidate report against one baseline.
+
+    Returns one :class:`ReportDiff` per candidate, in input order — the
+    N-reports-vs-baseline mode behind ``python -m repro.obs diff --all``.
+    """
+    if labels is None:
+        labels = [f"report[{i}]" for i in range(len(candidates))]
+    if len(labels) != len(candidates):
+        raise ValueError(
+            f"{len(candidates)} candidate report(s) but {len(labels)} label(s)"
+        )
+    return [
+        diff_reports(baseline, cand, a_label=baseline_label, b_label=label)
+        for cand, label in zip(candidates, labels)
+    ]

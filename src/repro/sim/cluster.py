@@ -12,6 +12,7 @@ from __future__ import annotations
 from collections.abc import Callable
 from typing import Any
 
+from repro.sim import irhook as _irhook
 from repro.sim.engine import Engine, Proc
 from repro.sim.faults import FaultPlan
 from repro.sim.memory import MemoryMeter
@@ -59,6 +60,9 @@ class RankCtx:
         if (seconds is None) == (flops is None):
             raise SimulationError("pass exactly one of seconds= or flops=")
         duration = self.spec.flops_time(flops) if seconds is None else seconds
+        if _irhook.RECORDER is not None and seconds is None:
+            # seconds= stays literal (spec-independent by definition).
+            _irhook.annotate(_irhook.CK_FLOPS, flops)
         self.profiler.sleep_in(self.rank, self.proc, category, duration)
 
     def profile(self, category: str):

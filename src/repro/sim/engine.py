@@ -60,6 +60,7 @@ from collections import deque
 from collections.abc import Callable
 from typing import Any
 
+from repro.sim import irhook as _irhook
 from repro.util.errors import DeadlockError, SimTimeoutError, SimulationError
 
 try:  # optional substrate; never required
@@ -385,6 +386,11 @@ class Proc:
         self._check_running("sleep")
         if duration < 0:
             raise SimulationError(f"cannot sleep for negative time {duration!r}")
+        rec = _irhook.RECORDER
+        if rec is not None:
+            # Before the zero-duration fast exit: the cost expression may be
+            # nonzero under the replay target spec even when it is zero here.
+            rec.on_sleep(duration)
         if duration == 0:
             return
         engine = self.engine
@@ -549,6 +555,9 @@ class Engine:
             raise SimulationError(
                 f"cannot schedule event in the past ({when} < now={now})"
             )
+        rec = _irhook.RECORDER
+        if rec is not None:
+            fn = rec.on_call_at(when - now, fn)
         entry = (when, self._seq, fn)
         self._seq += 1
         if when == now and self._fastpath:
@@ -557,6 +566,13 @@ class Engine:
             heapq.heappush(self._heap, entry)
 
     def call_in(self, delay: float, fn: Callable[[], None]) -> None:
+        rec = _irhook.RECORDER
+        if rec is not None:
+            # Hand the recorder the caller's delay verbatim: call_at only
+            # sees the absolute time, and ``(now + delay) - now`` is not
+            # bit-identical to ``delay``. Replay re-adds the raw delay,
+            # reproducing the live ``now + delay`` arithmetic exactly.
+            rec.pending_delay = delay
         self.call_at(self.now + delay, fn)
 
     def _schedule_resume(self, when: float, proc: Proc, gen: int) -> None:

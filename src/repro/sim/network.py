@@ -22,6 +22,7 @@ from collections.abc import Callable
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any
 
+from repro.sim import irhook as _irhook
 from repro.sim.engine import Engine
 from repro.util.errors import SimulationError
 
@@ -278,6 +279,14 @@ class NetFabric:
                 self.delayed += 1
                 deliver += decision.extra_delay
 
+        rec = _irhook.RECORDER
+        if rec is not None:
+            # Records the transfer op (issuer chain, NIC-state re-pricing
+            # inputs) and rebinds the delivery callback to its own chain;
+            # the call_at below then sees an already-chained thunk.
+            on_delivered = rec.on_transfer(
+                src, dst, nbytes, rx_extra, deliver, on_delivered
+            )
         tracer = self.tracer
         if tracer is not None and tracer.enabled:
             tracer.record("transfer", src, now, deliver, dst=dst, nbytes=nbytes)

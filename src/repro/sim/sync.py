@@ -11,6 +11,7 @@ from collections import deque
 from collections.abc import Callable
 from typing import Any
 
+from repro.sim import irhook as _irhook
 from repro.sim.engine import Proc
 
 
@@ -32,6 +33,9 @@ class SimEvent:
         """Set the flag, wake every waiter and run subscribed callbacks. Idempotent."""
         if self.is_set:
             return
+        rec = _irhook.RECORDER
+        if rec is not None:
+            rec.on_fire(self)
         self.is_set = True
         self.value = value
         waiters, self._waiters = self._waiters, []
@@ -55,6 +59,11 @@ class SimEvent:
             proc.block(f"wait({self.label})")
             if proc in self._waiters:  # woken by someone else's stale wake
                 self._waiters.remove(proc)
+        rec = _irhook.RECORDER
+        if rec is not None:
+            # Recorded at wait *exit*: the op's id order is live completion
+            # order, which is how replay re-resolves same-time wake races.
+            rec.on_wait_event(self)
         return self.value
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -71,6 +80,9 @@ class Counter:
         self._next_callbacks: list[Callable[[], None]] = []
 
     def add(self, n: int = 1) -> None:
+        rec = _irhook.RECORDER
+        if rec is not None:
+            rec.on_add(self, n)
         self.count += n
         waiters, self._waiters = self._waiters, []
         for proc in waiters:
@@ -90,10 +102,23 @@ class Counter:
             proc.block(reason or f"wait_geq({self.label}, {threshold})")
             if proc in self._waiters:
                 self._waiters.remove(proc)
+        rec = _irhook.RECORDER
+        if rec is not None:
+            rec.on_wait_geq(self, threshold)
 
     def take(self, proc: Proc, n: int = 1) -> None:
         """Block until ``count >= n`` then subtract ``n`` (consuming wait)."""
-        self.wait_geq(proc, n)
+        # Open-coded wait_geq so recording sees one atomic check-and-consume
+        # op (the recheck-or-repark race between contending takers must
+        # replay as a unit); block reason string is unchanged.
+        while self.count < n:
+            self._waiters.append(proc)
+            proc.block(f"wait_geq({self.label}, {n})")
+            if proc in self._waiters:
+                self._waiters.remove(proc)
+        rec = _irhook.RECORDER
+        if rec is not None:
+            rec.on_take(self, n)
         self.count -= n
 
 
@@ -109,6 +134,9 @@ class Channel:
         return len(self._items)
 
     def put(self, item: Any) -> None:
+        rec = _irhook.RECORDER
+        if rec is not None:
+            rec.on_chan_put(self, item)
         self._items.append(item)
         waiters, self._waiters = self._waiters, []
         for proc in waiters:
@@ -119,6 +147,12 @@ class Channel:
         for i, item in enumerate(self._items):
             if match is None or match(item):
                 del self._items[i]
+                rec = _irhook.RECORDER
+                if rec is not None:
+                    # Covers both try_get hits and (via the retry loop) every
+                    # successful blocking get — recorded at completion with
+                    # the matched item's put sequence number.
+                    rec.on_chan_get(self, item)
                 return True, item
         return False, None
 

@@ -1,0 +1,39 @@
+"""Shared recording helpers for the IR test suite."""
+
+import pytest
+
+from repro.apps.cgpop import run_cgpop
+from repro.apps.fft import run_fft
+from repro.apps.randomaccess import run_randomaccess
+from repro.caf import run_caf
+from repro.ir import record as ir_record
+from repro.platforms import PLATFORMS
+
+#: (label, program, program kwargs) — small enough for a sub-second run,
+#: structured enough to exercise transfers, collectives, and sync ops.
+APPS = {
+    "ra": (run_randomaccess,
+           dict(table_bits_per_image=8, updates_per_image=256, batches=2)),
+    "fft": (run_fft, dict(m=256)),
+    "cgpop": (run_cgpop, dict(ny=16, nx=8, max_iter=40)),
+}
+
+
+def record_run(tmp_path, app, backend, platform, nranks=4):
+    """Run one instrumented app with recording on; return (run, trace)."""
+    program, kwargs = APPS[app]
+    stem = tmp_path / f"{app}-{backend}-{platform}.npz"
+    ir_record.start(stem)
+    try:
+        run = run_caf(program, nranks, PLATFORMS[platform],
+                      backend=backend, **kwargs)
+    finally:
+        ir_record.stop()
+    trace = ir_record.last_trace()
+    assert trace is not None
+    return run, trace
+
+
+@pytest.fixture
+def record(tmp_path):
+    return lambda *a, **kw: record_run(tmp_path, *a, **kw)

@@ -1,0 +1,56 @@
+"""Sweep driver: grid expansion, artifact emission, identity point."""
+
+import json
+
+from repro.ir import SweepPoint, grid_points, replay, run_sweep
+from repro.ir.replay import CompiledTrace
+
+from tests.ir.conftest import record_run
+
+
+def test_grid_points_cartesian_product():
+    pts = grid_points({"latency": [1e-6, 2e-6], "bandwidth": [1e9, 2e9, 4e9]})
+    assert len(pts) == 6
+    assert all(set(p.overrides) == {"latency", "bandwidth"} for p in pts)
+    assert len({p.name for p in pts}) == 6  # names are unique coordinates
+
+
+def test_identity_point_reproduces_recorded_makespan(tmp_path):
+    run, trace = record_run(tmp_path, "fft", "mpi", "laptop")
+    outcome = run_sweep(trace, [SweepPoint(name="as-recorded")])
+    (_, res), = outcome.results
+    assert res.makespan == run.elapsed
+
+
+def test_run_sweep_writes_per_point_and_summary_artifacts(tmp_path):
+    _, trace = record_run(tmp_path, "fft", "gasnet", "laptop")
+    points = grid_points({"latency": [1e-6, 5e-6], "bandwidth": [5e9, 20e9]})
+    out = tmp_path / "sweep"
+    outcome = run_sweep(trace, points, out_dir=out)
+    assert len(outcome.written) == 5  # 4 points + summary
+    summary = json.loads((out / "sweep-summary.json").read_text())
+    assert summary["schema"] == "repro.ir.sweep/1"
+    assert len(summary["points"]) == 4
+    assert all(row["makespan"] > 0 for row in summary["points"])
+    # Per-point artifacts are full replay results.
+    body = json.loads((out / "point-00.replay.json").read_text())
+    assert body["schema"] == "repro.ir.replay/1"
+    assert body["nranks"] == 4
+
+    # Slower fabric -> longer makespan, ordered as physics demands.
+    by_point = {row["name"]: row["makespan"] for row in summary["points"]}
+    fast = by_point["bandwidth=20000000000.0,latency=1e-06"]
+    slow = by_point["bandwidth=5000000000.0,latency=5e-06"]
+    assert slow > fast
+
+
+def test_compiled_trace_is_reused_across_points(tmp_path):
+    """Compiling once and sweeping the CompiledTrace matches per-point
+    replays of the raw trace exactly."""
+    _, trace = record_run(tmp_path, "fft", "mpi", "laptop")
+    compiled = CompiledTrace(trace)
+    points = grid_points({"latency": [1e-6, 4e-6]})
+    outcome = run_sweep(compiled, points)
+    for point, res in outcome.results:
+        solo = replay(trace, point.resolve(compiled.recorded_spec))
+        assert solo.makespan == res.makespan

@@ -1,0 +1,74 @@
+"""Trace persistence: round-trip fidelity, versioning, fault policies."""
+
+import json
+
+import pytest
+
+from repro.ir import Trace, TraceVersionError, replay
+from repro.ir import record as ir_record
+from repro.ir.replay import ReplayError
+from repro.sim.faults import FaultPlan
+
+from tests.ir.conftest import APPS, record_run
+from repro.caf import run_caf
+from repro.platforms import PLATFORMS
+
+
+def test_save_load_replay_round_trip(tmp_path):
+    run, trace = record_run(tmp_path, "fft", "mpi", "laptop")
+    npz_path, json_path = trace.save(tmp_path / "rt")
+    assert npz_path.exists() and json_path.exists()
+
+    loaded = Trace.load(tmp_path / "rt")
+    assert loaded.manifest == trace.manifest
+    assert loaded.nops == trace.nops
+    assert loaded.nchains == trace.nchains
+
+    a, b = replay(trace), replay(loaded)
+    assert b.makespan == a.makespan == run.elapsed
+    assert b.op_totals == a.op_totals
+
+
+def test_version_mismatch_is_rejected(tmp_path):
+    _, trace = record_run(tmp_path, "fft", "mpi", "laptop")
+    trace.save(tmp_path / "old")
+    manifest = json.loads((tmp_path / "old.json").read_text())
+    manifest["ir_version"] = 999
+    (tmp_path / "old.json").write_text(json.dumps(manifest))
+    with pytest.raises(TraceVersionError, match="version 999"):
+        Trace.load(tmp_path / "old")
+
+
+def test_fault_injected_runs_are_skipped_not_recorded(tmp_path):
+    """Pattern-changing faults invalidate a trace: run_caf runs them live
+    but writes no artifact (the recording stays armed for later runs)."""
+    program, kwargs = APPS["fft"]
+    out = tmp_path / "traces"
+    ir_record.start(out)
+    try:
+        run_caf(program, 4, PLATFORMS["laptop"], backend="mpi",
+                faults=FaultPlan(seed=3, delay_rate=0.2, delay_jitter=1e-6),
+                **kwargs)
+        assert ir_record.last_trace() is None
+        run_caf(program, 4, PLATFORMS["laptop"], backend="mpi", **kwargs)
+        assert ir_record.last_trace() is not None
+    finally:
+        written = ir_record.stop()
+    assert len(written) == 2  # one .npz + one .json, fault run skipped
+    assert len(list(out.glob("run-*"))) == 2
+
+
+def test_replay_rejects_pattern_changing_fault_plans(tmp_path):
+    _, trace = record_run(tmp_path, "fft", "mpi", "laptop")
+    with pytest.raises(ReplayError, match="drop-free"):
+        replay(trace, faults=FaultPlan(seed=1, drop_rate=0.01))
+    with pytest.raises(ReplayError, match="crashes"):
+        replay(trace, faults=FaultPlan(seed=1, crashes=[(0, 1e-3)]))
+
+
+def test_replay_applies_drop_free_delay_plan(tmp_path):
+    run, trace = record_run(tmp_path, "fft", "mpi", "laptop")
+    delayed = replay(
+        trace, faults=FaultPlan(seed=5, delay_rate=1.0, delay_jitter=1e-5)
+    )
+    assert delayed.makespan > run.elapsed

@@ -73,6 +73,35 @@ def test_diff_fail_trips_on_regression(report_path, tmp_path, capsys):
     assert "meta.makespan" in out
 
 
+def test_diff_multiple_news_requires_all(report_path, capsys):
+    with pytest.raises(SystemExit):
+        main(["diff", str(report_path), str(report_path), str(report_path)])
+
+
+def test_diff_all_compares_each_against_baseline(report_path, tmp_path, capsys):
+    data = json.loads(report_path.read_text())
+    data["meta"]["makespan"] *= 2.0
+    worse = tmp_path / "worse.json"
+    worse.write_text(json.dumps(data))
+    same = tmp_path / "same.json"
+    same.write_text(report_path.read_text())
+    rc = main(
+        ["diff", str(report_path), str(same), str(worse), "--all",
+         "--threshold", "5", "--fail"]
+    )
+    assert rc == 1
+    out = capsys.readouterr().out
+    assert f"== {report_path.name} vs same.json ==" in out
+    assert f"== {report_path.name} vs worse.json ==" in out
+    assert "no differences" in out
+    assert "1/2 report(s) regressed beyond 5.0%" in out
+    # All-clean set exits 0 even with --fail.
+    assert (
+        main(["diff", str(report_path), str(same), str(same), "--all", "--fail"])
+        == 0
+    )
+
+
 def test_module_entrypoint_runs(report_path):
     import os
     import pathlib
