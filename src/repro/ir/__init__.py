@@ -13,6 +13,7 @@ static op streams: one typed model for both static facts and dynamic
 traces.
 """
 
+from repro.ir.costs import obs_formula, static_op_seconds
 from repro.ir.ops import (
     OP_NAMES,
     IrOp,
@@ -24,6 +25,8 @@ from repro.ir.sweep import SweepPoint, grid_points, run_sweep
 __all__ = [
     "OP_NAMES",
     "IrOp",
+    "obs_formula",
+    "static_op_seconds",
     "TRACE_VERSION",
     "Trace",
     "TraceVersionError",

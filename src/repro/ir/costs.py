@@ -174,3 +174,47 @@ def _origin(target: MachineSpec, recorded: MachineSpec, base: float) -> float:
     if recorded.mpi_rma_over_sendrecv:
         return base + target.mpi_sendrecv_rma_extra
     return base
+
+
+# -- static (pre-run) pricing ---------------------------------------------
+#
+# The lint stream compiler predicts op streams before any run, so there is
+# no recorded baseline to branch on: the spec being priced *is* the
+# structure. Kinds with a closed-form origin cost reuse obs_formula with
+# recorded == target; CAF-level and collective kinds (span-measured at
+# runtime) get simple first-order models — a log2(P) tree for collectives,
+# initiation + wire cost for one-sided traffic. These are coarse by
+# design: the estimator's validated quantities are call counts and bytes,
+# with seconds reported as an order-of-magnitude preview.
+
+
+def static_op_seconds(
+    kind: str, nbytes: np.ndarray, spec: MachineSpec, nranks: int
+) -> np.ndarray:
+    """Predicted per-call seconds for a *statically compiled* op stream."""
+    nb = np.asarray(nbytes, dtype=np.float64)
+    known = obs_formula(kind, np.asarray(nbytes), spec, spec, nranks)
+    if known is not None:
+        return known
+    wire = spec.latency + nb / spec.bandwidth
+    if kind.startswith("caf.coll.") or kind.startswith("mpi.coll."):
+        rounds = max(np.log2(max(nranks, 2)), 1.0)
+        return spec.mpi_coll_overhead + rounds * wire
+    if kind in ("caf.coarray_write", "caf.async_write", "caf.async_copy"):
+        return spec.mpi_rma_overhead + nb / spec.bandwidth
+    if kind in ("caf.coarray_read", "caf.async_read"):
+        return spec.mpi_rma_overhead + 2 * spec.latency + nb / spec.bandwidth
+    if kind in ("caf.event_notify",):
+        return np.full(nb.shape, spec.mpi_rma_overhead + spec.latency)
+    if kind in ("caf.event_wait", "caf.event_trywait"):
+        return np.full(nb.shape, spec.mpi_match_overhead)
+    if kind == "mpi.win.flush_all":
+        # MPICH-style FLUSH_ALL walks every rank in the window's group —
+        # the paper's Fig. 4 O(P) scaling cliff.
+        return np.full(nb.shape, spec.mpi_flush_all_idle
+                       + nranks * spec.mpi_flush_all_per_target)
+    if kind.startswith("mpi.win."):
+        return np.full(nb.shape, spec.mpi_flush_overhead)
+    if kind in ("caf.finish", "caf.cofence", "caf.serve", "caf.spawn"):
+        return np.full(nb.shape, spec.mpi_coll_overhead)
+    return wire if wire.shape else np.full((), float(wire))

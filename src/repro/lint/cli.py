@@ -3,14 +3,18 @@
 Exits 1 when any unsuppressed finding remains, 0 on a clean tree — so CI
 can gate on it. ``--no-ignore`` also counts suppressed findings (used to
 assert that ``examples/deadlock_demo.py`` carries exactly the one
-intentional Fig. 2 finding).
+intentional Fig. 2 finding). ``--format sarif`` emits a SARIF 2.1.0 log
+for code-scanning upload; ``--no-stream`` skips the symbolic op-stream
+tier; ``--predict`` prints each entry point's pre-run communication
+prediction as JSON instead of linting.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 
-from repro.lint.engine import lint_paths
+from repro.lint.engine import iter_python_files, lint_paths
 from repro.lint.rules import RULES
 
 
@@ -40,6 +44,29 @@ def main(argv: list[str] | None = None) -> int:
         help="count findings suppressed by # repro: lint-ignore as violations",
     )
     parser.add_argument("--list-rules", action="store_true", help="print the rule registry")
+    parser.add_argument(
+        "--format",
+        choices=("text", "sarif"),
+        default="text",
+        help="output format (sarif: SARIF 2.1.0 for code-scanning upload)",
+    )
+    parser.add_argument(
+        "--no-stream",
+        action="store_true",
+        help="skip the symbolic op-stream tier (CAF011+); syntactic passes only",
+    )
+    parser.add_argument(
+        "--predict",
+        action="store_true",
+        help="print each entry point's static communication prediction as "
+        "JSON (per-kind calls/bytes, P x P comm matrix) instead of linting",
+    )
+    parser.add_argument(
+        "--nranks",
+        type=int,
+        default=4,
+        help="image count for --predict (default 4)",
+    )
     args = parser.parse_args(argv)
 
     if args.list_rules:
@@ -55,7 +82,29 @@ def main(argv: list[str] | None = None) -> int:
         if unknown:
             parser.error(f"unknown rule id(s): {', '.join(unknown)}")
 
-    report = lint_paths(args.paths, select=select)
-    print(report.to_text(show_suppressed=args.no_ignore))
+    if args.predict:
+        return _predict(args)
+
+    report = lint_paths(args.paths, select=select, stream=not args.no_stream)
+    if args.format == "sarif":
+        from repro.lint.sarif import to_sarif_text
+
+        print(to_sarif_text(report, show_suppressed=args.no_ignore))
+    else:
+        print(report.to_text(show_suppressed=args.no_ignore))
     bad = report.findings if args.no_ignore else report.active
     return 1 if bad else 0
+
+
+def _predict(args: argparse.Namespace) -> int:
+    from repro.lint.stream import predict_file
+
+    out = []
+    for path in iter_python_files(args.paths):
+        try:
+            for pred in predict_file(path, nranks=args.nranks):
+                out.append(pred.to_dict())
+        except SyntaxError:
+            continue
+    print(json.dumps(out, indent=2))
+    return 0

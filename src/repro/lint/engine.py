@@ -8,6 +8,8 @@
 from __future__ import annotations
 
 import ast
+import dataclasses
+import hashlib
 import os
 from collections.abc import Iterable, Sequence
 
@@ -38,9 +40,42 @@ _MODULE_PASSES = (
     check_finish_usage,
 )
 
+#: Stream-tier memo.  Compiling op streams dominates lint time, and CI
+#: lints the same tree repeatedly — memoize per module.  Keyed by the
+#: *content* hash (plus path, which findings embed), never by path
+#: alone: an edited file must recompile, a moved file must not leak the
+#: old path into findings.  Values are pre-suppression findings; hits
+#: return fresh copies so callers can set ``suppressed`` freely.
+_STREAM_MEMO: dict[tuple[str, str], list[Finding]] = {}
+_STREAM_MEMO_MAX = 512
 
-def lint_source(source: str, path: str = "<string>") -> list[Finding]:
-    """Lint one module's source text. Parse failures yield CAF000."""
+
+def _stream_findings(
+    source: str, path: str, model, syntactic: list[Finding]
+) -> list[Finding]:
+    key = (hashlib.sha256(source.encode()).hexdigest(), path)
+    cached = _STREAM_MEMO.get(key)
+    if cached is None:
+        from repro.lint.stream import check_stream
+
+        try:
+            cached = check_stream(model, syntactic)
+        except RecursionError:  # pathological nesting: syntactic tier stands
+            cached = []
+        if len(_STREAM_MEMO) >= _STREAM_MEMO_MAX:
+            _STREAM_MEMO.clear()
+        _STREAM_MEMO[key] = cached
+    return [dataclasses.replace(f) for f in cached]
+
+
+def lint_source(
+    source: str, path: str = "<string>", *, stream: bool = True
+) -> list[Finding]:
+    """Lint one module's source text. Parse failures yield CAF000.
+
+    ``stream=False`` runs only the per-function/per-module syntactic
+    passes, skipping the symbolic op-stream tier (CAF011+).
+    """
     try:
         tree = ast.parse(source, filename=path)
     except SyntaxError as exc:
@@ -62,6 +97,8 @@ def lint_source(source: str, path: str = "<string>") -> list[Finding]:
             findings.extend(fn_pass(fn, model))
     for mod_pass in _MODULE_PASSES:
         findings.extend(mod_pass(model))
+    if stream:
+        findings.extend(_stream_findings(source, path, model, findings))
 
     table = suppressions(source)
     for finding in findings:
@@ -70,9 +107,9 @@ def lint_source(source: str, path: str = "<string>") -> list[Finding]:
     return findings
 
 
-def lint_file(path: str) -> list[Finding]:
+def lint_file(path: str, *, stream: bool = True) -> list[Finding]:
     with open(path, encoding="utf-8") as fh:
-        return lint_source(fh.read(), path)
+        return lint_source(fh.read(), path, stream=stream)
 
 
 def iter_python_files(paths: Sequence[str]) -> Iterable[str]:
@@ -94,6 +131,7 @@ def lint_paths(
     paths: Sequence[str],
     *,
     select: Iterable[str] | None = None,
+    stream: bool = True,
 ) -> LintReport:
     """Lint every .py file under ``paths``; optionally restrict to rules
     in ``select`` (IDs like ``CAF006``)."""
@@ -101,7 +139,7 @@ def lint_paths(
     report = LintReport()
     for path in iter_python_files(paths):
         report.nfiles += 1
-        for finding in lint_file(path):
+        for finding in lint_file(path, stream=stream):
             if wanted is not None and finding.rule not in wanted:
                 continue
             report.add(finding)

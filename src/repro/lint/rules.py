@@ -114,6 +114,49 @@ _ALL = [
         "close the epoch with unlock/unlock_all before returning",
         "§3.1 MPI-3 RMA epochs",
     ),
+    Rule(
+        "CAF011",
+        "flush-all-in-hot-loop",
+        "WIN_FLUSH_ALL inside a loop: under MPICH-style RMA every call "
+        "walks all P ranks in the window group, so the loop body pays "
+        "O(P) per iteration and the loop total scales as O(trip x P)",
+        "flush only the targets the iteration touched (flush(rank)), or "
+        "hoist one flush_all past the loop",
+        "Fig. 4 FLUSH_ALL scaling cliff",
+    ),
+    Rule(
+        "CAF012",
+        "symbolic-stream-deadlock",
+        "cross-rank matching over the compiled per-rank op streams found "
+        "a hang: a pending CAF put held across a blocking call into a "
+        "foreign runtime (interprocedural/loop-carried Fig. 2), an event "
+        "wait that consumes more notifies than any rank ever delivers, "
+        "or a blocking recv with no matching send",
+        "synchronize CAF traffic before blocking in MPI, and balance "
+        "notify/wait (send/recv) counts across ranks and loop iterations",
+        "Fig. 2 dual-runtime deadlock",
+    ),
+    Rule(
+        "CAF013",
+        "per-op-window-sync",
+        "WIN_SYNC inside a loop on a window allocated with the separate "
+        "memory model: each call pays a full public/private copy "
+        "reconciliation per iteration",
+        "batch accesses per epoch and sync once after the loop, or "
+        "allocate the window with the unified memory model",
+        "§3.1 separate memory model",
+    ),
+    Rule(
+        "CAF014",
+        "eager-loop-injection",
+        "tiny eager-size message posted once per iteration of a loop "
+        "whose trip count grows with the image count P: the rank injects "
+        "O(P) latency-bound messages where one batched transfer or a "
+        "single collective would do",
+        "aggregate the per-peer payloads and send one message per peer, "
+        "or use a collective (alltoall/allgather)",
+        "§4.2 eager protocol / message rate",
+    ),
 ]
 
 RULES: dict[str, Rule] = {r.id: r for r in _ALL}

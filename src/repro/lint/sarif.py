@@ -1,0 +1,109 @@
+"""SARIF 2.1.0 serialization of a lint report.
+
+One ``run`` with the full rule registry in ``tool.driver.rules`` and one
+``result`` per finding, so ``python -m repro.lint --format sarif`` can
+feed GitHub code scanning (or any SARIF viewer) directly.  Suppressed
+findings are emitted with a SARIF ``suppressions`` entry rather than
+dropped — the viewer decides whether to show them.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Any
+
+from repro.lint.findings import Finding, LintReport
+from repro.lint.rules import RULES, Rule
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+#: The deadlock rules are ``error``; the performance pack is ``warning``.
+_WARNING_RULES = {"CAF011", "CAF013", "CAF014"}
+
+
+def _rule_descriptor(rule: Rule) -> dict[str, Any]:
+    desc: dict[str, Any] = {
+        "id": rule.id,
+        "name": rule.name,
+        "shortDescription": {"text": rule.summary},
+        "help": {"text": f"fix: {rule.fix}"},
+        "defaultConfiguration": {
+            "level": "warning" if rule.id in _WARNING_RULES else "error"
+        },
+    }
+    if rule.paper:
+        desc["properties"] = {"paper": rule.paper}
+    return desc
+
+
+def _location(path: str, line: int, col: int, text: str = "") -> dict[str, Any]:
+    physical: dict[str, Any] = {
+        "artifactLocation": {"uri": pathlib.PurePath(path).as_posix()},
+        "region": {"startLine": max(line, 1), "startColumn": max(col, 0) + 1},
+    }
+    loc: dict[str, Any] = {"physicalLocation": physical}
+    if text:
+        loc["message"] = {"text": text}
+    return loc
+
+
+def _result(finding: Finding) -> dict[str, Any]:
+    rule = RULES[finding.rule]
+    result: dict[str, Any] = {
+        "ruleId": finding.rule,
+        "level": "warning" if finding.rule in _WARNING_RULES else "error",
+        "message": {"text": finding.message},
+        "locations": [_location(finding.path, finding.line, finding.col)],
+    }
+    if finding.related:
+        result["relatedLocations"] = [
+            _location(finding.path, line, 0, f"{label}: {text}" if text else label)
+            for label, line, text in finding.related
+        ]
+    if finding.func:
+        result["properties"] = {"function": finding.func, "paper": rule.paper}
+    if finding.suppressed:
+        result["suppressions"] = [
+            {
+                "kind": "inSource",
+                "justification": "# repro: lint-ignore",
+            }
+        ]
+    return result
+
+
+def to_sarif(report: LintReport, *, show_suppressed: bool = True) -> dict[str, Any]:
+    """Build the SARIF log object for ``report``."""
+    shown = report.findings if show_suppressed else report.active
+    shown = sorted(shown, key=lambda f: (f.path, f.line, f.rule))
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro.lint",
+                        "informationUri": (
+                            "https://doi.org/10.1145/2555243.2555270"
+                        ),
+                        "rules": [
+                            _rule_descriptor(r) for r in RULES.values()
+                        ],
+                    }
+                },
+                "results": [_result(f) for f in shown],
+            }
+        ],
+    }
+
+
+def to_sarif_text(report: LintReport, *, show_suppressed: bool = True) -> str:
+    return json.dumps(
+        to_sarif(report, show_suppressed=show_suppressed), indent=2
+    )

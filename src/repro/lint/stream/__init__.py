@@ -1,0 +1,49 @@
+"""repro.lint.stream — the symbolic op-stream compiler (static tier 2).
+
+Compiles app entry points into per-rank symbolic op streams in the
+``repro.ir`` vocabulary (:mod:`.interp`), then runs cross-rank deadlock
+matching (:mod:`.match`), the CAF011+ performance rule pack
+(:mod:`.rules_stream`), and pre-run communication-volume estimation
+(:mod:`.estimate`) on top of them.
+"""
+
+from .estimate import (
+    StaticPrediction,
+    TraceComparison,
+    compare_to_trace,
+    predict_entry,
+    predict_file,
+)
+from .interp import (
+    EntryStreams,
+    ModuleStreams,
+    RankStream,
+    StreamCompiler,
+    StreamOp,
+    entry_functions,
+)
+from .match import MatchProblem, analyze_entry
+from .rules_stream import check_stream, compile_streams
+from .sym import Sym, from_ast, order_text, trip_from_range
+
+__all__ = [
+    "EntryStreams",
+    "MatchProblem",
+    "ModuleStreams",
+    "RankStream",
+    "StaticPrediction",
+    "StreamCompiler",
+    "StreamOp",
+    "Sym",
+    "TraceComparison",
+    "analyze_entry",
+    "check_stream",
+    "compare_to_trace",
+    "compile_streams",
+    "entry_functions",
+    "from_ast",
+    "order_text",
+    "predict_entry",
+    "predict_file",
+    "trip_from_range",
+]

@@ -1,0 +1,26 @@
+"""CAF011 true positive: the paper's Fig. 4 FLUSH_ALL scaling cliff.
+
+``flush_all`` walks every rank in the window group, so calling it once
+per update-loop iteration pays O(P) per iteration — the exact hot-loop
+shape whose measured cliff is the paper's Figure 4.
+"""
+
+import numpy as np
+
+
+def update_loop(img):
+    win = img.mpi().win_allocate(1 << 10)
+    win.lock_all()
+    for _ in range(256):
+        win.put(np.ones(8), (img.rank + 1) % img.nranks)
+        win.flush_all()  # expected: CAF011
+    win.unlock_all()
+
+
+def param_trip(img, iters):
+    win = img.mpi().win_allocate(1 << 10)
+    win.lock_all()
+    for _ in range(iters):
+        win.put(np.ones(8), (img.rank + 1) % img.nranks)
+        win.flush_local_all()  # expected: CAF011
+    win.unlock_all()

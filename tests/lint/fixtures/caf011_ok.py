@@ -1,0 +1,26 @@
+"""CAF011 near-misses: per-target flush in the loop, flush_all outside.
+
+This is the paper's own remedy for Fig. 4: flush only the target the
+iteration touched, and settle the whole window once after the loop.
+"""
+
+import numpy as np
+
+
+def flush_per_target(img):
+    win = img.mpi().win_allocate(1 << 10)
+    win.lock_all()
+    for _ in range(256):
+        target = (img.rank + 1) % img.nranks
+        win.put(np.ones(8), target)
+        win.flush(target)  # O(1): only the touched rank
+    win.unlock_all()
+
+
+def flush_all_hoisted(img):
+    win = img.mpi().win_allocate(1 << 10)
+    win.lock_all()
+    for _ in range(256):
+        win.put(np.ones(8), (img.rank + 1) % img.nranks)
+    win.flush_all()  # once, after the loop
+    win.unlock_all()

@@ -1,0 +1,52 @@
+"""CAF012 true positives: Fig. 2 variants only the stream tier can see.
+
+The syntactic CAF006 scan is per-function, so a put issued inside a
+helper, or left pending by an earlier loop iteration, is invisible to
+it.  The symbolic compiler inlines calls and unrolls loops, so the
+cross-rank matcher recovers exactly these hangs — plus the counting
+hangs (event and recv starvation) that need all P streams side by side.
+"""
+
+import numpy as np
+
+
+def _halo_push(img, co):
+    # The put lives here; the blocking MPI call lives in the caller.
+    co.write((img.rank + 1) % img.nranks, np.ones(8))
+
+
+def interprocedural_fig2(img):
+    co = img.allocate_coarray(8)
+    comm = img.mpi().COMM_WORLD
+    img.sync_all()
+    _halo_push(img, co)
+    comm.barrier()  # expected: CAF012
+
+
+def loop_carried_fig2(img):
+    co = img.allocate_coarray(8)
+    comm = img.mpi().COMM_WORLD
+    for step in range(4):
+        if step > 0:
+            comm.allreduce(np.zeros(1))  # expected: CAF012
+        co.write((img.rank + 1) % img.nranks, np.ones(8))
+    img.sync_all()
+
+
+def event_overconsumed(img):
+    # Every rank notifies its right neighbor once, then waits for two
+    # notifies: delivery 1 < consumption 2 on every rank, a sure hang.
+    ev = img.allocate_events(1)
+    ev.notify((img.rank + 1) % img.nranks, slot=0)
+    ev.wait(slot=0, count=2)  # expected: CAF012
+
+
+def recv_starved(img):
+    # Rank 0 sends one message to rank 1 only; every other rank still
+    # posts a blocking recv from 0 that nothing will ever match.
+    comm = img.mpi().COMM_WORLD
+    buf = np.zeros(4)
+    if img.rank == 0:
+        comm.send(np.ones(4), 1)
+    else:
+        comm.recv(buf, 0)  # expected: CAF012

@@ -1,0 +1,45 @@
+"""CAF012 near-misses: the same interprocedural/loop-carried shapes,
+correctly synchronized, must stay clean."""
+
+import numpy as np
+
+
+def _halo_push(img, co):
+    co.write((img.rank + 1) % img.nranks, np.ones(8))
+
+
+def interprocedural_synced(img):
+    co = img.allocate_coarray(8)
+    comm = img.mpi().COMM_WORLD
+    img.sync_all()
+    _halo_push(img, co)
+    img.sync_all()  # completes the helper's put before MPI
+    comm.barrier()
+
+
+def loop_carried_synced(img):
+    co = img.allocate_coarray(8)
+    comm = img.mpi().COMM_WORLD
+    for _ in range(4):
+        co.write((img.rank + 1) % img.nranks, np.ones(8))
+        img.sync_all()  # nothing pending when the collective runs
+        comm.allreduce(np.zeros(1))
+
+
+def events_balanced(img):
+    # One notify delivered to each rank, one consumed by each rank.
+    ev = img.allocate_events(1)
+    ev.notify((img.rank + 1) % img.nranks, slot=0)
+    ev.wait(slot=0)
+
+
+def sends_match_recvs(img):
+    # A clean shift: every rank sends right and receives from the left.
+    comm = img.mpi().COMM_WORLD
+    buf = np.zeros(4)
+    if img.rank == 0:
+        comm.send(np.ones(4), (img.rank + 1) % img.nranks)
+        comm.recv(buf, (img.rank - 1) % img.nranks)
+    else:
+        comm.recv(buf, (img.rank - 1) % img.nranks)
+        comm.send(np.ones(4), (img.rank + 1) % img.nranks)

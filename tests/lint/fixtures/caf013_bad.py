@@ -1,0 +1,13 @@
+"""CAF013 true positive: per-iteration WIN_SYNC on a separate-model
+window — each call pays a full public/private copy reconciliation."""
+
+import numpy as np
+
+
+def sync_per_iteration(img):
+    win = img.mpi().win_allocate(1 << 10, memory_model="separate")
+    win.lock_all()
+    for _ in range(128):
+        win.put(np.ones(8), (img.rank + 1) % img.nranks)
+        win.sync()  # expected: CAF013
+    win.unlock_all()

@@ -1,0 +1,22 @@
+"""CAF013 near-misses: unified windows never need the reconciliation,
+and a separate-model window synced once after the loop is the remedy."""
+
+import numpy as np
+
+
+def unified_sync_in_loop(img):
+    win = img.mpi().win_allocate(1 << 10)  # unified: sync is a no-op fence
+    win.lock_all()
+    for _ in range(128):
+        win.put(np.ones(8), (img.rank + 1) % img.nranks)
+        win.sync()
+    win.unlock_all()
+
+
+def separate_sync_after_loop(img):
+    win = img.mpi().win_allocate(1 << 10, memory_model="separate")
+    win.lock_all()
+    for _ in range(128):
+        win.put(np.ones(8), (img.rank + 1) % img.nranks)
+    win.sync()  # one reconciliation for the whole batch
+    win.unlock_all()

@@ -1,0 +1,22 @@
+"""CAF014 near-misses: the batched remedy, and tiny-in-a-loop shapes
+whose trip count does not grow with P (a latency microbenchmark's
+``range(iterations)`` loop is the classic case)."""
+
+import numpy as np
+
+
+def batched_scatter(img):
+    co = img.allocate_coarray(img.nranks)
+    payload = np.ones(img.nranks)
+    for peer in range(img.nranks):
+        pass  # compute per-peer values locally ...
+    co.write((img.rank + 1) % img.nranks, payload)  # ... one big transfer
+    img.sync_all()
+
+
+def latency_microbench(img, iterations=1000):
+    # Tiny messages on purpose, but the trip is constant in P.
+    co = img.allocate_coarray(1)
+    for _ in range(iterations):
+        co.write((img.rank + 1) % img.nranks, np.ones(1))
+    img.sync_all()

@@ -1,0 +1,80 @@
+"""Regression tests for the stream-tier memo.
+
+The memo exists because compiling op streams dominates lint time, but it
+must be keyed on *content*, never on path alone: an edited file has to
+recompile (the stale-reuse bug these tests pin down), and a memo hit
+must hand back fresh Finding copies so one caller's suppression marking
+cannot leak into another's results.
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.lint.engine import _STREAM_MEMO, lint_file
+
+BUGGY = textwrap.dedent(
+    """
+    import numpy as np
+
+    def _push(img, co):
+        co.write((img.rank + 1) % img.nranks, np.ones(8))
+
+    def main(img):
+        co = img.allocate_coarray(8)
+        comm = img.mpi().COMM_WORLD
+        _push(img, co)
+        comm.barrier()
+    """
+)
+
+FIXED = BUGGY.replace("_push(img, co)\n", "_push(img, co)\n    img.sync_all()\n")
+
+
+def test_editing_a_file_between_runs_recompiles(tmp_path):
+    path = tmp_path / "app.py"
+    path.write_text(BUGGY)
+    first = lint_file(str(path))
+    assert [f.rule for f in first] == ["CAF012"]
+
+    # Same path, new content: a path-keyed memo would replay the stale
+    # CAF012 here.
+    path.write_text(FIXED)
+    second = lint_file(str(path))
+    assert second == [], [f.format() for f in second]
+
+    # And back again — both variants stay independently cached.
+    path.write_text(BUGGY)
+    third = lint_file(str(path))
+    assert [f.rule for f in third] == ["CAF012"]
+
+
+def test_memo_hit_returns_fresh_copies(tmp_path):
+    path = tmp_path / "app.py"
+    path.write_text(BUGGY)
+    first = lint_file(str(path))
+    first[0].suppressed = True  # caller-side mutation
+    second = lint_file(str(path))
+    assert second[0] is not first[0]
+    assert not second[0].suppressed
+
+
+def test_same_content_at_two_paths_keeps_paths_straight(tmp_path):
+    a = tmp_path / "a.py"
+    b = tmp_path / "b.py"
+    a.write_text(BUGGY)
+    b.write_text(BUGGY)
+    fa = lint_file(str(a))
+    fb = lint_file(str(b))
+    assert fa[0].path == str(a)
+    assert fb[0].path == str(b)
+
+
+def test_memo_is_bounded(tmp_path):
+    before = len(_STREAM_MEMO)
+    for i in range(3):
+        p = tmp_path / f"m{i}.py"
+        p.write_text(BUGGY + f"\n# variant {i}\n")
+        lint_file(str(p))
+    assert len(_STREAM_MEMO) >= min(3, before + 3) - 3  # grew, still bounded
+    assert len(_STREAM_MEMO) <= 512
