@@ -1,0 +1,245 @@
+"""Shard-scale harness: paper-scale rank counts under the sharded dispatcher.
+
+Writes ``BENCH_shard_scale.json`` at the repo root:
+
+* ``ra_scale`` — RandomAccess at 512/1024/2048/4096 ranks, sequential vs
+  sharded dispatch. Per row: wall time, events/s, the wall-vs-budget
+  margin, the conservative-protocol statistics (epochs, null messages,
+  cross-shard traffic, events per epoch — the schedule's exposed
+  concurrency), and the dispatch-overhead ratio (sharded events/s over
+  sequential events/s; the windowed dispatcher's bookkeeping cost). The
+  order digest, makespan and GUPS are asserted bit-identical between the
+  sequential and every sharded run at every tested rank count.
+* ``fft_scale`` — the paper's largest FFT configuration (4096 ranks,
+  m = 2^24) on the MPI backend, sequential vs 2 shards, same identity
+  assertions. Only feasible because MPI's alltoall switches to Bruck's
+  log-round algorithm at this scale; CAF-GASNet keeps its naive O(P^2)
+  exchange (the paper's Figure 8 collapse) and is not run at 4096.
+* ``process_scaling`` — run-level OS-process parallelism: the same config
+  batch through :func:`repro.sim.shard.run_configs_parallel` with 1 vs 2
+  workers. Within one run the shards share an address space, so this is
+  where a multi-core host genuinely buys wall time; on a single-core CI
+  runner the efficiency honestly reports ~1 against one usable core.
+
+Every measurement runs in a fresh spawn worker (``run_app_config``), with
+the wall clock read inside the child around the run itself. Back-to-back
+runs in one interpreter are not independent at this scale — a 4096-rank
+run leaves thousands of fiber stacks and a fragmented heap behind, and a
+follow-up run in the same process measures ~40% slower than the identical
+run in a fresh one — so per-measurement isolation is what makes the
+budget-margin and overhead-ratio columns meaningful.
+
+The full sweep takes ~30 min on the reference container; CI's perf-smoke
+job restricts it with ``REPRO_BENCH_SCALE_RANKS=512`` (see
+``.github/workflows/ci.yml``). Run explicitly (not part of tier-1)::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_bench_shard_scale.py -q
+"""
+
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.sim.shard import run_configs_parallel
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+RESULT_PATH = REPO_ROOT / "BENCH_shard_scale.json"
+
+RA_KW = dict(table_bits_per_image=6, updates_per_image=64, batches=2)
+
+#: Wall-clock ceiling per run — the acceptance budget for paper-scale runs.
+SCALE_BUDGET_S = 600.0
+
+_DEFAULT_RANKS = (512, 1024, 2048, 4096)
+#: Shard counts per rank count. The large configurations keep to {1, 2}
+#: so the full sweep stays within ~30 min of single-core wall time.
+_SHARD_COUNTS = {512: (1, 2, 4), 1024: (1, 2, 4), 2048: (1, 2), 4096: (1, 2)}
+
+
+def _ranks() -> tuple[int, ...]:
+    """Rank counts to sweep; ``REPRO_BENCH_SCALE_RANKS=512,1024`` restricts
+    (the CI smoke subset)."""
+    raw = os.environ.get("REPRO_BENCH_SCALE_RANKS", "").strip()
+    if not raw:
+        return _DEFAULT_RANKS
+    ranks = tuple(int(tok) for tok in raw.split(","))
+    bad = [r for r in ranks if r not in _SHARD_COUNTS]
+    if bad:
+        raise ValueError(f"unsupported REPRO_BENCH_SCALE_RANKS entries: {bad}")
+    return ranks
+
+
+def _merge(section: str, payload) -> None:
+    data = {}
+    if RESULT_PATH.exists():
+        try:
+            data = json.loads(RESULT_PATH.read_text())
+        except json.JSONDecodeError:
+            data = {}
+    data.setdefault("meta", {}).update(
+        python=sys.version.split()[0],
+        platform=sys.platform,
+        cpus=os.cpu_count(),
+        cpus_available=(
+            len(os.sched_getaffinity(0))
+            if hasattr(os, "sched_getaffinity")
+            else os.cpu_count()
+        ),
+        budget_s=SCALE_BUDGET_S,
+    )
+    data[section] = payload
+    RESULT_PATH.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+
+
+def _timed(app, nranks, shards, **kw) -> dict:
+    """One measurement in a fresh spawn worker; returns its summary."""
+    [out] = run_configs_parallel(
+        [
+            {
+                "app": app,
+                "nranks": nranks,
+                "backend": "mpi",
+                "shards": shards,
+                "kwargs": kw,
+                "env": {"REPRO_SIM_DIGEST": "1"},
+            }
+        ],
+        processes=1,
+    )
+    return out
+
+
+def _row(nranks, shards, out) -> dict:
+    wall = out["wall_s"]
+    row = {
+        "nranks": nranks,
+        "shards": shards,
+        "wall_s": round(wall, 2),
+        "budget_s": SCALE_BUDGET_S,
+        "budget_margin_s": round(SCALE_BUDGET_S - wall, 2),
+        "events": out["events"],
+        "events_per_s": round(out["events"] / wall),
+        "virtual_elapsed_s": out["makespan"],
+        "order_digest": out["digest"],
+    }
+    st = out["shard_stats"]
+    if st is not None:
+        row.update(
+            lookahead_s=st["lookahead"],
+            epochs=st["epochs"],
+            events_per_epoch=round(out["events"] / st["epochs"], 1),
+            null_messages=st["null_messages"],
+            cross_messages=st["cross_messages"],
+            coordinator_signals=st["coordinator_signals"],
+            lookahead_violations=st["lookahead_violations"],
+        )
+    return row
+
+
+def test_ra_shard_scale():
+    rows = []
+    for nranks in _ranks():
+        base = None
+        for shards in _SHARD_COUNTS[nranks]:
+            out = _timed("randomaccess", nranks, shards, **RA_KW)
+            row = _row(nranks, shards, out)
+            row["gups"] = out["figures"]["gups"]
+            if shards == 1:
+                base = row
+            else:
+                # The acceptance identity: sharding never changes the
+                # schedule, at any tested scale or shard count.
+                assert row["order_digest"] == base["order_digest"], row
+                assert row["virtual_elapsed_s"] == base["virtual_elapsed_s"]
+                assert row["events"] == base["events"]
+                assert row["gups"] == base["gups"]
+                assert row["lookahead_violations"] == 0
+                row["dispatch_overhead_ratio"] = round(
+                    base["events_per_s"] / row["events_per_s"], 3
+                )
+            assert out["wall_s"] < SCALE_BUDGET_S, (
+                f"RA x{nranks} shards={shards} took {out['wall_s']:.0f}s "
+                f"(budget {SCALE_BUDGET_S:.0f}s)"
+            )
+            rows.append(row)
+    _merge("ra_scale", rows)
+
+
+@pytest.mark.skipif(
+    4096 not in _ranks(), reason="4096 not in REPRO_BENCH_SCALE_RANKS"
+)
+def test_fft_paper_scale_4096():
+    m = 1 << 24  # smallest power-of-two size with 4096 | n1 and 4096 | n2
+    rows = []
+    seq = _timed("fft", 4096, 1, m=m)
+    row = _row(4096, 1, seq)
+    row["gflops"] = seq["figures"]["gflops"]
+    rows.append(row)
+    shd = _timed("fft", 4096, 2, m=m)
+    row = _row(4096, 2, shd)
+    row["gflops"] = shd["figures"]["gflops"]
+    row["dispatch_overhead_ratio"] = round(shd["wall_s"] / seq["wall_s"], 3)
+    rows.append(row)
+    assert rows[1]["order_digest"] == rows[0]["order_digest"]
+    assert rows[1]["virtual_elapsed_s"] == rows[0]["virtual_elapsed_s"]
+    assert rows[1]["gflops"] == rows[0]["gflops"]
+    assert rows[1]["lookahead_violations"] == 0
+    for row in rows:
+        assert row["wall_s"] < SCALE_BUDGET_S, row
+    _merge("fft_scale", rows)
+
+
+def test_process_scaling_run_level():
+    nranks = min(_ranks())
+    kw = dict(table_bits_per_image=6, updates_per_image=32, batches=1)
+    configs = [
+        {
+            "app": "randomaccess",
+            "nranks": nranks,
+            "backend": "mpi",
+            "shards": shards,
+            "digest_partition": 2 if shards == 1 else None,
+            "kwargs": kw,
+            "env": {"REPRO_SIM_DIGEST": "1"},
+        }
+        for shards in (1, 2)
+    ]
+    t0 = time.perf_counter()
+    serial = run_configs_parallel(configs, processes=1)
+    wall_serial = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    parallel = run_configs_parallel(configs, processes=2)
+    wall_parallel = time.perf_counter() - t0
+    # Same fingerprints regardless of pool shape — and the sharded config
+    # matches the sequential baseline bit-for-bit, across process
+    # boundaries (floats and digests survive pickling exactly).
+    for results in (serial, parallel):
+        assert results[0]["digest"] == results[1]["digest"]
+        assert results[0]["shard_digests"] == results[1]["shard_digests"]
+        assert results[0]["makespan"] == results[1]["makespan"]
+    assert serial[0]["digest"] == parallel[0]["digest"]
+    cpus = (
+        len(os.sched_getaffinity(0))
+        if hasattr(os, "sched_getaffinity")
+        else os.cpu_count() or 1
+    )
+    speedup = wall_serial / wall_parallel
+    _merge(
+        "process_scaling",
+        {
+            "nranks": nranks,
+            "configs": len(configs),
+            "serial_wall_s": round(wall_serial, 2),
+            "parallel_wall_s": round(wall_parallel, 2),
+            "workers": 2,
+            "speedup": round(speedup, 2),
+            # Against the cores this process may actually use: ~1.0 on a
+            # multi-core host and honestly ~1.0 on a 1-core runner too
+            # (where serial and parallel pools cost the same).
+            "parallel_efficiency": round(speedup / min(2, cpus), 2),
+        },
+    )

@@ -81,10 +81,24 @@ def _merge(section: str, payload) -> None:
     data.setdefault("meta", {}).update(
         python=sys.version.split()[0],
         platform=sys.platform,
+        # The host's real core count AND the subset this process may use:
+        # on cgroup-limited CI runners the two differ, and the available
+        # count is what bounds run-level shard parallelism.
         cpus=os.cpu_count(),
+        cpus_available=(
+            len(os.sched_getaffinity(0))
+            if hasattr(os, "sched_getaffinity")
+            else os.cpu_count()
+        ),
     )
     data[section] = payload
     RESULT_PATH.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+
+
+def _shards_of(run) -> int:
+    """Shard count a run actually executed with (1 = sequential)."""
+    plan = run.cluster.shard_plan
+    return plan.nshards if plan is not None else 1
 
 
 def _best_of(fn, repeats=3):
@@ -258,6 +272,7 @@ def test_ra_app_wallclock_and_virtual_time_identity():
             row = {
                 "backend": backend,
                 "nranks": nranks,
+                "shards": _shards_of(fast),
                 "events": events,
                 "fast_wall_s": round(fast_s, 4),
                 "legacy_wall_s": round(legacy_s, 4),
@@ -307,6 +322,7 @@ def test_app_suite_wallclock():
         eng = run.cluster.engine
         section[name] = {
             "nranks": 16,
+            "shards": _shards_of(run),
             "wall_s": round(wall_s, 4),
             "events": eng.events_executed,
             "events_per_s": round(eng.events_executed / wall_s),
@@ -331,6 +347,7 @@ def test_ra_scale_512_ranks(backend):
         data = json.loads(RESULT_PATH.read_text()).get("ra_scale", {})
     data[backend] = {
         "nranks": 512,
+        "shards": _shards_of(run),
         "wall_s": round(wall_s, 2),
         "budget_s": SCALE_BUDGET_S,
         "events": eng.events_executed,

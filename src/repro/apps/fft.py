@@ -58,10 +58,12 @@ def _distributed_transpose(img: Image, local: np.ndarray) -> np.ndarray:
     )
     recv = np.empty_like(send)  # recv[i] = rows (i's row-block) x my cols
     img.team_alltoall(send, recv)
-    # Assemble: transpose each received block and lay side by side.
-    out = np.empty((cols_per, rows_per * p), np.complex128)
-    for src in range(p):
-        out[:, src * rows_per : (src + 1) * rows_per] = recv[src].T
+    # Assemble: transpose each received block and lay side by side —
+    # out[:, src*rows_per + r] = recv[src, r, :], vectorized (a per-source
+    # loop is O(P) host work per rank, quadratic across the job).
+    out = np.ascontiguousarray(
+        recv.transpose(2, 0, 1).reshape(cols_per, rows_per * p)
+    )
     img.compute(flops=2 * out.size)  # pack/unpack cost
     return out
 
@@ -85,8 +87,11 @@ def run_fft(img: Image, *, m: int = 1 << 12, seed: int = 7) -> FftResult:
     if n1 % p or n2 % p:
         raise CafError(f"FFT factors ({n1} x {n2}) must be divisible by P={p}")
 
-    # Block-row distribution of the n1 x n2 input matrix.
-    x = make_input(seed, m)
+    # Block-row distribution of the n1 x n2 input matrix. The generator
+    # output is shared across images (each keeps only its row block) —
+    # per-rank generation would cost O(m) memory per image, which at
+    # paper scale (4096 ranks, m = 2^24) is hundreds of GB.
+    x = img.cluster.shared(("fft-input", seed, m), lambda: make_input(seed, m))
     a = x.reshape(n1, n2)
     rows_per = n1 // p
     local = a[img.rank * rows_per : (img.rank + 1) * rows_per].copy()

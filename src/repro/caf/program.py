@@ -108,6 +108,8 @@ def run_caf(
     deadline: float | None = None,
     sanitize: bool = False,
     metrics: bool = False,
+    shards: int | None = None,
+    digest_partition: int | None = None,
     checkpoint_every: int | None = None,
     checkpoint_store: Any | None = None,
     resume_from: Any | None = None,
@@ -128,6 +130,20 @@ def run_caf(
     ``sanitize=True`` runs the program under the happens-before checker
     (see :mod:`repro.sanitizer`); diagnostics land on
     ``run.sanitizer.report`` and the virtual timeline is unchanged.
+
+    ``shards`` selects the conservative sharded dispatcher
+    (:class:`~repro.sim.engine.ShardedEngine`): ``None`` reads
+    ``REPRO_SIM_SHARDS`` (unset means sequential), any value > 1
+    partitions the ranks per :func:`repro.sim.shard.plan_shards`. The
+    executed schedule — virtual times, order digest, profiler totals,
+    figure outputs — is bit-identical to the sequential dispatcher;
+    ``run.cluster.shard_plan`` and ``run.report()``'s ``shards`` section
+    expose the partition and protocol statistics. Not combinable with IR
+    recording or the sanitizer (both raise ``NotImplementedError``).
+    ``digest_partition=K`` enables the order digest plus per-shard digests
+    for a K-way partition on *any* dispatcher — it is how a sequential
+    baseline produces the partition-local fingerprints a ``shards=K``
+    run's ``engine.shard_digests()`` must match bit-for-bit.
 
     ``metrics=True`` arms the op-level observability layer (see
     :mod:`repro.obs`): call counts, bytes, and modeled latencies per op
@@ -171,7 +187,8 @@ def run_caf(
         metrics = True
     cluster = Cluster(
         nranks, spec, seed=sim_seed, faults=faults, reliable=reliable,
-        sanitize=sanitize, metrics=metrics,
+        sanitize=sanitize, metrics=metrics, shards=shards,
+        digest_partition=digest_partition,
     )
     if recording:
         _ir_record.attach(

@@ -469,6 +469,10 @@ class _RankRun:
         self._mpi: HandleVal | None = None
         self._comm: HandleVal | None = None
         self._gasnet: HandleVal | None = None
+        self._cluster: HandleVal | None = None
+        #: Modeled Cluster.shared() singletons, keyed by the (hashable)
+        #: shared key so repeated lookups alias one value.
+        self._cluster_shared: dict[Any, Any] = {}
         self.env: Env = compiler.module_env
 
     # -- entry ----------------------------------------------------------
@@ -1364,6 +1368,10 @@ class _RankRun:
                 return self.nranks
             if attr == "mpi":
                 return MethodVal(handle, "mpi")
+            if attr == "cluster":
+                if self._cluster is None:
+                    self._cluster = HandleVal("cluster", uid=next(self.uid))
+                return self._cluster
             return MethodVal(handle, attr)
         if handle.kind == "coarray":
             if attr == "local":
@@ -2326,6 +2334,23 @@ class _RankRun:
                           nbytes=0, is_mpi_block=True)
                 return None
             return handle  # get()/attach() chains return the world
+        if kind == "cluster":
+            if method == "shared":
+                # Model Cluster.shared(key, factory) as the get-or-create
+                # singleton it is: evaluate the factory once per key so
+                # the produced value (shape, itemsize) flows through —
+                # apps share e.g. their generated input arrays this way.
+                key = self._arg(args, kwargs, 0, "key")
+                factory = self._arg(args, kwargs, 1, "factory")
+                try:
+                    hit = key in self._cluster_shared
+                except TypeError:
+                    return self.call(factory, [], {}, node)
+                if not hit:
+                    self._cluster_shared[key] = self.call(factory, [], {}, node)
+                return self._cluster_shared[key]
+            self.escape_args(args, kwargs)
+            return UNKNOWN
         if kind == "finish":
             return UNKNOWN
         return UNKNOWN

@@ -133,6 +133,14 @@ class RunReport:
             f"spec={meta.get('spec', '?')}) ==",
             f"virtual makespan: {meta['makespan'] * 1e3:.3f} ms",
         ]
+        sh = self.data.get("shards")
+        if sh:
+            out.append(
+                f"sharded dispatch: {sh['nshards']} shards, "
+                f"lookahead {sh['lookahead']:.3e}s, {sh['epochs']} epochs, "
+                f"{sh['null_messages']} null msgs, "
+                f"{sh['cross_messages']} cross-shard msgs"
+            )
         fail = self.data.get("failure")
         if fail:
             out.append(
@@ -212,6 +220,19 @@ def validate_report(data: Any) -> None:
     need(isinstance(meta.get("makespan"), (int, float)), "meta.makespan")
     if "outcome" in meta:
         need(meta["outcome"] in ("ok", "failed"), "meta.outcome")
+    if "shards" in meta:
+        need(
+            isinstance(meta["shards"], int) and meta["shards"] >= 1,
+            "meta.shards",
+        )
+    sh = data.get("shards")
+    if sh is not None:
+        need(isinstance(sh, dict), "shards")
+        for fld in ("nshards", "epochs", "null_messages", "cross_messages",
+                    "lookahead_violations"):
+            need(isinstance(sh.get(fld), int), f"shards.{fld}")
+        need(isinstance(sh.get("events_per_shard"), list), "shards.events_per_shard")
+        need(isinstance(sh.get("lookahead"), (int, float)), "shards.lookahead")
     fail = data.get("failure")
     if fail is not None:
         need(isinstance(fail, dict), "failure")
@@ -313,6 +334,14 @@ def build_report(
         "comm_matrix": None,
         "critical_path": None,
     }
+    plan = getattr(cluster, "shard_plan", None)
+    data["meta"]["shards"] = plan.nshards if plan is not None else 1
+    if plan is not None:
+        # Partition + protocol statistics from the conservative sharded
+        # dispatcher (epochs, null messages, cross-shard traffic, per-shard
+        # event counts). Purely descriptive: the schedule itself is
+        # bit-identical to the sequential dispatcher's.
+        data["shards"] = cluster.engine.shard_stats()
     if failure is not None:
         data["failure"] = {
             "error": type(failure).__name__,

@@ -114,6 +114,10 @@ class Proc:
         self.engine = engine
         self.pid = pid
         self.name = name
+        #: Owning shard (always 0 under the sequential engine). Set at
+        #: creation from the engine's spawn context so the very first
+        #: resume can already be routed (see ShardedEngine.spawn).
+        self.shard = engine._spawn_shard
         #: Daemon processes (library progress agents) may outlive the
         #: program: they neither block run() completion nor count as
         #: deadlocked when everything else finishes.
@@ -498,7 +502,12 @@ class Engine:
         self.events_executed = 0
         #: Duplicate same-generation wakes dropped at the call site.
         self.stale_wakes_dropped = 0
+        #: Shard the next spawned Proc belongs to; the sequential engine
+        #: leaves it at 0, ShardedEngine.spawn sets it per process.
+        self._spawn_shard = 0
         self._digest: Any = None
+        self._shard_digests: list[Any] | None = None
+        self._shard_owner: tuple[int, ...] = ()
         if os.environ.get("REPRO_SIM_DIGEST"):
             self.enable_order_digest()
 
@@ -529,22 +538,48 @@ class Engine:
 
     # -- event-order digest ---------------------------------------------
 
-    def enable_order_digest(self) -> None:
+    def enable_order_digest(self, shard_plan: Any = None) -> None:
         """Start hashing the executed event order (must precede :meth:`run`).
 
         The digest covers ``(virtual time, pid)`` for every live resume and
         ``(virtual time, -1)`` for every callback, in execution order — the
         determinism fingerprint compared across dispatchers and substrates.
         Also enabled by setting ``REPRO_SIM_DIGEST`` in the environment.
+
+        ``shard_plan`` (a :class:`~repro.sim.shard.ShardPlan`) additionally
+        keeps one digest per shard over the resumes of that shard's rank
+        processes — the partition-local fingerprint the sharded engine and
+        its sequential baseline compare. The global digest is unaffected.
         """
         if self._digest is None:
             import hashlib
 
             self._digest = hashlib.blake2b(digest_size=16)
+        if shard_plan is not None and self._shard_digests is None:
+            import hashlib
+
+            self._shard_owner = shard_plan.owner
+            self._shard_digests = [
+                hashlib.blake2b(digest_size=16)
+                for _ in range(shard_plan.nshards)
+            ]
 
     def order_digest(self) -> str | None:
         """Hex digest of the executed event order, or ``None`` if disabled."""
         return self._digest.hexdigest() if self._digest is not None else None
+
+    def shard_digests(self) -> list[str] | None:
+        """Per-shard hex digests, or ``None`` when not tracking a plan.
+
+        Shard *k*'s digest hashes ``(virtual time, pid)`` for every
+        executed resume of a rank process owned by shard *k*, in execution
+        order. It is a pure relabeling of the global digest stream, so a
+        sequential engine handed the same plan produces bit-identical
+        values — which is exactly the equivalence the shard suite asserts.
+        """
+        if self._shard_digests is None:
+            return None
+        return [d.hexdigest() for d in self._shard_digests]
 
     # -- event queue -----------------------------------------------------
 
@@ -564,6 +599,19 @@ class Engine:
             self._due.append(entry)
         else:
             heapq.heappush(self._heap, entry)
+
+    def call_at_shard(
+        self, when: float, fn: Callable[[], None], shard: int
+    ) -> None:
+        """Schedule ``fn`` with an explicit owning shard.
+
+        The sequential engine has a single partition, so ``shard`` is
+        ignored here; ShardedEngine overrides this to route the event.
+        Callers that know the destination shard (the fabric delivering to
+        a rank, the cluster seeding a crash) use this so the one call site
+        works under both engines.
+        """
+        self.call_at(when, fn)
 
     def call_in(self, delay: float, fn: Callable[[], None]) -> None:
         rec = _irhook.RECORDER
@@ -595,6 +643,11 @@ class Engine:
             san.tick(proc.pid)
         if self._digest is not None:
             self._digest.update(_pack_order(self.now, proc.pid))
+            sd = self._shard_digests
+            if sd is not None and proc.pid < len(self._shard_owner):
+                sd[self._shard_owner[proc.pid]].update(
+                    _pack_order(self.now, proc.pid)
+                )
 
     def _advance(self) -> Proc | None:
         """Fast-path dispatch loop: run events until a process must resume.
@@ -763,3 +816,225 @@ class Engine:
 
     def unfinished(self) -> list[Proc]:
         return [p for p in self.procs if p.state != Proc.DONE]
+
+
+class ShardedEngine(Engine):
+    """Conservative windowed dispatcher over a fixed rank partition.
+
+    Gated behind ``REPRO_SIM_SHARDS=N`` (see :mod:`repro.sim.shard`), the
+    way ``REPRO_SIM_FASTPATH`` gates the fast path. Every event carries
+    its owning shard: resumes belong to their process's shard, fabric
+    deliveries to the destination rank's shard (routed through
+    :meth:`call_at_shard`), and plain callbacks to the scheduling
+    context's shard. Dispatch runs the conservative-PDES window protocol:
+    the run is a sequence of *epochs*, each covering the safe window
+    ``[T, T + lookahead)`` where ``T`` is the globally earliest pending
+    event (the LBTS bound, :mod:`repro.sim.lbts`); cross-shard messages
+    are accounted against the epoch they were sent in, and the engine
+    asserts the conservative guarantee — a cross-shard delivery never
+    lands earlier than ``send time + lookahead`` (violations are counted
+    and tested to be zero, not silently absorbed).
+
+    Events still execute in global ``(time, seq)`` order — the windows
+    partition that order, they never permute it — so virtual times, the
+    global order digest, profiler totals and figure outputs are
+    bit-identical to the sequential dispatcher by construction, and the
+    per-shard digests factor the same schedule by partition. Rank state
+    (coarrays, AM boards, delivery closures) lives in one shared object
+    graph, so one run's shards share an address space; OS-process
+    parallelism happens at the run level (see
+    :func:`repro.sim.shard.run_configs_parallel`).
+    """
+
+    def __init__(
+        self, plan, *, fastpath: bool | None = None, substrate: str | None = None
+    ) -> None:
+        super().__init__(fastpath=fastpath, substrate=substrate)
+        if not self._fastpath:
+            raise SimulationError(
+                "REPRO_SIM_SHARDS>1 requires the fast-path dispatcher "
+                "(unset REPRO_SIM_FASTPATH=0)"
+            )
+        if not plan.is_sharded:
+            raise SimulationError(
+                "ShardedEngine needs a plan with nshards > 1; "
+                "use Engine for sequential runs"
+            )
+        from repro.sim.lbts import LbtsController
+
+        self.plan = plan
+        self.nshards = plan.nshards
+        self.lbts = LbtsController(plan.nshards, plan.lookahead)
+        self._window_end = -float("inf")
+        #: Shard owning the event currently dispatching (callback context).
+        self._dispatch_shard = 0
+        self.events_per_shard = [0] * plan.nshards
+        self.cross_messages = 0
+        self.cross_bytes = 0
+        #: Same-time cross-shard wakes (completion/agreement signals): the
+        #: interactions a fully distributed implementation would carry on
+        #: a coordinator ack channel because they undercut the lookahead.
+        self.coordinator_signals = 0
+        #: Cross-shard deliveries below ``send + lookahead`` — must be 0.
+        self.lookahead_violations = 0
+        if self._digest is not None:
+            # REPRO_SIM_DIGEST was read by Engine.__init__ before the plan
+            # existed; upgrade to per-shard tracking now.
+            self.enable_order_digest(plan)
+
+    def enable_order_digest(self, shard_plan: Any = None) -> None:
+        # May fire from Engine.__init__ (REPRO_SIM_DIGEST) before the plan
+        # is attached; __init__ re-runs it with the plan right after.
+        super().enable_order_digest(
+            shard_plan if shard_plan is not None else getattr(self, "plan", None)
+        )
+
+    # -- shard routing ---------------------------------------------------
+
+    def _context_shard(self) -> int:
+        cur = self._current
+        return cur.shard if cur is not None else self._dispatch_shard
+
+    def spawn(
+        self,
+        target: Callable[[Proc], Any],
+        name: str | None = None,
+        *,
+        daemon: bool = False,
+    ) -> Proc:
+        """Rank processes land on their plan shard; library agents spawned
+        mid-run inherit the spawning context's shard."""
+        pid = len(self.procs)
+        if pid < self.plan.nranks:
+            self._spawn_shard = self.plan.owner[pid]
+        else:
+            self._spawn_shard = self._context_shard()
+        return super().spawn(target, name, daemon=daemon)
+
+    def call_at(self, when: float, fn: Callable[[], None]) -> None:
+        self.call_at_shard(when, fn, self._context_shard())
+
+    def call_at_shard(
+        self, when: float, fn: Callable[[], None], shard: int
+    ) -> None:
+        now = self.now
+        if when < now:
+            raise SimulationError(
+                f"cannot schedule event in the past ({when} < now={now})"
+            )
+        entry = (when, self._seq, fn, shard)
+        self._seq += 1
+        if when == now:
+            self._due.append(entry)
+        else:
+            heapq.heappush(self._heap, entry)
+
+    def _schedule_resume(self, when: float, proc: Proc, gen: int) -> None:
+        proc._woken_gen = gen
+        shard = proc.shard
+        if shard != self._context_shard() and when == self.now:
+            self.coordinator_signals += 1
+        entry = (when, self._seq, _Resume(proc, gen), shard)
+        self._seq += 1
+        if when == self.now:
+            self._due.append(entry)
+        else:
+            heapq.heappush(self._heap, entry)
+
+    def note_cross(
+        self, src_shard: int, dst_shard: int, nbytes: int, deliver: float
+    ) -> None:
+        """Fabric hook: one cross-shard message scheduled for ``deliver``."""
+        self.cross_messages += 1
+        self.cross_bytes += nbytes
+        if deliver < self.now + self.plan.lookahead:
+            self.lookahead_violations += 1
+        self.lbts.note_traffic(src_shard, dst_shard)
+
+    # -- dispatch --------------------------------------------------------
+
+    def _make_running(self, proc: Proc) -> None:
+        super()._make_running(proc)
+        self.events_per_shard[proc.shard] += 1
+
+    def _advance(self) -> Proc | None:
+        """The fast-path dispatch loop plus window bookkeeping.
+
+        Identical pop order to :meth:`Engine._advance` — the merged
+        ``(time, seq)`` schedule is what makes sharded runs bit-identical
+        to sequential ones — with one extra comparison per event: an event
+        at or past the current window bound closes the epoch and opens the
+        next safe window at its own time (it is the global minimum, so the
+        new LBTS is exactly ``its time + lookahead``).
+        """
+        if self._failure is not None:
+            return None
+        heap = self._heap
+        due = self._due
+        pop = heapq.heappop
+        deadline = self._deadline
+        digest = self._digest
+        while True:
+            if due:
+                d = due[0]
+                if heap:
+                    h = heap[0]
+                    if h[0] < d[0] or (h[0] == d[0] and h[1] < d[1]):
+                        ev = pop(heap)
+                    else:
+                        ev = due.popleft()
+                else:
+                    ev = due.popleft()
+            elif heap:
+                ev = pop(heap)
+            else:
+                return None
+            when = ev[0]
+            if when >= self._window_end:
+                self._window_end = self.lbts.open_window(when)
+            if deadline is not None and when > deadline:
+                blocked = self._blocked_report()
+                if blocked:
+                    self.now = deadline
+                    self._timeout_info = (blocked, self._progress_report())
+                return None
+            self.now = when
+            fn = ev[2]
+            if type(fn) is _Resume:
+                proc = fn.proc
+                if fn.gen != proc._gen or proc.state == Proc.DONE:
+                    continue
+                self.events_executed += 1
+                self._make_running(proc)
+                return proc
+            self.events_executed += 1
+            self.events_per_shard[ev[3]] += 1
+            self._dispatch_shard = ev[3]
+            if digest is not None:
+                digest.update(_pack_order(when, -1))
+            try:
+                fn()
+            except BaseException as exc:  # noqa: BLE001 - surfaced from run()
+                if self._failure is None:
+                    self._failure = exc
+            if self._failure is not None:
+                return None
+
+    def run(self, *, deadline: float | None = None) -> None:
+        try:
+            super().run(deadline=deadline)
+        finally:
+            self.lbts.finish(self.now)
+
+    def shard_stats(self) -> dict:
+        """JSON-able protocol statistics (embedded in obs RunReports)."""
+        stats = dict(self.plan.describe())
+        stats.update(self.lbts.stats())
+        stats.update(
+            events_per_shard=list(self.events_per_shard),
+            cross_messages=self.cross_messages,
+            cross_bytes=self.cross_bytes,
+            coordinator_signals=self.coordinator_signals,
+            lookahead_violations=self.lookahead_violations,
+        )
+        return stats

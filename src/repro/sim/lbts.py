@@ -1,0 +1,124 @@
+"""LBTS (lower-bound-on-timestamp) bookkeeping for the sharded engine.
+
+Conservative parallel discrete-event simulation advances each partition
+("shard") only through a *safe window*: events strictly before
+
+    LBTS = min_i (T_i) + L
+
+may execute without waiting, where ``T_i`` is shard *i*'s next pending
+event time and ``L`` the global lookahead — the minimum virtual delay any
+cross-shard interaction can add (here: the fabric's minimum inter-partition
+message latency, see :meth:`repro.sim.network.MachineSpec
+.cross_shard_lookahead`). A shard with nothing to send still owes its
+peers that promise; the classic protocol carries it as a *null message*
+per silent pair per epoch, which is what prevents the deadlock of
+everyone waiting for everyone (Chandy/Misra/Bryant).
+
+:class:`LbtsController` is the pure, engine-agnostic core: it computes the
+window bound, enforces its monotonicity, and accounts epochs, per-epoch
+cross-shard traffic and the null messages the silent pairs would carry.
+The :class:`~repro.sim.engine.ShardedEngine` drives it once per window;
+unit tests drive it directly with synthetic clocks.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+from repro.util.errors import SimulationError
+
+
+def lbts_bound(next_times: Sequence[float], lookahead: float) -> float:
+    """The safe-window bound for one epoch.
+
+    ``next_times`` holds each shard's next pending event time (``inf`` for
+    an idle shard). Every event strictly before the returned bound is safe
+    to execute: no shard can create work for another below it, because any
+    cross-shard effect costs at least ``lookahead`` of virtual time.
+    """
+    if not next_times:
+        raise SimulationError("lbts_bound needs at least one shard")
+    if lookahead < 0:
+        raise SimulationError(f"negative lookahead {lookahead!r}")
+    return min(next_times) + lookahead
+
+
+class LbtsController:
+    """Window/epoch accounting for one sharded run.
+
+    The controller never schedules anything itself; it answers "how far is
+    it safe to run?" and tallies what the distributed exchange would carry:
+
+    * ``epochs`` — windows opened so far.
+    * ``null_messages`` — per epoch, every ordered shard pair that moved
+      no real message owes a null message carrying its LBTS promise.
+    * ``max_window`` / ``total_span`` — window-width statistics (how much
+      parallel slack the lookahead actually buys).
+    """
+
+    def __init__(self, nshards: int, lookahead: float):
+        if nshards < 1:
+            raise SimulationError(f"nshards must be >= 1, got {nshards}")
+        if lookahead < 0:
+            raise SimulationError(f"negative lookahead {lookahead!r}")
+        self.nshards = nshards
+        self.lookahead = lookahead
+        self.lbts = -math.inf
+        self.epochs = 0
+        self.null_messages = 0
+        self.max_window = 0.0
+        self.total_span = 0.0
+        self._window_start = 0.0
+        self._pairs: set[tuple[int, int]] = set()
+
+    def note_traffic(self, src_shard: int, dst_shard: int) -> None:
+        """Record one real cross-shard message inside the current epoch."""
+        if src_shard != dst_shard:
+            self._pairs.add((src_shard, dst_shard))
+
+    def _settle_epoch(self, upto: float) -> None:
+        if self.epochs == 0:
+            return
+        total_pairs = self.nshards * (self.nshards - 1)
+        self.null_messages += total_pairs - len(self._pairs)
+        self._pairs.clear()
+        span = upto - self._window_start
+        if span > self.max_window:
+            self.max_window = span
+        if math.isfinite(span):
+            self.total_span += span
+
+    def open_window(self, next_time: float) -> float:
+        """Close the current epoch and open the next safe window.
+
+        ``next_time`` is the globally earliest pending event time (the min
+        over shards' ``T_i``); the new window covers ``[next_time,
+        next_time + lookahead)``. The bound never moves backwards — that
+        would mean an event was created in a closed epoch, i.e. a
+        conservative-protocol violation — and violations raise rather than
+        silently corrupt the schedule.
+        """
+        bound = next_time + self.lookahead
+        if bound < self.lbts:
+            raise SimulationError(
+                f"LBTS moved backwards ({bound} < {self.lbts}): an event "
+                "violated the conservative lookahead guarantee"
+            )
+        self._settle_epoch(next_time)
+        self._window_start = next_time
+        self.epochs += 1
+        self.lbts = bound
+        return bound
+
+    def finish(self, now: float) -> None:
+        """Settle the final (possibly still-open) epoch at end of run."""
+        self._settle_epoch(now if now > self._window_start else self._window_start)
+
+    def stats(self) -> dict:
+        return {
+            "epochs": self.epochs,
+            "null_messages": self.null_messages,
+            "max_window": self.max_window,
+            "total_span": self.total_span,
+        }

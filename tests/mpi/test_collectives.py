@@ -198,3 +198,74 @@ def test_allreduce_shape_mismatch_raises():
 
     with pytest.raises(Exception, match="differ"):
         mpi_run(program, 2)
+
+
+# ---------------------------------------------------------------------------
+# Bruck short-message alltoall (the >= 32-rank small-block algorithm)
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("nranks", [32, 33, 64])
+def test_bruck_alltoall_is_global_transpose(nranks):
+    """Above the Bruck thresholds the log-round algorithm must still place
+    every block exactly — including non-power-of-two sizes."""
+
+    def program(mpi, ctx):
+        send = np.array(
+            [[ctx.rank * 1000 + peer] for peer in range(ctx.nranks)],
+            dtype=np.int64,
+        )
+        recv = np.zeros_like(send)
+        mpi.COMM_WORLD.alltoall(send, recv)
+        return recv[:, 0].tolist()
+
+    _, results = mpi_run(program, nranks)
+    for r in range(nranks):
+        assert results[r] == [src * 1000 + r for src in range(nranks)]
+
+
+def test_bruck_sends_log_rounds_not_pairwise():
+    """At 64 ranks with 8-byte blocks, each rank sends ceil(log2 64) = 6
+    aggregated messages instead of 63 pairwise ones. The fabric message
+    count is the observable."""
+    import math
+
+    def program(mpi, ctx, n):
+        send = np.zeros((ctx.nranks, n), dtype=np.int64)
+        recv = np.zeros_like(send)
+        base = ctx.fabric.messages_sent
+        mpi.COMM_WORLD.alltoall(send, recv)
+        return ctx.fabric.messages_sent - base
+
+    size = 64
+    # Small blocks: Bruck (every rank participates in log2(P) rounds).
+    cluster, _ = mpi_run(program, size, n=1)
+    small_msgs = cluster.fabric.messages_sent
+    # Large blocks: pairwise (P-1 sends per rank).
+    cluster, _ = mpi_run(program, size, n=1024)
+    large_msgs = cluster.fabric.messages_sent
+    assert small_msgs <= size * (math.ceil(math.log2(size)) + 2)
+    assert large_msgs >= size * (size - 1)
+    assert small_msgs * 5 < large_msgs
+
+
+def test_bruck_and_pairwise_agree_numerically():
+    """Force both algorithms on the same data (block size straddles the
+    threshold) and compare the received matrices element-for-element."""
+
+    def program(mpi, ctx, n):
+        rng = np.random.default_rng(100 + ctx.rank)
+        send = rng.integers(0, 1 << 30, size=(ctx.nranks, n)).astype(np.int64)
+        recv = np.zeros_like(send)
+        mpi.COMM_WORLD.alltoall(send, recv)
+        return send, recv
+
+    size = 40
+    _, small = mpi_run(program, size, n=4)    # 32 B blocks: Bruck
+    _, large = mpi_run(program, size, n=512)  # 4 KB blocks: pairwise
+    for results in (small, large):
+        sends = [s for s, _ in results]
+        for dst in range(size):
+            _, recv = results[dst]
+            expect = np.stack([sends[src][dst] for src in range(size)])
+            np.testing.assert_array_equal(recv, expect)
