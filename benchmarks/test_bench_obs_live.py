@@ -1,0 +1,156 @@
+"""Live-telemetry overhead harness: the streaming tap must be cheap when
+on and invisible to the virtual timeline always.
+
+Two guarantees, measured on full RandomAccess runs and written to
+``BENCH_obs_live.json``:
+
+* **Enabled cost**: a telemetry-on run (real 0.5s snapshot cadence, the
+  production default) pays one cached-attribute load plus one ``is None``
+  test per executed event, and a JSONL write only at interval expiry.
+  Wall clock is asserted within 3% of the telemetry-off run (best-of-N).
+* **Zero perturbation**: the tap only reads engine state, so the
+  event-order digest, event count, virtual makespan, and figure of merit
+  are *bit*-identical with telemetry on or off.
+
+Run explicitly (not part of tier-1)::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_bench_obs_live.py -q
+"""
+
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+from repro.apps.randomaccess import run_randomaccess
+from repro.caf.program import run_caf
+from repro.obs.live import read_telemetry
+from repro.sim.network import MachineSpec
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+RESULT_PATH = REPO_ROOT / "BENCH_obs_live.json"
+
+SPEC = MachineSpec(name="generic")
+RA_KW = dict(table_bits_per_image=8, updates_per_image=1024, batches=8)
+
+#: Accepted telemetry-on wall-clock overhead vs the same run with the tap
+#: off — the issue's 3% acceptance bound, over best-of-N to cut noise.
+OVERHEAD_BOUND = 0.03
+
+#: Production snapshot cadence (the run_caf default).
+INTERVAL_S = 0.5
+
+
+def _merge(section: str, payload) -> None:
+    """Read-modify-write one section of BENCH_obs_live.json."""
+    data = {}
+    if RESULT_PATH.exists():
+        try:
+            data = json.loads(RESULT_PATH.read_text())
+        except json.JSONDecodeError:
+            data = {}
+    data.setdefault("meta", {}).update(
+        python=sys.version.split()[0],
+        platform=sys.platform,
+        cpus=os.cpu_count(),
+    )
+    data[section] = payload
+    RESULT_PATH.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+
+
+def _ra(nranks: int, live_path=None, digest: bool = False):
+    if digest:
+        os.environ["REPRO_SIM_DIGEST"] = "1"
+    try:
+        kwargs = {}
+        if live_path is not None:
+            kwargs.update(live=live_path, live_interval=INTERVAL_S)
+        return run_caf(run_randomaccess, nranks, SPEC, **RA_KW, **kwargs)
+    finally:
+        os.environ.pop("REPRO_SIM_DIGEST", None)
+
+
+def test_telemetry_does_not_perturb_virtual_time(tmp_path):
+    off = _ra(8, digest=True)
+    on = _ra(8, live_path=tmp_path / "ra.telemetry.jsonl", digest=True)
+    assert on.cluster.engine.order_digest() == off.cluster.engine.order_digest()
+    assert on.cluster.engine.events_executed == off.cluster.engine.events_executed
+    assert on.elapsed == off.elapsed
+    assert on.results[0].gups == off.results[0].gups
+    meta, snaps = read_telemetry(tmp_path / "ra.telemetry.jsonl")
+    assert snaps[-1]["final"] is True and snaps[-1]["outcome"] == "ok"
+
+
+def test_telemetry_on_wallclock_within_bound(tmp_path):
+    nranks = 16
+    streams = iter(tmp_path / f"run-{i}.jsonl" for i in range(100))
+    # Interleave off/on runs and take per-variant minima: two sequential
+    # best-of blocks confound the tap's cost with wall-clock drift on
+    # shared single-core runners (the drift exceeds the bound measured).
+    _ra(nranks)
+    _ra(nranks, live_path=next(streams))  # discarded warm-up pair
+    off_s = on_s = float("inf")
+    off = on = None
+    for _ in range(5):
+        t0 = time.perf_counter()
+        off = _ra(nranks)
+        dt = time.perf_counter() - t0
+        if dt < off_s:
+            off_s = dt
+        t0 = time.perf_counter()
+        on = _ra(nranks, live_path=next(streams))
+        dt = time.perf_counter() - t0
+        if dt < on_s:
+            on_s = dt
+
+    overhead = on_s / off_s - 1.0
+    tel = on.cluster.telemetry
+    _merge(
+        "obs_live_overhead",
+        {
+            "description": "RandomAccess wall clock, telemetry off vs on",
+            "nranks": nranks,
+            "interval_s": INTERVAL_S,
+            "telemetry_off_wall_s": round(off_s, 4),
+            "telemetry_on_wall_s": round(on_s, 4),
+            "on_over_off": round(on_s / off_s, 4),
+            "overhead": round(overhead, 4),
+            "bound": OVERHEAD_BOUND,
+            "snapshots_written": tel.snapshots_written,
+            "events_executed": on.cluster.engine.events_executed,
+            "virtual_elapsed_s": on.elapsed,
+        },
+    )
+    assert off.elapsed == on.elapsed
+    assert overhead < OVERHEAD_BOUND, (
+        f"telemetry-on run {overhead * 100:.1f}% slower than telemetry-off "
+        f"({on_s:.3f}s vs {off_s:.3f}s) — the tap is not low-overhead"
+    )
+
+
+def test_failure_capture_cost_is_bounded(tmp_path):
+    """The failure-stamping path (capture_now on deadlock) must stay
+    cheap enough to never mask the original error — one snapshot, not a
+    scan of history."""
+    from repro.util.errors import DeadlockError
+
+    def lonely(img):
+        if img.rank == 0:
+            img.sync_all()
+
+    t0 = time.perf_counter()
+    try:
+        run_caf(lonely, 64, SPEC, live=tmp_path / "dead.jsonl")
+    except DeadlockError as exc:
+        stamp_wall = time.perf_counter() - t0
+        assert exc.telemetry is not None
+    else:  # pragma: no cover - the program must deadlock
+        raise AssertionError("expected DeadlockError")
+    _merge(
+        "obs_live_failure_stamp",
+        {
+            "description": "64-rank deadlock detected + telemetry stamped",
+            "wall_s": round(stamp_wall, 4),
+        },
+    )

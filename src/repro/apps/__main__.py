@@ -80,6 +80,15 @@ def main(argv: list[str] | None = None) -> int:
         help="enable op-level metrics and write the RunReport JSON to PATH",
     )
     parser.add_argument(
+        "--live", metavar="PATH", default=None,
+        help="stream live-telemetry JSONL snapshots to PATH during the run "
+        "(render with `python -m repro.obs top PATH`)",
+    )
+    parser.add_argument(
+        "--live-interval", type=float, default=None, metavar="S",
+        help="wall seconds between telemetry snapshots (default 0.5)",
+    )
+    parser.add_argument(
         "--record-ir", metavar="PATH", default=None,
         help="record the run's op-stream trace to PATH (stem for .npz + .json)",
     )
@@ -101,6 +110,8 @@ def main(argv: list[str] | None = None) -> int:
         backend=args.backend,
         trace=args.trace is not None,
         metrics=args.metrics is not None,
+        live=args.live,
+        live_interval=args.live_interval,
         shards=args.shards,
     )
     print(
@@ -182,6 +193,10 @@ def main(argv: list[str] | None = None) -> int:
         report = run.report(label=f"{args.app}-x{args.procs}", app=args.app)
         report.to_json(args.metrics)
         print(f"metrics: run report -> {args.metrics}")
+    if args.live is not None:
+        tel = run.cluster.telemetry
+        n = tel.snapshots_written if tel is not None else 0
+        print(f"telemetry: {n} snapshot(s) -> {args.live}")
     if args.record_ir is not None:
         from repro.ir import record as ir_record
 

@@ -108,6 +108,8 @@ def run_caf(
     deadline: float | None = None,
     sanitize: bool = False,
     metrics: bool = False,
+    live: Any | None = None,
+    live_interval: float | None = None,
     shards: int | None = None,
     digest_partition: int | None = None,
     checkpoint_every: int | None = None,
@@ -153,6 +155,15 @@ def run_caf(
     engine, so the virtual timeline (and its event-order digest) is
     bit-identical with metrics on or off.
 
+    ``live`` arms the streaming telemetry tap (see :mod:`repro.obs.live`):
+    a path (or a prebuilt :class:`~repro.obs.live.LiveTelemetry`) to which
+    the run appends JSONL progress snapshots — sim/wall time, events/s,
+    blocked ranks with call sites, shard window state, host RSS — every
+    ``live_interval`` wall seconds (default 0.5). Like metrics, the tap
+    never touches the engine: digests and makespans are bit-identical
+    with telemetry on or off. Render streams with
+    ``python -m repro.obs top``.
+
     ``checkpoint_every`` / ``checkpoint_store`` / ``resume_from`` attach a
     :class:`~repro.resilience.checkpoint.ResilienceService`: images reach
     it via ``img.resilience``, checkpoints are cut every N calls of
@@ -178,6 +189,12 @@ def run_caf(
         # force metrics on, and tracing too when the capture asks for it.
         metrics = True
         trace = trace or _capture.trace_forced()
+        if live is None and _capture.live_forced():
+            # --live capture: stream run-NNNN.telemetry.jsonl next to the
+            # run-NNNN.report.json this run will emit.
+            live = _capture.telemetry_path()
+            if live_interval is None:
+                live_interval = _capture.live_interval()
     # Trace recording (--record-ir): pattern-changing faults invalidate a
     # trace, so fault-injected / lossy runs are skipped, not recorded.
     recording = _ir_record.active() and faults is None and not reliable
@@ -185,10 +202,23 @@ def run_caf(
         # The obs side table rides in the trace, so the metrics layer must
         # be armed for the hooks to fire.
         metrics = True
+    telemetry = None
+    if live is not None:
+        from repro.obs.live import LiveTelemetry
+
+        if isinstance(live, LiveTelemetry):
+            telemetry = live
+        else:
+            telemetry = LiveTelemetry(
+                live,
+                interval_s=live_interval,
+                backend=backend,
+                app=getattr(program, "__name__", ""),
+            )
     cluster = Cluster(
         nranks, spec, seed=sim_seed, faults=faults, reliable=reliable,
         sanitize=sanitize, metrics=metrics, shards=shards,
-        digest_partition=digest_partition,
+        digest_partition=digest_partition, live=telemetry,
     )
     if recording:
         _ir_record.attach(

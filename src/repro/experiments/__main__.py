@@ -9,6 +9,7 @@ Usage::
     python -m repro.experiments --out results/  # also write text files
     python -m repro.experiments fig04 --metrics obs/  # per-run RunReports
     python -m repro.experiments fig04 --metrics obs/ --trace  # + traces
+    python -m repro.experiments fig04 --metrics obs/ --live   # + telemetry
 """
 
 from __future__ import annotations
@@ -39,6 +40,14 @@ def main(argv: list[str] | None = None) -> int:
         help="with --metrics: also capture a Chrome/Perfetto trace per run",
     )
     parser.add_argument(
+        "--live", action="store_true",
+        help="with --metrics: also stream a run-NNNN.telemetry.jsonl per run",
+    )
+    parser.add_argument(
+        "--live-interval", type=float, default=None, metavar="S",
+        help="wall seconds between telemetry snapshots (default 0.5)",
+    )
+    parser.add_argument(
         "--record-ir", type=pathlib.Path, metavar="DIR", default=None,
         help="record an op-stream trace per simulated run into DIR "
         "(fault-injected runs are skipped)",
@@ -57,6 +66,8 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     if args.trace and args.metrics is None:
         parser.error("--trace requires --metrics DIR")
+    if args.live and args.metrics is None:
+        parser.error("--live requires --metrics DIR")
 
     ids = args.ids or list(EXPERIMENTS)
     if args.out:
@@ -74,7 +85,12 @@ def main(argv: list[str] | None = None) -> int:
         # run-NNNN.report.json without the experiment code knowing about it.
         from repro.obs import capture as obs_capture
 
-        obs_capture.start(args.metrics, trace=args.trace)
+        obs_capture.start(
+            args.metrics,
+            trace=args.trace,
+            live=args.live,
+            live_interval=args.live_interval,
+        )
     if args.record_ir is not None:
         # Same capture pattern for trace recording: every (fault-free)
         # run_caf inside the experiments writes a run-NNNN trace artifact.

@@ -1031,7 +1031,8 @@ class Window:
         origin = self.rank
         obs = self._obs
         t0 = self.ctx.engine.now if obs is not None else 0.0
-        if state.dirty[origin]:
+        dirty = bool(state.dirty[origin])
+        if dirty:
             _irhook.annotate(
                 _irhook.CK_MUL, _irhook.F_MPI_FLUSH_ALL_PER_TARGET, self.group_size
             )
@@ -1049,7 +1050,12 @@ class Window:
             state.quiet_waiters.setdefault(origin, []).append(ev)
             ev.wait(self.ctx.proc)
         if obs is not None:
-            obs.record(self.ctx.rank, "mpi.flush_all", 0, self.ctx.engine.now - t0)
+            # Active epochs and the idle walk are distinct symbolic terms in
+            # the IR (F_MPI_FLUSH_ALL_PER_TARGET vs F_MPI_FLUSH_ALL_IDLE) —
+            # mirror the split here so the linear-in-P active cost is not
+            # averaged away under the flat idle calls (§3.4, Fig. 4).
+            kind = "mpi.flush_all" if dirty else "mpi.flush_all.idle"
+            obs.record(self.ctx.rank, kind, 0, self.ctx.engine.now - t0)
         san = self._san
         if san is not None:
             san.release_window(self.win_id, self._world(self.rank))

@@ -17,14 +17,23 @@ Components
   artifact, with Prometheus text export and a diff for regression triage.
 * :mod:`repro.obs.capture` — process-wide capture so the experiments runner
   emits reports without code changes.
+* :class:`LiveTelemetry` (:mod:`repro.obs.live`) — streaming JSONL progress
+  snapshots (sim/wall time, events/s, blocked ranks, shard windows, RSS)
+  from a read-only engine heartbeat; render with ``python -m repro.obs top``.
+* :func:`fit_scaling` / :class:`ScalingReport` (:mod:`repro.obs.scaling`) —
+  fit per-op virtual cost vs P across a rank sweep of RunReports, check the
+  fits against declared expectations and the static cost model (the Fig. 4
+  ``flush_all`` O(P) cliff detector).
 
 Enable per run with ``run_caf(..., metrics=True)`` (add ``trace=True`` for
-the critical path), or ``python -m repro.apps <app> --metrics out.json``.
-``python -m repro.obs render/diff/validate`` works the artifacts.
+the critical path, ``live=PATH`` for telemetry), or
+``python -m repro.apps <app> --metrics out.json --live out.jsonl``.
+``python -m repro.obs render/diff/validate/top/scaling`` works the artifacts.
 """
 
 from repro.obs import capture
 from repro.obs.critical import CriticalPath, PathStep, critical_path
+from repro.obs.live import LiveTelemetry, read_telemetry, render_top
 from repro.obs.metrics import CommMatrix, Metrics, OpStats
 from repro.obs.report import (
     ReportDiff,
@@ -35,20 +44,35 @@ from repro.obs.report import (
     diff_reports_all,
     validate_report,
 )
+from repro.obs.scaling import (
+    OrderFit,
+    ScalingReport,
+    fit_order,
+    fit_scaling,
+    validate_scaling_report,
+)
 
 __all__ = [
     "CommMatrix",
     "CriticalPath",
+    "LiveTelemetry",
     "Metrics",
     "OpStats",
+    "OrderFit",
     "PathStep",
     "ReportDiff",
     "RunReport",
+    "ScalingReport",
     "SchemaError",
     "build_report",
     "capture",
     "critical_path",
     "diff_reports",
     "diff_reports_all",
+    "fit_order",
+    "fit_scaling",
+    "read_telemetry",
+    "render_top",
     "validate_report",
+    "validate_scaling_report",
 ]

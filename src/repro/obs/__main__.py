@@ -4,4 +4,10 @@ import sys
 
 from repro.obs.cli import main
 
-sys.exit(main())
+if __name__ == "__main__":
+    try:
+        rc = main()
+    except BrokenPipeError:  # e.g. `... | head`
+        sys.stderr.close()
+        rc = 0
+    sys.exit(rc)

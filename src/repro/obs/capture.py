@@ -23,20 +23,45 @@ import os
 import pathlib
 from typing import Any
 
-_state: dict[str, Any] = {"dir": None, "trace": False, "seq": 0, "written": []}
+_state: dict[str, Any] = {
+    "dir": None,
+    "trace": False,
+    "seq": 0,
+    "written": [],
+    "live": False,
+    "live_interval": None,
+}
 
 
-def start(out_dir: str | os.PathLike, *, trace: bool = False) -> None:
-    """Begin capturing: subsequent ``run_caf`` calls emit artifacts."""
+def start(
+    out_dir: str | os.PathLike,
+    *,
+    trace: bool = False,
+    live: bool = False,
+    live_interval: float | None = None,
+) -> None:
+    """Begin capturing: subsequent ``run_caf`` calls emit artifacts.
+
+    ``live=True`` additionally arms the streaming telemetry tap on every
+    captured run: each run writes ``run-NNNN.telemetry.jsonl`` next to its
+    report (``live_interval`` overrides the snapshot cadence in wall
+    seconds; ``None`` keeps the tap's default).
+    """
     path = pathlib.Path(out_dir)
     path.mkdir(parents=True, exist_ok=True)
-    _state.update(dir=path, trace=trace, seq=0, written=[])
+    _state.update(
+        dir=path, trace=trace, seq=0, written=[],
+        live=live, live_interval=live_interval,
+    )
 
 
 def stop() -> list[pathlib.Path]:
     """End the capture; returns the artifact paths written."""
     written = list(_state["written"])
-    _state.update(dir=None, trace=False, seq=0, written=[])
+    _state.update(
+        dir=None, trace=False, seq=0, written=[],
+        live=False, live_interval=None,
+    )
     return written
 
 
@@ -48,10 +73,36 @@ def trace_forced() -> bool:
     return active() and bool(_state["trace"])
 
 
+def live_forced() -> bool:
+    return active() and bool(_state["live"])
+
+
+def live_interval() -> float | None:
+    return _state["live_interval"]
+
+
+def telemetry_path() -> pathlib.Path | None:
+    """Stream path for the *next* captured run (None unless live-armed).
+
+    Uses the sequence number :func:`emit` will consume for the same run —
+    captured runs are sequential in-process, so the telemetry stream and
+    the report share their ``run-NNNN`` stem.
+    """
+    if not live_forced():
+        return None
+    return _state["dir"] / f"run-{_state['seq']:04d}.telemetry.jsonl"
+
+
 @contextlib.contextmanager
-def capture(out_dir: str | os.PathLike, *, trace: bool = False):
+def capture(
+    out_dir: str | os.PathLike,
+    *,
+    trace: bool = False,
+    live: bool = False,
+    live_interval: float | None = None,
+):
     """Context-managed capture window; yields the output directory."""
-    start(out_dir, trace=trace)
+    start(out_dir, trace=trace, live=live, live_interval=live_interval)
     try:
         yield pathlib.Path(out_dir)
     finally:
@@ -84,6 +135,9 @@ def emit(
         cluster, backend=backend, label=label, app=app, failure=failure
     ).to_json(str(report_path))
     _state["written"].append(report_path)
+    tel = getattr(cluster, "telemetry", None)
+    if tel is not None and tel.path.exists():
+        _state["written"].append(tel.path)
     if _state["trace"] and cluster.tracer.events:
         trace_path = out / f"run-{seq:04d}.trace.json"
         cluster.tracer.to_chrome_trace(str(trace_path))

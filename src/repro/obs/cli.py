@@ -1,33 +1,60 @@
-"""CLI: render, validate, and diff RunReport artifacts.
+"""CLI: render, validate, and diff RunReport artifacts; live-telemetry
+``top`` view; scaling-law fitting.
 
 Usage::
 
     python -m repro.obs render RUNREPORT.json            # human tables
     python -m repro.obs render RUNREPORT.json --prom     # Prometheus text
-    python -m repro.obs validate RUNREPORT.json          # schema check
+    python -m repro.obs validate ARTIFACT [...]          # schema check
     python -m repro.obs diff OLD.json NEW.json           # regression triage
     python -m repro.obs diff OLD.json NEW.json --threshold 5 --fail
     python -m repro.obs diff BASE.json N1.json N2.json --all  # N vs baseline
+    python -m repro.obs top RUN.telemetry.jsonl          # live/final view
+    python -m repro.obs top RUN.telemetry.jsonl --follow # tail a running run
+    python -m repro.obs scaling R4.json R8.json R16.json --out scaling.json
 
 ``diff --fail`` exits 1 when any metric moved beyond the threshold — the
 bench-regression tripwire CI uses on archived reports. ``--all`` compares
 every NEW report against the baseline in one invocation and exits 1 (with
-``--fail``) if any comparison regresses.
+``--fail``) if any comparison regresses. ``validate`` dispatches on the
+artifact's schema: run reports, telemetry streams (``*.jsonl``), and
+scaling reports all check. ``scaling --fail`` exits 1 on any expectation
+or static-crosscheck mismatch (the Fig. 4 tripwire: ``mpi.flush_all``
+must fit linear-in-P, GASNet ``event_notify`` must not).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import pathlib
 import sys
 
 from repro.obs.report import RunReport, SchemaError, diff_reports_all
 
 
+def _validate_artifact(path: pathlib.Path) -> str:
+    """Schema-check one artifact by sniffing its kind; returns a label."""
+    from repro.obs import live as live_mod
+    from repro.obs import scaling as scaling_mod
+
+    if path.suffix == ".jsonl":
+        meta, snaps = live_mod.read_telemetry(path)
+        return f"telemetry ({len(snaps)} snapshot(s))"
+    with open(path) as fh:
+        data = json.load(fh)
+    schema = data.get("schema") if isinstance(data, dict) else None
+    if schema == scaling_mod.SCHEMA_NAME:
+        scaling_mod.validate_scaling_report(data)
+        return "scaling report"
+    RunReport.from_dict(data)
+    return "run report"
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.obs",
-        description="Render, validate, and diff repro run reports.",
+        description="Render, validate, diff, and analyze repro run artifacts.",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -37,7 +64,9 @@ def main(argv: list[str] | None = None) -> int:
         "--prom", action="store_true", help="emit Prometheus text instead of tables"
     )
 
-    p_validate = sub.add_parser("validate", help="schema-check a report")
+    p_validate = sub.add_parser(
+        "validate", help="schema-check run/scaling reports and telemetry streams"
+    )
     p_validate.add_argument("reports", type=pathlib.Path, nargs="+")
 
     p_diff = sub.add_parser("diff", help="compare reports against a baseline")
@@ -60,6 +89,55 @@ def main(argv: list[str] | None = None) -> int:
         help="exit 1 if any metric moved beyond the threshold",
     )
 
+    p_top = sub.add_parser("top", help="render a live-telemetry JSONL stream")
+    p_top.add_argument("telemetry", type=pathlib.Path)
+    p_top.add_argument(
+        "--follow",
+        action="store_true",
+        help="keep re-rendering until the final snapshot lands",
+    )
+    p_top.add_argument(
+        "--interval", type=float, default=1.0, metavar="S",
+        help="refresh interval for --follow (default 1s)",
+    )
+    p_top.add_argument(
+        "--max-wait", type=float, default=None, metavar="S",
+        help="with --follow: give up (exit 2) after S wall seconds",
+    )
+
+    p_scaling = sub.add_parser(
+        "scaling", help="fit per-op scaling laws across a rank sweep of reports"
+    )
+    p_scaling.add_argument(
+        "reports", type=pathlib.Path, nargs="+",
+        help="RunReports of one app/backend at >= 3 rank counts",
+    )
+    p_scaling.add_argument(
+        "--out", type=pathlib.Path, default=None,
+        help="write the ScalingReport JSON artifact to this path",
+    )
+    p_scaling.add_argument(
+        "--tol", type=float, default=5.0, metavar="PCT",
+        help="NRMSE acceptance tolerance in percent (default 5)",
+    )
+    p_scaling.add_argument(
+        "--expect", action="append", default=[], metavar="KIND=ORDER",
+        help="declare an expectation (order: const/log/linear/poly); "
+        "repeatable, overrides the backend defaults",
+    )
+    p_scaling.add_argument(
+        "--no-default-expectations", action="store_true",
+        help="only check expectations given via --expect",
+    )
+    p_scaling.add_argument(
+        "--no-crosscheck", action="store_true",
+        help="skip the static cost-model order cross-check",
+    )
+    p_scaling.add_argument(
+        "--fail", action="store_true",
+        help="exit 1 on any expectation or static-crosscheck mismatch",
+    )
+
     args = parser.parse_args(argv)
 
     try:
@@ -71,9 +149,13 @@ def main(argv: list[str] | None = None) -> int:
             return 0
         if args.command == "validate":
             for path in args.reports:
-                RunReport.load(str(path))
-                print(f"{path}: ok")
+                label = _validate_artifact(path)
+                print(f"{path}: ok ({label})")
             return 0
+        if args.command == "top":
+            return _top(args)
+        if args.command == "scaling":
+            return _scaling(args)
         # diff
         if len(args.new) > 1 and not args.all:
             parser.error("multiple NEW reports require --all")
@@ -109,6 +191,46 @@ def main(argv: list[str] | None = None) -> int:
     except SchemaError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+
+
+def _top(args) -> int:
+    from repro.obs.live import follow_top, read_telemetry, render_top
+
+    if args.follow:
+        return follow_top(
+            args.telemetry, interval=args.interval, max_wait=args.max_wait
+        )
+    meta, snaps = read_telemetry(args.telemetry)
+    print(render_top(meta, snaps))
+    return 0
+
+
+def _scaling(args) -> int:
+    from repro.obs.scaling import (
+        ScalingReport,
+        fit_scaling,
+        parse_expectations,
+    )
+
+    reports = [RunReport.load(str(p)) for p in args.reports]
+    scaling: ScalingReport = fit_scaling(
+        reports,
+        tol=args.tol / 100.0,
+        expectations=parse_expectations(args.expect),
+        use_default_expectations=not args.no_default_expectations,
+        crosscheck=not args.no_crosscheck,
+    )
+    print(scaling.render())
+    if args.out is not None:
+        scaling.to_json(str(args.out))
+        print(f"scaling report -> {args.out}")
+    mismatches = (
+        scaling.data["summary"]["expectation_mismatches"]
+        + scaling.data["summary"]["crosscheck_mismatches"]
+    )
+    if args.fail and mismatches:
+        return 1
+    return 0
 
 
 if __name__ == "__main__":  # pragma: no cover - module entry

@@ -122,6 +122,28 @@ class RunReport:
                 f'repro_counter_total{{name="{name}",{lab}}} '
                 f"{self.data['counters'][name]}"
             )
+        sh = self.data.get("shards")
+        if sh is not None:
+            # Conservative-PDES protocol statistics (PR 9's shard stats) —
+            # mirrored here so Prometheus archives see the same counters
+            # the JSON report carries.
+            for name in (
+                "cross_messages",
+                "cross_bytes",
+                "null_messages",
+                "coordinator_signals",
+                "lookahead_violations",
+                "epochs",
+            ):
+                lines.append(f"# TYPE repro_shard_{name}_total counter")
+                lines.append(f"repro_shard_{name}_total{{{lab}}} {sh[name]}")
+            lines.append("# TYPE repro_shard_lookahead_seconds gauge")
+            lines.append(
+                f"repro_shard_lookahead_seconds{{{lab}}} {sh['lookahead']:.9e}"
+            )
+            lines.append("# TYPE repro_shard_events_total counter")
+            for i, n in enumerate(sh["events_per_shard"]):
+                lines.append(f'repro_shard_events_total{{shard="{i}",{lab}}} {n}')
         return "\n".join(lines) + "\n"
 
     def render(self, *, top: int = 12) -> str:
@@ -133,6 +155,11 @@ class RunReport:
             f"spec={meta.get('spec', '?')}) ==",
             f"virtual makespan: {meta['makespan'] * 1e3:.3f} ms",
         ]
+        tel = meta.get("telemetry")
+        if tel:
+            out.append(
+                f"live telemetry: {tel['snapshots']} snapshot(s) -> {tel['path']}"
+            )
         sh = self.data.get("shards")
         if sh:
             out.append(
@@ -225,6 +252,14 @@ def validate_report(data: Any) -> None:
             isinstance(meta["shards"], int) and meta["shards"] >= 1,
             "meta.shards",
         )
+    if "telemetry" in meta:
+        tel = meta["telemetry"]
+        need(isinstance(tel, dict), "meta.telemetry")
+        need(isinstance(tel.get("path"), str), "meta.telemetry.path")
+        need(
+            isinstance(tel.get("snapshots"), int) and tel["snapshots"] >= 0,
+            "meta.telemetry.snapshots",
+        )
     sh = data.get("shards")
     if sh is not None:
         need(isinstance(sh, dict), "shards")
@@ -240,6 +275,8 @@ def validate_report(data: Any) -> None:
         need(isinstance(fail.get("message"), str), "failure.message")
         need(isinstance(fail.get("failed_images"), list), "failure.failed_images")
         need(meta.get("outcome") == "failed", "failure present but outcome != failed")
+        if "last_telemetry" in fail:
+            need(isinstance(fail["last_telemetry"], dict), "failure.last_telemetry")
     prof = data.get("profiler")
     need(isinstance(prof, dict), "missing profiler object")
     need(isinstance(prof.get("breakdown"), dict), "profiler.breakdown")
@@ -336,6 +373,12 @@ def build_report(
     }
     plan = getattr(cluster, "shard_plan", None)
     data["meta"]["shards"] = plan.nshards if plan is not None else 1
+    tel = getattr(cluster, "telemetry", None)
+    if tel is not None:
+        data["meta"]["telemetry"] = {
+            "path": str(tel.path),
+            "snapshots": tel.snapshots_written,
+        }
     if plan is not None:
         # Partition + protocol statistics from the conservative sharded
         # dispatcher (epochs, null messages, cross-shard traffic, per-shard
@@ -349,6 +392,10 @@ def build_report(
             "failed_images": sorted(getattr(cluster, "failed_ranks", ())),
             "failure_log": [dict(e) for e in getattr(cluster, "failure_log", [])],
         }
+        if tel is not None and tel.last is not None:
+            # The progress trail the run died with (satellite of the live
+            # tap): final snapshot at the moment of death.
+            data["failure"]["last_telemetry"] = tel.last
     cm = cluster.comm_matrix
     if cm is not None:
         entry: dict[str, Any] = {

@@ -88,6 +88,7 @@ class Cluster:
         metrics: bool = False,
         shards: int | None = None,
         digest_partition: int | None = None,
+        live: Any | None = None,
     ):
         if nranks <= 0:
             raise SimulationError(f"nranks must be positive, got {nranks}")
@@ -188,6 +189,17 @@ class Cluster:
             self.metrics = Metrics(nranks)
             self.comm_matrix = CommMatrix(nranks)
             self.fabric.comm_matrix = self.comm_matrix
+        #: Live telemetry tap (None = zero-cost off state; the engine's
+        #: resume path guards on a cached handle, like the sanitizer).
+        #: ``live`` is a :class:`~repro.obs.live.LiveTelemetry` or a path.
+        self.telemetry = None
+        if live is not None:
+            from repro.obs.live import LiveTelemetry
+
+            tel = live if isinstance(live, LiveTelemetry) else LiveTelemetry(live)
+            self.telemetry = tel
+            self.engine.telemetry = tel
+            tel.attach(self)
 
     def shared(self, key: Any, factory: Callable[[], Any]) -> Any:
         """Get-or-create a cross-rank singleton (e.g. the MPI world)."""
@@ -235,12 +247,28 @@ class Cluster:
         )
 
     def _annotate_failure(self, exc: Exception) -> None:
-        """Stamp watchdog/deadlock errors with the failed-image set."""
+        """Stamp watchdog/deadlock errors with the failed-image set and,
+        when the live tap is armed, a last telemetry snapshot — so a hung
+        4096-rank run dies with a progress trail, not just call sites."""
         exc.failed_ranks = sorted(self.failed_ranks)  # type: ignore[attr-defined]
         if self.failed_ranks and exc.args:
             exc.args = (
                 f"{exc.args[0]}; failed images: {sorted(self.failed_ranks)}",
             ) + exc.args[1:]
+        tel = self.telemetry
+        if tel is not None:
+            # The engine has already unwound the fibers, so the proc-state
+            # walk would read every rank as done; the error's own watchdog
+            # bookkeeping says who actually died blocked where.
+            exc.telemetry = tel.capture_now(  # type: ignore[attr-defined]
+                outcome="failed",
+                blocked=getattr(exc, "blocked", None),
+                last_progress=getattr(exc, "last_progress", None),
+            )
+            if exc.args:
+                exc.args = (
+                    f"{exc.args[0]}; telemetry: {tel.describe_last()}",
+                ) + exc.args[1:]
 
     def run(
         self,
@@ -277,11 +305,19 @@ class Cluster:
                     lambda r=rank: self._crash_rank(r),
                     plan.owner[rank] if plan is not None else 0,
                 )
+        ok = False
         try:
             self.engine.run(deadline=deadline)
+            ok = True
         except (DeadlockError, SimTimeoutError) as exc:
             self._annotate_failure(exc)
             raise
+        finally:
+            if self.telemetry is not None:
+                # Final snapshot + stream close on every exit path (the
+                # failure path may already have emitted it via
+                # _annotate_failure; close() is idempotent about that).
+                self.telemetry.close(outcome="ok" if ok else "failed")
         self.elapsed = self.engine.now
         if self.sanitizer is not None:
             self.sanitizer.finalize()

@@ -491,6 +491,15 @@ class Engine:
         #: Attached by :class:`~repro.sim.cluster.Cluster` when sanitizing;
         #: every scheduling point of a rank process ticks its vector clock.
         self.sanitizer = None
+        #: Attached by the cluster when live telemetry is armed
+        #: (:class:`~repro.obs.live.LiveTelemetry`); every executed resume
+        #: offers the tap a heartbeat. Same zero-cost-off contract as the
+        #: sanitizer: one attribute load plus an ``is None`` test. The
+        #: pacing countdown lives here, not on the tap, so the armed cost
+        #: is one decrement per event — the tap only sees every
+        #: ``check_every``-th resume.
+        self.telemetry = None
+        self._tel_countdown = 0
         self._failure: BaseException | None = None
         self._ran = False
         self._finished = False
@@ -648,6 +657,15 @@ class Engine:
                 sd[self._shard_owner[proc.pid]].update(
                     _pack_order(self.now, proc.pid)
                 )
+        tel = self.telemetry
+        if tel is not None:
+            # Read-only heartbeat: the tap inspects engine state and writes
+            # to its own stream, never schedules — the event order (and so
+            # the digest) is bit-identical with telemetry on or off.
+            self._tel_countdown -= 1
+            if self._tel_countdown <= 0:
+                self._tel_countdown = tel.check_every
+                tel.tick(self)
 
     def _advance(self) -> Proc | None:
         """Fast-path dispatch loop: run events until a process must resume.

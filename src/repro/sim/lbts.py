@@ -122,3 +122,15 @@ class LbtsController:
             "max_window": self.max_window,
             "total_span": self.total_span,
         }
+
+    def live_window(self) -> dict:
+        """Point-in-time window state for the live telemetry tap.
+
+        ``bound`` is ``None`` before the first epoch opens (the LBTS
+        starts at ``-inf``, which JSON cannot carry).
+        """
+        return {
+            "start": self._window_start,
+            "bound": self.lbts if math.isfinite(self.lbts) else None,
+            "lookahead": self.lookahead,
+        }

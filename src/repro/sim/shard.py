@@ -88,6 +88,10 @@ class ShardPlan:
             )
         return self.owner[rank]
 
+    def sizes(self) -> list[int]:
+        """Ranks per shard, in shard order (telemetry/report labeling)."""
+        return [hi - lo for lo, hi in self.bounds]
+
     def describe(self) -> dict:
         """JSON-able summary (embedded in obs RunReports)."""
         return {

@@ -40,6 +40,12 @@ class DeadlockError(SimulationError):
         hand-constructed instances).
     last_progress:
         Mapping of rank -> virtual time that rank last resumed execution.
+    telemetry:
+        The final live-telemetry snapshot (a dict), stamped by the cluster
+        when the run had a :class:`~repro.obs.live.LiveTelemetry` tap
+        armed; ``None`` otherwise. Carries the progress trail — events
+        executed, events/s, blocked-rank detail, shard window state — a
+        hung paper-scale run dies with.
     """
 
     def __init__(
@@ -52,6 +58,7 @@ class DeadlockError(SimulationError):
         self.blocked = dict(blocked)
         self.now = now
         self.last_progress = dict(last_progress) if last_progress else {}
+        self.telemetry: dict | None = None
         detail = _blocked_detail(self.blocked, self.last_progress or None)
         at = f" at t={now:.9g}" if now is not None else ""
         super().__init__(f"deadlock{at}: all live images are blocked ({detail})")
@@ -62,9 +69,11 @@ class SimTimeoutError(SimulationError):
 
     Carries the same per-rank diagnostics as :class:`DeadlockError`: which
     call each unfinished rank is blocked in, and when it last made
-    progress. Raised when injected faults (dropped messages, crashed
-    images) stall the program but retransmission timers keep the event
-    heap non-empty, so plain deadlock detection never fires.
+    progress — plus, when a live tap was armed, a final ``telemetry``
+    snapshot (see :class:`DeadlockError`). Raised when injected faults
+    (dropped messages, crashed images) stall the program but
+    retransmission timers keep the event heap non-empty, so plain
+    deadlock detection never fires.
     """
 
     def __init__(
@@ -77,6 +86,7 @@ class SimTimeoutError(SimulationError):
         self.deadline = deadline
         self.blocked = dict(blocked)
         self.last_progress = dict(last_progress) if last_progress else {}
+        self.telemetry: dict | None = None
         detail = _blocked_detail(self.blocked, self.last_progress or None)
         super().__init__(
             f"virtual-time deadline {deadline:.9g}s exceeded; "

@@ -162,3 +162,76 @@ def test_render_failed_report(failed_report_path, capsys):
 def test_validate_failed_report(failed_report_path, capsys):
     assert main(["validate", str(failed_report_path)]) == 0
     assert ": ok" in capsys.readouterr().out
+
+
+# -- diff --all exit-code edge cases --------------------------------------
+
+
+def test_diff_all_single_new_is_allowed(report_path, capsys):
+    assert main(["diff", str(report_path), str(report_path), "--all"]) == 0
+    out = capsys.readouterr().out
+    assert "0/1 report(s) regressed" in out
+
+
+def test_diff_all_regression_exit_codes(report_path, tmp_path, capsys):
+    data = json.loads(report_path.read_text())
+    data["meta"]["makespan"] *= 2.0
+    worse = tmp_path / "worse.json"
+    worse.write_text(json.dumps(data))
+    argv = ["diff", str(report_path), str(report_path), str(worse), "--all"]
+    # Regressions alone don't fail the invocation...
+    assert main(argv) == 0
+    # ...until --fail arms the tripwire; exactly one of two regressed.
+    assert main(argv + ["--fail"]) == 1
+    assert "1/2 report(s) regressed" in capsys.readouterr().out
+
+
+def test_diff_all_missing_new_exits_2(report_path, tmp_path, capsys):
+    argv = [
+        "diff", str(report_path), str(report_path),
+        str(tmp_path / "absent.json"), "--all",
+    ]
+    assert main(argv) == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_diff_all_invalid_new_exits_2(report_path, tmp_path, capsys):
+    bad = tmp_path / "bad.json"
+    bad.write_text(json.dumps({"schema": "nope"}))
+    argv = ["diff", str(report_path), str(report_path), str(bad), "--all"]
+    assert main(argv) == 2
+    assert "error:" in capsys.readouterr().err
+
+
+# -- top: telemetry streams through the same CLI --------------------------
+
+
+@pytest.fixture(scope="module")
+def telemetry_path(tmp_path_factory):
+    path = tmp_path_factory.mktemp("obs-live") / "run.telemetry.jsonl"
+    run_caf(ring_program, 2, backend="mpi", live=path, live_interval=0.0)
+    return path
+
+
+def test_top_renders_stream(telemetry_path, capsys):
+    assert main(["top", str(telemetry_path)]) == 0
+    out = capsys.readouterr().out
+    assert "live telemetry" in out
+    assert "FINAL (ok)" in out
+
+
+def test_top_missing_file_exits_2(tmp_path, capsys):
+    assert main(["top", str(tmp_path / "absent.jsonl")]) == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_top_malformed_stream_exits_2(tmp_path, capsys):
+    bad = tmp_path / "bad.jsonl"
+    bad.write_text(json.dumps({"type": "meta", "schema": "nope"}) + "\n")
+    assert main(["top", str(bad)]) == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_validate_sniffs_telemetry_streams(telemetry_path, capsys):
+    assert main(["validate", str(telemetry_path)]) == 0
+    assert "telemetry" in capsys.readouterr().out
